@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark module regenerates one figure or table of the paper's
+Section 6.  To keep ``pytest benchmarks/ --benchmark-only`` laptop-friendly
+the default workload sizes are small; the full experiment driver
+(``python -m repro.bench --full``) uses paper-scale parameters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import PreparedWorkload, prepare_bioaid
+from repro.bench.reporting import format_table
+
+BENCH_RUN_SIZE = 1000
+BENCH_RUN_SIZES = (500, 1000, 2000)
+
+
+@pytest.fixture(scope="session")
+def workload() -> PreparedWorkload:
+    return prepare_bioaid()
+
+
+@pytest.fixture(scope="session")
+def labeled_run(workload):
+    return workload.labeled_run(BENCH_RUN_SIZE, 0)
+
+
+def report(table) -> None:
+    """Print one experiment table underneath the benchmark output."""
+    print()
+    print(format_table(table))

@@ -1,0 +1,21 @@
+"""Figure 17: average/maximum data-label length (bits) vs run size, FVL vs DRL."""
+
+from repro.baselines import DRL_ORDER_HEADER_BITS
+from repro.bench import fig17_data_label_length
+
+from conftest import BENCH_RUN_SIZES, report
+
+
+def test_fig17_regenerate(workload, benchmark):
+    table = benchmark.pedantic(
+        lambda: fig17_data_label_length(workload, run_sizes=BENCH_RUN_SIZES, samples=1),
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    fvl_avg = table.column("FVL-avg")
+    drl_avg = table.column("DRL-avg")
+    # Compact (logarithmic) labels: doubling the run adds only a few bits.
+    assert fvl_avg[-1] - fvl_avg[0] < 20
+    # DRL's per-label order header makes its labels longer by a constant.
+    assert all(d - f == DRL_ORDER_HEADER_BITS for f, d in zip(fvl_avg, drl_avg))

@@ -1,0 +1,25 @@
+"""Figure 18: total data-label construction time vs run size, FVL vs DRL."""
+
+from repro.bench import fig18_label_construction_time
+
+from conftest import BENCH_RUN_SIZES, report
+
+
+def test_fig18_regenerate(workload, benchmark):
+    table = benchmark.pedantic(
+        lambda: fig18_label_construction_time(
+            workload, run_sizes=BENCH_RUN_SIZES, samples=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    fvl = table.column("FVL_ms")
+    # Construction time grows with the run size (roughly linearly).
+    assert fvl[-1] > fvl[0]
+
+
+def test_fvl_labeling_throughput(workload, benchmark):
+    """Micro-benchmark: label one run of ~1000 items online."""
+    derivation = workload.run(1000, 0)
+    benchmark(lambda: workload.scheme.label_run(derivation))

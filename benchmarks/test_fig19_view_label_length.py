@@ -1,0 +1,23 @@
+"""Figure 19: view-label length for small/medium/large views, three FVL variants."""
+
+from repro.bench import fig19_view_label_length
+from repro.core import FVLVariant
+
+from conftest import report
+
+
+def test_fig19_regenerate(workload, benchmark):
+    table = benchmark.pedantic(
+        lambda: fig19_view_label_length(workload), rounds=1, iterations=1
+    )
+    report(table)
+    for row in table.rows:
+        _, space, default, query = row
+        assert space <= default <= query
+        assert query < 64  # view labels stay tiny (a few KB at most)
+
+
+def test_view_labeling_speed(workload, benchmark):
+    """Micro-benchmark: statically label one medium view (query-efficient)."""
+    view = workload.views({"medium": 8}, mode="grey", seed=3)["medium"]
+    benchmark(lambda: workload.scheme.label_view(view, FVLVariant.QUERY_EFFICIENT))

@@ -1,0 +1,48 @@
+"""Figure 20: query time vs run size for the three FVL variants."""
+
+import random
+
+from repro.bench import fig20_query_time, sample_query_pairs
+from repro.core import FVLVariant
+from repro.model.projection import ViewProjection
+
+from conftest import report
+
+
+def test_fig20_regenerate(workload, benchmark):
+    table = benchmark.pedantic(
+        lambda: fig20_query_time(workload, run_sizes=(500, 1000), n_queries=300),
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    for row in table.rows:
+        _, space, default, query = row
+        assert space >= query  # materialised tables answer faster than graph search
+
+
+def _query_benchmark(workload, labeled_run, variant, benchmark):
+    derivation, labeler = labeled_run
+    view = workload.views({"medium": 8}, mode="grey", seed=3)["medium"]
+    view_label = workload.scheme.label_view(view, variant)
+    items = sorted(ViewProjection(derivation.run, view).visible_items)
+    pairs = sample_query_pairs(items, 200, seed=1)
+    labels = [(labeler.label(d1), labeler.label(d2)) for d1, d2 in pairs]
+
+    def run_all():
+        for l1, l2 in labels:
+            workload.scheme.depends(l1, l2, view_label)
+
+    benchmark(run_all)
+
+
+def test_query_default_variant(workload, labeled_run, benchmark):
+    _query_benchmark(workload, labeled_run, FVLVariant.DEFAULT, benchmark)
+
+
+def test_query_query_efficient_variant(workload, labeled_run, benchmark):
+    _query_benchmark(workload, labeled_run, FVLVariant.QUERY_EFFICIENT, benchmark)
+
+
+def test_query_space_efficient_variant(workload, labeled_run, benchmark):
+    _query_benchmark(workload, labeled_run, FVLVariant.SPACE_EFFICIENT, benchmark)

@@ -1,0 +1,19 @@
+"""Figure 21: total data-label length per item vs number of views (FVL flat, DRL linear)."""
+
+from repro.bench import fig21_multiview_space
+
+from conftest import BENCH_RUN_SIZE, report
+
+
+def test_fig21_regenerate(workload, benchmark):
+    table = benchmark.pedantic(
+        lambda: fig21_multiview_space(workload, run_size=BENCH_RUN_SIZE, max_views=6),
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    fvl = table.column("FVL")
+    drl = table.column("DRL")
+    assert len(set(fvl)) == 1          # view-adaptive: one label serves every view
+    assert drl[-1] > drl[0] * 4        # DRL re-labels per view: roughly linear growth
+    assert drl[-1] > fvl[-1]

@@ -1,0 +1,20 @@
+"""Figure 22: total data-label construction time vs number of views."""
+
+from repro.bench import fig22_multiview_time
+
+from conftest import BENCH_RUN_SIZE, report
+
+
+def test_fig22_regenerate(workload, benchmark):
+    table = benchmark.pedantic(
+        lambda: fig22_multiview_time(workload, run_size=BENCH_RUN_SIZE, max_views=6),
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    fvl = table.column("FVL_ms")
+    drl = table.column("DRL_ms")
+    assert len(set(fvl)) == 1      # FVL labels once, whatever the number of views
+    assert drl[-1] > drl[0]        # DRL cost accumulates per view
+    # With several views the view-adaptive scheme is cheaper in total.
+    assert fvl[-1] < drl[-1]

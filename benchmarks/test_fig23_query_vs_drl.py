@@ -1,0 +1,52 @@
+"""Figure 23: query time over coarse-grained views — FVL vs Matrix-Free FVL vs DRL."""
+
+from repro.bench import fig23_query_time_vs_drl, sample_query_pairs
+from repro.core import FVLVariant
+from repro.model.projection import ViewProjection
+from repro.workloads import random_view
+
+from conftest import BENCH_RUN_SIZE, report
+
+
+def test_fig23_regenerate(workload, benchmark):
+    table = benchmark.pedantic(
+        lambda: fig23_query_time_vs_drl(
+            workload,
+            run_size=BENCH_RUN_SIZE,
+            n_queries=400,
+            view_sizes={"small": 2, "medium": 8},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    assert len(table.rows) == 2
+
+
+def _prepare(workload, labeled_run):
+    derivation, labeler = labeled_run
+    view = random_view(workload.specification, 8, seed=77, mode="black", name="fig23")
+    items = sorted(ViewProjection(derivation.run, view).visible_items)
+    pairs = sample_query_pairs(items, 200, seed=2)
+    labels = [(labeler.label(d1), labeler.label(d2)) for d1, d2 in pairs]
+    return view, pairs, labels
+
+
+def test_query_full_fvl(workload, labeled_run, benchmark):
+    view, _, labels = _prepare(workload, labeled_run)
+    view_label = workload.scheme.label_view(view, FVLVariant.QUERY_EFFICIENT)
+    benchmark(lambda: [workload.scheme.depends(l1, l2, view_label) for l1, l2 in labels])
+
+
+def test_query_matrix_free_fvl(workload, labeled_run, benchmark):
+    view, _, labels = _prepare(workload, labeled_run)
+    view_label = workload.scheme.label_view_matrix_free(view)
+    benchmark(lambda: [workload.scheme.depends(l1, l2, view_label) for l1, l2 in labels])
+
+
+def test_query_drl(workload, labeled_run, benchmark):
+    derivation, _ = labeled_run
+    view, pairs, _ = _prepare(workload, labeled_run)
+    drl_labeler = workload.drl.label_run(derivation, view)
+    labels = [(drl_labeler.label(d1), drl_labeler.label(d2)) for d1, d2 in pairs]
+    benchmark(lambda: [workload.drl.depends(l1, l2, view) for l1, l2 in labels])

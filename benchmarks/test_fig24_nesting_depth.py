@@ -1,0 +1,17 @@
+"""Figure 24: data-label length vs nesting depth (synthetic family)."""
+
+from repro.bench import fig24_nesting_depth
+
+from conftest import report
+
+
+def test_fig24_regenerate(benchmark):
+    table = benchmark.pedantic(
+        lambda: fig24_nesting_depth(depths=(2, 4, 6), run_size=1200, workflow_size=10),
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    bits = table.column("FVL_avg_bits")
+    # Deeper nesting means deeper compressed parse trees, hence longer labels.
+    assert bits[-1] > bits[0]

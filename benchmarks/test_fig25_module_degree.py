@@ -1,0 +1,21 @@
+"""Figure 25: query time vs module input/output degree (synthetic family)."""
+
+from repro.bench import fig25_module_degree
+
+from conftest import report
+
+
+def test_fig25_regenerate(benchmark):
+    table = benchmark.pedantic(
+        lambda: fig25_module_degree(
+            degrees=(2, 6, 10), run_size=1200, workflow_size=10, n_queries=400
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    times = table.column("query_time_us")
+    assert all(t > 0 for t in times)
+    # Note: in this Python implementation the per-query interpreter overhead
+    # dominates for small degrees, so the paper's linear growth only becomes
+    # pronounced for larger matrices; see EXPERIMENTS.md.

@@ -1,0 +1,28 @@
+"""Table 1: qualitative impact of the synthetic factors on labeling performance."""
+
+from repro.bench import table1_factors
+
+from conftest import report
+
+
+def test_table1_regenerate(benchmark):
+    table = benchmark.pedantic(
+        lambda: table1_factors(run_size=800, n_queries=100, workflow_size=10),
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    factors = table.column("factor")
+    assert factors == [
+        "workflow size",
+        "module degree",
+        "nesting depth",
+        "recursion length",
+    ]
+    allowed = {"no impact", "low impact", "high impact"}
+    for row in table.rows:
+        assert set(row[1:]) <= allowed
+    # Workflow size and module degree drive the view-label size (as in the paper).
+    header = table.columns
+    view_len_idx = header.index("view label length")
+    assert table.rows[0][view_len_idx] != "no impact"

@@ -1,0 +1,47 @@
+"""Scaling study on the synthetic workflow family (Figure 26 / Section 6.5).
+
+Shows two properties of the labeling scheme on synthetic workflows:
+
+* data labels grow logarithmically with the run size (Figure 17's shape);
+* data labels grow linearly with the nesting depth of the specification
+  (Figure 24's shape), because the depth of the compressed parse tree is
+  proportional to the number of nested recursions.
+
+Run with::
+
+    python examples/synthetic_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro import FVLScheme
+from repro.io import LabelCodec
+from repro.workloads import build_synthetic_specification, random_run
+
+
+def average_label_bits(specification, run_size: int, depth_first: bool = False) -> float:
+    scheme = FVLScheme(specification)
+    codec = LabelCodec(scheme.index)
+    chooser = (lambda rng, pending: pending[-1]) if depth_first else None
+    derivation = random_run(specification, run_size, seed=1, choose_pending=chooser)
+    labeler = scheme.label_run(derivation)
+    run = derivation.run
+    return sum(codec.data_label_bits(labeler.label(d)) for d in run.data_items) / run.n_data_items
+
+
+def main() -> None:
+    print("label length vs run size (nesting depth 4)")
+    spec = build_synthetic_specification(workflow_size=12, nesting_depth=4)
+    for run_size in (500, 1000, 2000, 4000, 8000):
+        bits = average_label_bits(spec, run_size)
+        print(f"  {run_size:>6} data items -> {bits:6.1f} bits per label")
+
+    print("\nlabel length vs nesting depth (runs of 2000 items)")
+    for depth in (2, 4, 6, 8):
+        spec = build_synthetic_specification(workflow_size=12, nesting_depth=depth)
+        bits = average_label_bits(spec, 2000, depth_first=True)
+        print(f"  depth {depth} -> {bits:6.1f} bits per label")
+
+
+if __name__ == "__main__":
+    main()

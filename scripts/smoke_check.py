@@ -1,0 +1,96 @@
+"""Differential smoke check: FVL decoder vs the ground-truth oracle.
+
+Derives random runs of the running example, labels them, labels several
+views in every variant, and compares the decoding predicate against the
+port-level reachability oracle on all pairs of visible data items.
+Exits non-zero (with a report) on the first mismatch.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro import Derivation, FVLScheme, FVLVariant
+from repro.analysis import RunReachabilityOracle, is_safe_view
+from repro.workloads import build_running_example, running_example_views
+
+
+def random_derivation(spec, seed: int, max_steps: int = 40) -> Derivation:
+    rng = random.Random(seed)
+    derivation = Derivation(spec)
+    steps = 0
+    while not derivation.is_complete and steps < max_steps:
+        pending = derivation.pending_instances()
+        uid = rng.choice(pending)
+        instance = derivation.run.instance(uid)
+        candidates = [k for k, _ in spec.grammar.productions_for(instance.module_name)]
+        # Bias towards non-recursive productions late in the derivation so it terminates.
+        if steps > max_steps // 2 and len(candidates) > 1:
+            k = candidates[-1]
+        else:
+            k = rng.choice(candidates)
+        derivation.expand(uid, k)
+        steps += 1
+    # Finish deterministically with the last (non-recursive) production of each module.
+    while not derivation.is_complete:
+        uid = derivation.pending_instances()[0]
+        instance = derivation.run.instance(uid)
+        candidates = [k for k, _ in spec.grammar.productions_for(instance.module_name)]
+        derivation.expand(uid, candidates[-1])
+    return derivation
+
+
+def main() -> int:
+    spec = build_running_example()
+    scheme = FVLScheme(spec)
+    views = running_example_views(spec)
+    for view in views:
+        assert is_safe_view(spec, view), f"view {view.name} should be safe"
+    mismatches = 0
+    checked = 0
+    for seed in range(6):
+        derivation = random_derivation(spec, seed)
+        labeler = scheme.label_run(derivation)
+        run = derivation.run
+        print(f"seed {seed}: run with {run.n_data_items} items, {run.n_steps} steps")
+        for view in views:
+            labels = {
+                FVLVariant.DEFAULT: scheme.label_view(view, FVLVariant.DEFAULT),
+                FVLVariant.SPACE_EFFICIENT: scheme.label_view(view, FVLVariant.SPACE_EFFICIENT),
+                FVLVariant.QUERY_EFFICIENT: scheme.label_view(view, FVLVariant.QUERY_EFFICIENT),
+            }
+            oracle = RunReachabilityOracle(run, view, spec)
+            visible = sorted(oracle.projection.visible_items)
+            for d1 in visible:
+                for d2 in visible:
+                    expected = oracle.depends(d1, d2)
+                    for variant, vlabel in labels.items():
+                        got = scheme.depends(labeler.label(d1), labeler.label(d2), vlabel)
+                        checked += 1
+                        if got != expected:
+                            mismatches += 1
+                            print(
+                                f"MISMATCH seed={seed} view={view.name} variant={variant} "
+                                f"d1={d1} d2={d2} expected={expected} got={got}"
+                            )
+                            print("  label1:", labeler.label(d1))
+                            print("  label2:", labeler.label(d2))
+                            if mismatches > 10:
+                                return 1
+            # visibility check agreement
+            for d in sorted(run.data_items):
+                lab = labeler.label(d)
+                vis = scheme.is_visible(lab, labels[FVLVariant.DEFAULT])
+                if vis != oracle.is_visible(d):
+                    mismatches += 1
+                    print(
+                        f"VISIBILITY MISMATCH seed={seed} view={view.name} d={d} "
+                        f"scheme={vis} oracle={oracle.is_visible(d)}"
+                    )
+    print(f"checked {checked} queries, {mismatches} mismatches")
+    return 0 if mismatches == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

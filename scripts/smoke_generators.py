@@ -1,0 +1,92 @@
+"""Smoke check for generators, baselines and codecs."""
+
+from __future__ import annotations
+
+import sys
+
+from repro import FVLScheme, FVLVariant
+from repro.analysis import (
+    RunReachabilityOracle,
+    is_safe,
+    is_safe_view,
+    is_strictly_linear_recursive,
+)
+from repro.baselines import DRLScheme
+from repro.core import GrammarIndex
+from repro.io import LabelCodec, specification_from_dict, specification_to_dict
+from repro.workloads import (
+    build_bioaid_specification,
+    build_synthetic_specification,
+    random_run,
+    random_view,
+    view_suite,
+)
+
+
+def check(spec_name, spec, target=600, seed=1):
+    grammar = spec.grammar
+    assert is_strictly_linear_recursive(grammar), f"{spec_name}: not strictly linear"
+    assert is_safe(grammar, spec.dependencies), f"{spec_name}: unsafe"
+    scheme = FVLScheme(spec)
+    codec = LabelCodec(scheme.index)
+    derivation = random_run(spec, target, seed=seed)
+    run = derivation.run
+    labeler = scheme.label_run(derivation)
+    print(f"{spec_name}: run items={run.n_data_items} steps={run.n_steps}")
+    max_bits = max(codec.data_label_bits(labeler.label(d)) for d in run.data_items)
+    print(f"  max data label bits = {max_bits}")
+
+    views = view_suite(spec, seed=3, mode="grey", sizes={"small": 2, "medium": 5})
+    views["black"] = random_view(spec, 5, seed=9, mode="black", name="blackv")
+    drl = DRLScheme(spec)
+    import random as _r
+
+    rng = _r.Random(0)
+    item_ids = sorted(run.data_items)
+    mismatches = 0
+    for name, view in views.items():
+        assert is_safe_view(spec, view), f"{spec_name}: view {name} unsafe"
+        vlabel = scheme.label_view(view, FVLVariant.QUERY_EFFICIENT)
+        oracle = RunReachabilityOracle(run, view, spec)
+        drl_labeler = drl.label_run(derivation, view)
+        visible = [d for d in item_ids if oracle.is_visible(d)]
+        for _ in range(800):
+            d1, d2 = rng.choice(visible), rng.choice(visible)
+            expected = oracle.depends(d1, d2)
+            got = scheme.depends(labeler.label(d1), labeler.label(d2), vlabel)
+            drl_got = drl.depends(drl_labeler.label(d1), drl_labeler.label(d2), view)
+            if got != expected:
+                mismatches += 1
+                print(f"  FVL MISMATCH {spec_name} view={name} d1={d1} d2={d2} exp={expected}")
+            if name == "black" and drl_got != expected:
+                mismatches += 1
+                print(f"  DRL MISMATCH {spec_name} view={name} d1={d1} d2={d2} exp={expected}")
+        print(f"  view {name}: ok ({len(visible)} visible items)")
+    # io round trip
+    spec2 = specification_from_dict(specification_to_dict(spec))
+    assert sorted(spec2.grammar.module_names) == sorted(grammar.module_names)
+    return mismatches
+
+
+def main() -> int:
+    total = 0
+    bio = build_bioaid_specification()
+    g = bio.grammar
+    print(
+        "bioaid stats:",
+        len(g.module_names),
+        "modules,",
+        len(g.composite_modules),
+        "composite,",
+        len(g.productions),
+        "productions",
+    )
+    total += check("bioaid", bio, target=800)
+    syn = build_synthetic_specification(workflow_size=12, nesting_depth=3)
+    total += check("synthetic", syn, target=800)
+    print("mismatches:", total)
+    return 0 if total == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that ``pip install -e .`` works on minimal environments that lack
+the ``wheel`` package (legacy editable installs go through ``setup.py
+develop`` and do not need to build a wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""Consistency of simple workflows (Definition 12).
+
+Two simple workflows with the same boundary arity are *consistent* w.r.t. a
+dependency assignment and a port bijection when they induce the same
+reachability between corresponding initial inputs and final outputs.  This is
+the notion the safety definition (Definition 13) quantifies over; the library
+mostly uses the induced-matrix formulation of Lemma 1, but the pairwise check
+is exposed here for completeness and testing.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import AnalysisError
+from repro.matrices import BoolMatrix
+from repro.analysis.reachability import WorkflowPortGraph
+from repro.model.workflow import SimpleWorkflow
+
+__all__ = ["boundary_reachability_matrix", "are_consistent"]
+
+
+def boundary_reachability_matrix(
+    workflow: SimpleWorkflow,
+    matrices: Mapping[str, BoolMatrix],
+    *,
+    input_order: Sequence[tuple[str, int]] | None = None,
+    output_order: Sequence[tuple[str, int]] | None = None,
+) -> BoolMatrix:
+    """Reachability from initial inputs to final outputs of a simple workflow.
+
+    ``input_order`` / ``output_order`` override the workflow's own boundary
+    ordering (used to express an arbitrary bijection ``f``).
+    """
+    graph = WorkflowPortGraph(workflow, matrices)
+    inputs = list(input_order) if input_order is not None else list(workflow.initial_inputs)
+    outputs = list(output_order) if output_order is not None else list(workflow.final_outputs)
+    sources = [("in", occ, port) for occ, port in inputs]
+    targets = [("out", occ, port) for occ, port in outputs]
+    return graph.matrix_between(sources, targets)
+
+
+def are_consistent(
+    workflow_a: SimpleWorkflow,
+    workflow_b: SimpleWorkflow,
+    matrices: Mapping[str, BoolMatrix],
+    *,
+    input_bijection: Sequence[int] | None = None,
+    output_bijection: Sequence[int] | None = None,
+) -> bool:
+    """Whether two simple workflows are consistent (Definition 12).
+
+    ``input_bijection[x - 1]`` gives the 1-based index of the initial input
+    of ``workflow_b`` corresponding to the ``x``-th initial input of
+    ``workflow_a`` (identity by default); analogously for outputs.
+    """
+    if workflow_a.n_initial_inputs != workflow_b.n_initial_inputs:
+        raise AnalysisError("workflows have different numbers of initial inputs")
+    if workflow_a.n_final_outputs != workflow_b.n_final_outputs:
+        raise AnalysisError("workflows have different numbers of final outputs")
+    matrix_a = boundary_reachability_matrix(workflow_a, matrices)
+    if input_bijection is None:
+        input_bijection = list(range(1, workflow_a.n_initial_inputs + 1))
+    if output_bijection is None:
+        output_bijection = list(range(1, workflow_a.n_final_outputs + 1))
+    mapped_inputs = [
+        workflow_b.initial_inputs[input_bijection[x] - 1]
+        for x in range(workflow_a.n_initial_inputs)
+    ]
+    mapped_outputs = [
+        workflow_b.final_outputs[output_bijection[y] - 1]
+        for y in range(workflow_a.n_final_outputs)
+    ]
+    matrix_b = boundary_reachability_matrix(
+        workflow_b, matrices, input_order=mapped_inputs, output_order=mapped_outputs
+    )
+    return matrix_a == matrix_b

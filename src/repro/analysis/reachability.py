@@ -1,0 +1,251 @@
+"""Port-level reachability: the semantics of fine-grained provenance.
+
+Two engines live here.
+
+* :class:`WorkflowPortGraph` computes reachability between ports of a single
+  simple workflow, given a dependency matrix for every module occurring in
+  it.  It is the workhorse behind the safety check (induced dependency
+  matrices, Lemma 1) and the view-label functions ``I``, ``O`` and ``Z``
+  (Section 4.3).
+
+* :class:`RunReachabilityOracle` materialises the data-item dependency graph
+  of a run *projected onto a view* and answers "does d2 depend on d1?" by
+  graph search.  It serves as the ground-truth oracle that every labeling
+  scheme is differential-tested against, and doubles as the naive
+  (index-free) baseline of the experimental section.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping
+
+from repro.errors import AnalysisError, VisibilityError
+from repro.matrices import BoolMatrix
+from repro.model.dependency import DependencyAssignment
+from repro.model.module import Module
+from repro.model.production import Production
+from repro.model.projection import ViewProjection
+from repro.model.run import WorkflowRun
+from repro.model.specification import WorkflowSpecification
+from repro.model.views import WorkflowView
+from repro.model.workflow import SimpleWorkflow
+
+__all__ = [
+    "dependency_matrix",
+    "WorkflowPortGraph",
+    "induced_dependency_matrix",
+    "RunReachabilityOracle",
+]
+
+PortNode = tuple[str, str, int]  # (direction, occurrence, port)
+
+
+def dependency_matrix(module: Module, pairs) -> BoolMatrix:
+    """The ``n_inputs x n_outputs`` boolean matrix of a dependency edge set."""
+    return BoolMatrix.from_pairs(pairs, module.n_inputs, module.n_outputs)
+
+
+class WorkflowPortGraph:
+    """Reachability between ports of one simple workflow.
+
+    Parameters
+    ----------
+    workflow:
+        The simple workflow.
+    matrices:
+        A dependency matrix for every module name occurring in the workflow
+        (``n_inputs x n_outputs`` each).  For composite occurrences these are
+        typically the *full dependency assignment* matrices.
+    """
+
+    def __init__(
+        self, workflow: SimpleWorkflow, matrices: Mapping[str, BoolMatrix]
+    ) -> None:
+        self._workflow = workflow
+        self._matrices = dict(matrices)
+        self._successors: dict[PortNode, list[PortNode]] = {}
+        for occ_id, module in workflow.occurrences.items():
+            matrix = self._matrices.get(module.name)
+            if matrix is None:
+                raise AnalysisError(
+                    f"no dependency matrix for module {module.name!r} "
+                    f"(occurrence {occ_id!r})"
+                )
+            if matrix.shape != (module.n_inputs, module.n_outputs):
+                raise AnalysisError(
+                    f"dependency matrix for {module.name!r} has shape "
+                    f"{matrix.shape}, expected {(module.n_inputs, module.n_outputs)}"
+                )
+            for i in range(1, module.n_inputs + 1):
+                node = ("in", occ_id, i)
+                targets = [
+                    ("out", occ_id, o)
+                    for o in range(1, module.n_outputs + 1)
+                    if matrix.get(i, o)
+                ]
+                self._successors[node] = targets
+            for o in range(1, module.n_outputs + 1):
+                self._successors.setdefault(("out", occ_id, o), [])
+        for edge in workflow.edges:
+            self._successors[("out", edge.src_occurrence, edge.src_port)].append(
+                ("in", edge.dst_occurrence, edge.dst_port)
+            )
+        self._reach_cache: dict[PortNode, frozenset[PortNode]] = {}
+
+    def reachable_from(self, source: PortNode) -> frozenset[PortNode]:
+        """All port nodes reachable from ``source`` (including itself)."""
+        cached = self._reach_cache.get(source)
+        if cached is not None:
+            return cached
+        if source not in self._successors:
+            raise AnalysisError(f"unknown port node {source!r}")
+        seen = {source}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for succ in self._successors.get(node, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    queue.append(succ)
+        result = frozenset(seen)
+        self._reach_cache[source] = result
+        return result
+
+    def reaches(self, source: PortNode, target: PortNode) -> bool:
+        return target in self.reachable_from(source)
+
+    def matrix_between(
+        self, sources: list[PortNode], targets: list[PortNode]
+    ) -> BoolMatrix:
+        """Reachability matrix from a list of sources to a list of targets."""
+        result = BoolMatrix.zeros(max(len(sources), 1), max(len(targets), 1))
+        data = result.data
+        for row, source in enumerate(sources):
+            reachable = self.reachable_from(source)
+            for col, target in enumerate(targets):
+                if target in reachable:
+                    data[row, col] = True
+        return result
+
+
+def induced_dependency_matrix(
+    production: Production, matrices: Mapping[str, BoolMatrix]
+) -> BoolMatrix:
+    """The input/output dependency matrix induced on a production's LHS.
+
+    Entry ``(x, y)`` is true iff output port ``y`` of the left-hand side is
+    reachable from its input port ``x`` through the right-hand side workflow,
+    using the given per-module dependency matrices — the quantity the safety
+    algorithm compares across productions (Lemma 1).
+    """
+    graph = WorkflowPortGraph(production.rhs, matrices)
+    sources: list[PortNode] = []
+    for x in range(1, production.lhs.n_inputs + 1):
+        occ, port = production.rhs_initial_input(x)
+        sources.append(("in", occ, port))
+    targets: list[PortNode] = []
+    for y in range(1, production.lhs.n_outputs + 1):
+        occ, port = production.rhs_final_output(y)
+        targets.append(("out", occ, port))
+    return graph.matrix_between(sources, targets)
+
+
+class RunReachabilityOracle:
+    """Ground-truth reachability between data items of a projected run.
+
+    Parameters
+    ----------
+    run:
+        The (possibly partial) workflow run.
+    view:
+        The view ``U`` the query is asked through.
+    specification:
+        The specification the run was derived from.  It is needed to extend
+        the view's dependency assignment to composite modules (the full
+        dependency assignment), so that *unexpanded* composite instances of
+        partial runs contribute their induced dependencies.
+    """
+
+    def __init__(
+        self,
+        run: WorkflowRun,
+        view: WorkflowView,
+        specification: WorkflowSpecification,
+    ) -> None:
+        # Imported lazily to avoid an import cycle with repro.analysis.safety.
+        from repro.analysis.safety import full_dependency_assignment
+
+        self._run = run
+        self._view = view
+        self._projection = ViewProjection(run, view)
+        restricted = view.restricted_grammar(specification.grammar)
+        self._full: DependencyAssignment = full_dependency_assignment(
+            restricted, view.dependencies
+        )
+        self._successors: dict[int, list[int]] = {}
+        self._build_item_graph()
+        self._reach_cache: dict[int, frozenset[int]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def _build_item_graph(self) -> None:
+        run = self._run
+        for leaf_uid in self._projection.leaf_instances:
+            instance = run.instance(leaf_uid)
+            if not self._full.defines(instance.module_name):
+                # Not derivable in the view's grammar; such instances cannot be
+                # visible leaves, but guard anyway.
+                continue
+            for in_port, out_port in self._full.pairs(instance.module_name):
+                src_item = run.item_at(leaf_uid, "in", in_port)
+                dst_item = run.item_at(leaf_uid, "out", out_port)
+                self._successors.setdefault(src_item, []).append(dst_item)
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def projection(self) -> ViewProjection:
+        return self._projection
+
+    def is_visible(self, item_uid: int) -> bool:
+        return self._projection.is_visible_item(item_uid)
+
+    def reachable_items(self, item_uid: int) -> frozenset[int]:
+        cached = self._reach_cache.get(item_uid)
+        if cached is not None:
+            return cached
+        seen = {item_uid}
+        queue = deque([item_uid])
+        while queue:
+            node = queue.popleft()
+            for succ in self._successors.get(node, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    queue.append(succ)
+        result = frozenset(seen)
+        self._reach_cache[item_uid] = result
+        return result
+
+    def depends(self, d1: int, d2: int) -> bool:
+        """Whether data item ``d2`` depends on data item ``d1`` w.r.t. the view.
+
+        Matches the paper's convention: for an intermediate item, the query
+        is whether the consumer port of ``d2`` is reachable from the producer
+        port of ``d1``; a data item "depends on itself" exactly when it is an
+        intermediate item (the data edge connects its own producer to its own
+        consumer).  Raises :class:`VisibilityError` if either item is not
+        visible in the view.
+        """
+        for uid in (d1, d2):
+            if not self.is_visible(uid):
+                raise VisibilityError(
+                    f"data item {uid} is not visible in view {self._view.name!r}"
+                )
+        item1 = self._run.item(d1)
+        item2 = self._run.item(d2)
+        if item1.is_final_output or item2.is_initial_input:
+            return False
+        if d1 == d2:
+            return not item1.is_initial_input and not item1.is_final_output
+        return d2 in self.reachable_items(d1)

@@ -1,0 +1,69 @@
+"""Recursion-structure classification of workflow grammars (Section 3.2).
+
+* A grammar is **linear-recursive** (Definition 14) when no composite module
+  can derive a simple workflow containing two instances of itself; by
+  Lemma 3 this is equivalent to every production having at most one
+  right-hand-side occurrence that reaches the left-hand side in the
+  production graph.
+* A grammar is **strictly linear-recursive** (Definition 16) when all cycles
+  of the production graph are vertex-disjoint.  This is the class for which
+  compact view-adaptive labeling is possible (Theorem 8).
+
+Both properties are decidable in polynomial time (Theorem 7); the functions
+here delegate to :class:`~repro.analysis.production_graph.ProductionGraph`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.production_graph import ProductionGraph
+from repro.model.grammar import WorkflowGrammar
+
+__all__ = [
+    "is_recursive",
+    "is_linear_recursive",
+    "is_strictly_linear_recursive",
+    "recursive_modules",
+    "recursion_summary",
+]
+
+
+def is_recursive(grammar: WorkflowGrammar) -> bool:
+    """Whether the grammar has at least one recursion (cycle in P(G))."""
+    return ProductionGraph(grammar).is_recursive()
+
+
+def is_linear_recursive(grammar: WorkflowGrammar) -> bool:
+    """Whether the grammar is linear-recursive (Definition 14 / Lemma 3)."""
+    return ProductionGraph(grammar).is_linear_recursive()
+
+
+def is_strictly_linear_recursive(grammar: WorkflowGrammar) -> bool:
+    """Whether the grammar is strictly linear-recursive (Definition 16)."""
+    return ProductionGraph(grammar).is_strictly_linear_recursive()
+
+
+def recursive_modules(grammar: WorkflowGrammar) -> frozenset[str]:
+    """The modules that lie on a recursion."""
+    return ProductionGraph(grammar).recursive_modules()
+
+
+def recursion_summary(grammar: WorkflowGrammar) -> dict[str, object]:
+    """A small report on the grammar's recursive structure.
+
+    Returns a dictionary with keys ``recursive``, ``linear``, ``strict``,
+    ``recursive_modules`` and ``cycles`` (the latter only when strict).
+    Useful for logging and for the experimental harness.
+    """
+    graph = ProductionGraph(grammar)
+    strict = graph.is_strictly_linear_recursive()
+    summary: dict[str, object] = {
+        "recursive": graph.is_recursive(),
+        "linear": graph.is_linear_recursive(),
+        "strict": strict,
+        "recursive_modules": sorted(graph.recursive_modules()),
+    }
+    if strict:
+        summary["cycles"] = [
+            [edge.key for edge in cycle] for cycle in graph.cycles()
+        ]
+    return summary

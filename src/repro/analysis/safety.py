@@ -1,0 +1,185 @@
+"""Safety of fine-grained workflow specifications (Section 3.1).
+
+A specification is *safe* (Definition 13) when any two all-atomic simple
+workflows derivable from the same composite module agree on the dependencies
+between its inputs and outputs.  Safety characterises the feasibility of
+dynamic labeling (Theorem 1) and is decidable in polynomial time (Theorem 2)
+by computing the *full dependency assignment* ``lambda*`` (Lemma 1): a unique
+extension of ``lambda`` to composite modules under which every production is
+consistent.
+
+The worklist algorithm implemented here follows the paper's proof of
+Theorem 2: repeatedly pick a *verifiable* production (one whose right-hand
+side modules all have ``lambda*`` defined), compute the induced dependency
+matrix of its left-hand side, and either define ``lambda*`` for it or check
+consistency with the previously computed value.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping
+
+from repro.errors import ImproperGrammarError, UnsafeWorkflowError
+from repro.matrices import BoolMatrix
+from repro.analysis.reachability import dependency_matrix, induced_dependency_matrix
+from repro.model.dependency import DependencyAssignment
+from repro.model.grammar import WorkflowGrammar
+from repro.model.specification import WorkflowSpecification
+from repro.model.views import WorkflowView
+
+__all__ = [
+    "full_dependency_matrices",
+    "full_dependency_assignment",
+    "is_safe",
+    "check_safe",
+    "is_safe_view",
+    "check_safe_view",
+    "view_full_assignment",
+]
+
+
+def full_dependency_matrices(
+    grammar: WorkflowGrammar, dependencies: DependencyAssignment
+) -> dict[str, BoolMatrix]:
+    """Compute the full dependency assignment ``lambda*`` as matrices.
+
+    Parameters
+    ----------
+    grammar:
+        A (proper) workflow grammar.
+    dependencies:
+        Dependency assignment covering all atomic modules of the grammar.
+
+    Returns
+    -------
+    dict
+        A dependency matrix (``n_inputs x n_outputs``) for *every* module of
+        the grammar.
+
+    Raises
+    ------
+    UnsafeWorkflowError
+        If two productions of the same composite module induce different
+        dependencies (the specification is unsafe).
+    ImproperGrammarError
+        If some composite module never becomes verifiable (which can only
+        happen for improper grammars).
+    """
+    matrices: dict[str, BoolMatrix] = {}
+    for name in grammar.atomic_modules:
+        module = grammar.module(name)
+        matrices[name] = dependency_matrix(module, dependencies.pairs(name))
+
+    pending: deque[int] = deque(range(1, len(grammar.productions) + 1))
+    verified: set[int] = set()
+    stall = 0
+    while pending:
+        if stall > len(pending):
+            missing = sorted(
+                m for m in grammar.composite_modules if m not in matrices
+            )
+            raise ImproperGrammarError(
+                "the safety algorithm cannot make progress; composite modules "
+                f"{missing} never become verifiable (grammar is not proper)"
+            )
+        k = pending.popleft()
+        if k in verified:
+            stall = 0
+            continue
+        production = grammar.production(k)
+        rhs_modules = production.rhs.module_names()
+        if any(name not in matrices for name in rhs_modules):
+            pending.append(k)
+            stall += 1
+            continue
+        stall = 0
+        induced = induced_dependency_matrix(production, matrices)
+        lhs_name = production.lhs.name
+        existing = matrices.get(lhs_name)
+        if existing is None:
+            matrices[lhs_name] = induced
+            # Productions producing lhs_name may have become verifiable.
+        elif existing != induced:
+            raise UnsafeWorkflowError(
+                f"specification is unsafe: production {k} "
+                f"({lhs_name} -> {rhs_modules}) induces input/output "
+                f"dependencies {sorted(induced.to_pairs())} but another "
+                f"derivation of {lhs_name!r} induces "
+                f"{sorted(existing.to_pairs())}"
+            )
+        verified.add(k)
+    missing = sorted(m for m in grammar.composite_modules if m not in matrices)
+    if missing:
+        raise ImproperGrammarError(
+            f"composite modules {missing} have no production (grammar is not proper)"
+        )
+    return matrices
+
+
+def full_dependency_assignment(
+    grammar: WorkflowGrammar, dependencies: DependencyAssignment
+) -> DependencyAssignment:
+    """The full dependency assignment ``lambda*`` as a :class:`DependencyAssignment`."""
+    matrices = full_dependency_matrices(grammar, dependencies)
+    return DependencyAssignment(
+        {name: matrix.to_pairs() for name, matrix in matrices.items()}
+    )
+
+
+def is_safe(grammar: WorkflowGrammar, dependencies: DependencyAssignment) -> bool:
+    """Whether the specification ``(grammar, dependencies)`` is safe."""
+    try:
+        full_dependency_matrices(grammar, dependencies)
+    except UnsafeWorkflowError:
+        return False
+    return True
+
+
+def check_safe(grammar: WorkflowGrammar, dependencies: DependencyAssignment) -> None:
+    """Raise :class:`UnsafeWorkflowError` unless the specification is safe."""
+    full_dependency_matrices(grammar, dependencies)
+
+
+def view_full_assignment(
+    specification: WorkflowSpecification, view: WorkflowView
+) -> dict[str, BoolMatrix]:
+    """The full dependency assignment ``lambda*`` of a view ``(Delta', lambda')``.
+
+    The view's restricted grammar is used, so matrices are returned exactly
+    for the modules derivable in the view.
+    """
+    restricted = view.restricted_grammar(specification.grammar)
+    return full_dependency_matrices(restricted, view.dependencies)
+
+
+def is_safe_view(specification: WorkflowSpecification, view: WorkflowView) -> bool:
+    """Whether the view is safe over the specification (Definition 13)."""
+    try:
+        view_full_assignment(specification, view)
+    except UnsafeWorkflowError:
+        return False
+    return True
+
+
+def check_safe_view(specification: WorkflowSpecification, view: WorkflowView) -> None:
+    """Raise :class:`UnsafeWorkflowError` unless the view is safe."""
+    view_full_assignment(specification, view)
+
+
+def matrices_from_assignment(
+    grammar: WorkflowGrammar, assignment: DependencyAssignment
+) -> dict[str, BoolMatrix]:
+    """Dependency matrices for every module the assignment defines."""
+    matrices: dict[str, BoolMatrix] = {}
+    for name in assignment.modules():
+        module = grammar.module(name)
+        matrices[name] = dependency_matrix(module, assignment.pairs(name))
+    return matrices
+
+
+def assignment_from_matrices(matrices: Mapping[str, BoolMatrix]) -> DependencyAssignment:
+    """Convert a matrix mapping back into a :class:`DependencyAssignment`."""
+    return DependencyAssignment(
+        {name: matrix.to_pairs() for name, matrix in matrices.items()}
+    )

@@ -1,0 +1,12 @@
+"""Baselines the paper compares against: DRL [5] and the naive per-view closure."""
+
+from repro.baselines.drl import DRL_ORDER_HEADER_BITS, DRLLabel, DRLRunLabeler, DRLScheme
+from repro.baselines.naive import NaiveScheme
+
+__all__ = [
+    "DRLScheme",
+    "DRLRunLabeler",
+    "DRLLabel",
+    "DRL_ORDER_HEADER_BITS",
+    "NaiveScheme",
+]

@@ -1,0 +1,46 @@
+"""The naive (index-free) baseline: per-view transitive closure.
+
+This is the brute-force alternative sketched in the introduction: for every
+view, materialise the projected run's data-item dependency graph and answer
+reachability by graph search (or a precomputed closure).  It needs no labels
+at all but its per-view index is linear in the run size and must be rebuilt
+whenever a view is added, which is exactly the cost the view-adaptive scheme
+avoids.  It reuses the ground-truth oracle of :mod:`repro.analysis` and is
+used in the test-suite as the correctness reference and in the benchmark
+harness as a sanity point.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reachability import RunReachabilityOracle
+from repro.model.run import WorkflowRun
+from repro.model.specification import WorkflowSpecification
+from repro.model.views import WorkflowView
+
+__all__ = ["NaiveScheme"]
+
+
+class NaiveScheme:
+    """Per-view transitive-closure baseline."""
+
+    def __init__(self, specification: WorkflowSpecification) -> None:
+        self._specification = specification
+        self._oracles: dict[tuple[int, str], RunReachabilityOracle] = {}
+
+    def index_run(self, run: WorkflowRun, view: WorkflowView) -> RunReachabilityOracle:
+        """Build (or fetch) the per-(run, view) reachability index."""
+        key = (id(run), view.name)
+        oracle = self._oracles.get(key)
+        if oracle is None:
+            oracle = RunReachabilityOracle(run, view, self._specification)
+            self._oracles[key] = oracle
+        return oracle
+
+    def depends(self, run: WorkflowRun, view: WorkflowView, d1: int, d2: int) -> bool:
+        """Whether data item ``d2`` depends on ``d1`` in ``run`` w.r.t. ``view``."""
+        return self.index_run(run, view).depends(d1, d2)
+
+    def index_size_items(self, run: WorkflowRun, view: WorkflowView) -> int:
+        """A size proxy for the per-view index: the number of visible items."""
+        oracle = self.index_run(run, view)
+        return len(oracle.projection.visible_items)

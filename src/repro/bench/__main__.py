@@ -1,0 +1,41 @@
+"""Run the full experiment suite and print every figure/table.
+
+Usage::
+
+    python -m repro.bench            # quick (laptop) parameters
+    python -m repro.bench --full     # paper-scale parameters (slow)
+    python -m repro.bench --csv DIR  # additionally write CSV files
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.experiments import all_experiments
+from repro.bench.reporting import format_table, write_all_csv
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use paper-scale parameters (much slower)",
+    )
+    parser.add_argument("--csv", metavar="DIR", help="write CSV files to DIR")
+    args = parser.parse_args()
+
+    tables = all_experiments(quick=not args.full)
+    for table in tables:
+        print(format_table(table))
+        print()
+    if args.csv:
+        paths = write_all_csv(tables, args.csv)
+        print("CSV files written:")
+        for path in paths:
+            print(f"  {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

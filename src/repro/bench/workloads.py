@@ -1,0 +1,90 @@
+"""Workload preparation shared by the experiment harness.
+
+Bundles a specification with its FVL scheme, label codec, runs and labelers
+so individual experiments do not rebuild them over and over.  Default
+parameters are laptop-friendly; the paper-scale settings (runs of 1K–32K
+items, 100 sample runs per point, one million sample queries) can be selected
+explicitly through the experiment functions' arguments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.baselines import DRLScheme
+from repro.core import FVLScheme
+from repro.core.run_labeler import RunLabeler
+from repro.io import LabelCodec
+from repro.model import Derivation, WorkflowSpecification, WorkflowView
+from repro.workloads import build_bioaid_specification, random_run, random_view
+
+__all__ = ["PreparedWorkload", "prepare_bioaid", "sample_query_pairs"]
+
+
+@dataclass
+class PreparedWorkload:
+    """A specification plus everything the experiments need around it."""
+
+    name: str
+    specification: WorkflowSpecification
+    scheme: FVLScheme = field(init=False)
+    codec: LabelCodec = field(init=False)
+    drl: DRLScheme = field(init=False)
+    _runs: dict[tuple[int, int], Derivation] = field(default_factory=dict, init=False)
+    _labelers: dict[int, RunLabeler] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        self.scheme = FVLScheme(self.specification)
+        self.codec = LabelCodec(self.scheme.index)
+        self.drl = DRLScheme(self.specification)
+
+    def run(self, target_items: int, seed: int = 0) -> Derivation:
+        """A (cached) random run of roughly ``target_items`` data items."""
+        key = (target_items, seed)
+        derivation = self._runs.get(key)
+        if derivation is None:
+            derivation = random_run(self.specification, target_items, seed=seed)
+            self._runs[key] = derivation
+        return derivation
+
+    def labeled_run(self, target_items: int, seed: int = 0) -> tuple[Derivation, RunLabeler]:
+        """A cached run together with its (cached) FVL labeling."""
+        derivation = self.run(target_items, seed)
+        key = id(derivation)
+        labeler = self._labelers.get(key)
+        if labeler is None:
+            labeler = self.scheme.label_run(derivation)
+            self._labelers[key] = labeler
+        return derivation, labeler
+
+    def views(
+        self, sizes: dict[str, int], *, mode: str = "grey", seed: int = 0
+    ) -> dict[str, WorkflowView]:
+        """Random safe views of the requested sizes (number of expandable modules)."""
+        n_composite = len(self.specification.grammar.composite_modules)
+        return {
+            label: random_view(
+                self.specification,
+                min(size, n_composite),
+                seed=seed + index,
+                mode=mode,
+                name=f"{label}-{mode}",
+            )
+            for index, (label, size) in enumerate(sizes.items())
+        }
+
+
+def prepare_bioaid(seed: int = 7) -> PreparedWorkload:
+    """The BioAID-like workload used by most experiments (Section 6.1)."""
+    return PreparedWorkload("bioaid", build_bioaid_specification(seed=seed))
+
+
+def sample_query_pairs(
+    item_ids: list[int], n_pairs: int, *, seed: int = 0
+) -> list[tuple[int, int]]:
+    """Random (d1, d2) query pairs over a list of data item ids."""
+    rng = random.Random(seed)
+    return [
+        (rng.choice(item_ids), rng.choice(item_ids)) for _ in range(n_pairs)
+    ]

@@ -1,0 +1,52 @@
+"""The paper's primary contribution: view-adaptive dynamic labeling (FVL).
+
+Grammar preprocessing, compressed parse trees, dynamic data labels, static
+view labels (three materialisation variants plus the matrix-free
+specialisation), the decoding predicate and the visibility check.
+"""
+
+from repro.core.decoder import depends, inputs_matrix, outputs_matrix
+from repro.core.labels import (
+    DataLabel,
+    EdgeLabel,
+    PortLabel,
+    ProductionEdgeLabel,
+    RecursionEdgeLabel,
+    common_prefix_length,
+)
+from repro.core.matrix_free import (
+    MatrixFreeViewLabel,
+    build_matrix_free_label,
+    depends_matrix_free,
+)
+from repro.core.parse_tree import BasicParseTree, CompressedParseTree, ParseNode
+from repro.core.preprocessing import GrammarIndex
+from repro.core.run_labeler import RunLabeler
+from repro.core.scheme import FVLScheme
+from repro.core.view_label import FVLVariant, ViewLabel, ViewLabeler
+from repro.core.visibility import is_visible
+
+__all__ = [
+    "GrammarIndex",
+    "EdgeLabel",
+    "ProductionEdgeLabel",
+    "RecursionEdgeLabel",
+    "PortLabel",
+    "DataLabel",
+    "common_prefix_length",
+    "CompressedParseTree",
+    "BasicParseTree",
+    "ParseNode",
+    "RunLabeler",
+    "FVLVariant",
+    "ViewLabel",
+    "ViewLabeler",
+    "MatrixFreeViewLabel",
+    "build_matrix_free_label",
+    "depends_matrix_free",
+    "inputs_matrix",
+    "outputs_matrix",
+    "depends",
+    "is_visible",
+    "FVLScheme",
+]

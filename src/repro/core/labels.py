@@ -1,0 +1,144 @@
+"""Data labels (Section 4.2.2): edge labels, port labels and data labels.
+
+A *data label* is the pair of labels of the two ports a data item connects.
+Each *port label* consists of the path (a sequence of *edge labels*) from the
+root of the compressed parse tree to the node of the module where the port
+was first created, followed by the port index.  Edge labels come in two
+flavours:
+
+* ``(k, i)`` — a :class:`ProductionEdgeLabel`: the edge of the production
+  graph from the ``k``-th production's left-hand side to the ``i``-th module
+  of its right-hand side;
+* ``(s, t, i)`` — a :class:`RecursionEdgeLabel`: the ``i``-th child of a
+  recursive parse-tree node that unfolds cycle ``s`` starting at rotation
+  ``t``.
+
+Labels are immutable value objects; once assigned to a data item they are
+never modified (Definition 10 forbids it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "EdgeLabel",
+    "ProductionEdgeLabel",
+    "RecursionEdgeLabel",
+    "PortLabel",
+    "DataLabel",
+    "common_prefix_length",
+]
+
+
+class EdgeLabel:
+    """Base class for compressed-parse-tree edge labels."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ProductionEdgeLabel(EdgeLabel):
+    """Edge label ``(k, i)``: production ``k``, RHS position ``i`` (both 1-based)."""
+
+    k: int
+    i: int
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.k, self.i)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.k},{self.i})"
+
+
+@dataclass(frozen=True)
+class RecursionEdgeLabel(EdgeLabel):
+    """Edge label ``(s, t, i)``: cycle ``s`` unfolded from rotation ``t``, child ``i``."""
+
+    s: int
+    t: int
+    i: int
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.s, self.t, self.i)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.s},{self.t},{self.i})"
+
+
+@dataclass(frozen=True)
+class PortLabel:
+    """The label of one port: the tree path to its module plus the port index."""
+
+    path: tuple[EdgeLabel, ...]
+    port: int
+
+    def as_tuple(self) -> tuple:
+        return tuple(e.as_tuple() for e in self.path) + (self.port,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(e) for e in self.path)
+        return f"{{{inner}, {self.port}}}" if inner else f"{{{self.port}}}"
+
+
+@dataclass(frozen=True)
+class DataLabel:
+    """The label of one data item: producer (output) and consumer (input) port labels.
+
+    ``producer`` is ``None`` for initial inputs of the run, ``consumer`` is
+    ``None`` for final outputs — matching the paper's ``(-, phi(i))`` and
+    ``(phi(o), -)`` notation.
+    """
+
+    producer: PortLabel | None
+    consumer: PortLabel | None
+
+    @property
+    def is_initial_input(self) -> bool:
+        return self.producer is None
+
+    @property
+    def is_final_output(self) -> bool:
+        return self.consumer is None
+
+    @property
+    def is_intermediate(self) -> bool:
+        return self.producer is not None and self.consumer is not None
+
+    def shared_prefix_length(self) -> int:
+        """Length of the common path prefix of the two port labels.
+
+        The producer and consumer ports of a data item are created by the
+        same production, so their paths differ only in the last one or two
+        edge labels; factoring out the common prefix is what lets the codec
+        store the label in roughly half the space (Section 4.2.2).
+        """
+        if self.producer is None or self.consumer is None:
+            return 0
+        return common_prefix_length(self.producer.path, self.consumer.path)
+
+    def paths(self) -> list[tuple[EdgeLabel, ...]]:
+        """The non-null port-label paths (used by visibility checks)."""
+        result = []
+        if self.producer is not None:
+            result.append(self.producer.path)
+        if self.consumer is not None:
+            result.append(self.consumer.path)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        producer = repr(self.producer) if self.producer is not None else "-"
+        consumer = repr(self.consumer) if self.consumer is not None else "-"
+        return f"({producer}, {consumer})"
+
+
+def common_prefix_length(
+    path_a: tuple[EdgeLabel, ...], path_b: tuple[EdgeLabel, ...]
+) -> int:
+    """Number of leading edge labels shared by two paths."""
+    count = 0
+    for edge_a, edge_b in zip(path_a, path_b):
+        if edge_a != edge_b:
+            break
+        count += 1
+    return count

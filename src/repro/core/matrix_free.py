@@ -1,0 +1,316 @@
+"""Matrix-Free FVL: the coarse-grained (black-box) specialisation (Section 6.4).
+
+When a view is *coarse-grained* — every view-atomic module has black-box
+dependencies and every production right-hand side funnels all inputs through
+a single source module and all outputs through a single sink module — every
+reachability matrix used by the decoding predicate is uniform: either all
+entries are true or all are false.  In that case the matrices can be
+collapsed to single booleans and all matrix multiplications replaced by
+logical conjunction, which is the optimisation the paper calls *Matrix-Free
+FVL* and compares against DRL in Figure 23.
+
+The classes below collapse a default :class:`~repro.core.view_label.ViewLabel`
+into a :class:`MatrixFreeViewLabel` (refusing non-uniform views) and provide
+:func:`depends_matrix_free`, a boolean mirror of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from repro.core.labels import (
+    DataLabel,
+    EdgeLabel,
+    PortLabel,
+    ProductionEdgeLabel,
+    RecursionEdgeLabel,
+    common_prefix_length,
+)
+from repro.core.preprocessing import GrammarIndex
+from repro.core.view_label import FVLVariant, ViewLabel, ViewLabeler
+from repro.errors import DecodingError, ValidationError, VisibilityError
+from repro.matrices import BoolMatrix
+from repro.model.views import WorkflowView
+
+__all__ = ["MatrixFreeViewLabel", "build_matrix_free_label", "depends_matrix_free"]
+
+
+class _NonUniformMatrix(Exception):
+    """Internal signal: the boolean fast path hit a non-uniform matrix."""
+
+
+def _collapse(matrix: BoolMatrix, context: str) -> bool | None:
+    """Collapse a uniform matrix to a boolean; ``None`` marks non-uniform matrices.
+
+    In a coarse-grained view almost every matrix occurring in a decoding
+    chain is uniform (all-true or all-false) and the chain value reduces to a
+    conjunction of booleans.  Matrices that are not uniform (e.g. the
+    identity-like matrices between directly wired neighbours) are stored as
+    ``None``; when the boolean fast path meets one it falls back to the exact
+    matrix decoding.
+    """
+    if matrix.is_all_true():
+        return True
+    if matrix.is_all_false():
+        return False
+    return None
+
+
+def _require_uniform(value: bool | None, context: str) -> bool:
+    if value is None:
+        raise _NonUniformMatrix(context)
+    return value
+
+
+class MatrixFreeViewLabel:
+    """A view label whose reachability information is a set of booleans."""
+
+    def __init__(
+        self,
+        index: GrammarIndex,
+        view: WorkflowView,
+        lam_star_start: bool | None,
+        inputs: dict[tuple[int, int], bool | None],
+        outputs: dict[tuple[int, int], bool | None],
+        z: dict[tuple[int, int, int], bool | None],
+        retained_productions: frozenset[int],
+        full_label: ViewLabel | None = None,
+    ) -> None:
+        self._index = index
+        self._view = view
+        self._lam_star_start = lam_star_start
+        self._inputs = inputs
+        self._outputs = outputs
+        self._z = z
+        self._retained = retained_productions
+        self._full_label = full_label
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def index(self) -> GrammarIndex:
+        return self._index
+
+    @property
+    def view(self) -> WorkflowView:
+        return self._view
+
+    @property
+    def retained_productions(self) -> frozenset[int]:
+        return self._retained
+
+    @property
+    def full_label(self) -> ViewLabel | None:
+        """The exact view label used when the boolean fast path is insufficient."""
+        return self._full_label
+
+    def lam_star_start(self) -> bool:
+        return _require_uniform(self._lam_star_start, "lambda*(S)")
+
+    def inputs(self, k: int, i: int) -> bool:
+        self._require(k)
+        return _require_uniform(self._inputs[(k, i)], f"I({k},{i})")
+
+    def outputs(self, k: int, i: int) -> bool:
+        self._require(k)
+        return _require_uniform(self._outputs[(k, i)], f"O({k},{i})")
+
+    def z(self, k: int, i: int, j: int) -> bool:
+        self._require(k)
+        if i >= j:
+            return False
+        return _require_uniform(self._z[(k, i, j)], f"Z({k},{i},{j})")
+
+    def inputs_chain(self, s: int, t: int, count: int) -> bool:
+        """Conjunction of the (at most one cycle's worth of) I booleans."""
+        return self._chain(self._inputs, s, t, count)
+
+    def outputs_chain(self, s: int, t: int, count: int) -> bool:
+        return self._chain(self._outputs, s, t, count)
+
+    def _chain(self, table: dict[tuple[int, int], bool], s: int, t: int, count: int) -> bool:
+        if count <= 0:
+            return True
+        length = self._index.cycle_length(s)
+        for offset in range(min(count, length)):
+            edge = self._index.cycle_edge(s, t + offset)
+            self._require(edge.production)
+            value = _require_uniform(
+                table[(edge.production, edge.position)],
+                f"cycle edge ({edge.production},{edge.position})",
+            )
+            if not value:
+                return False
+        return True
+
+    def size_bits(self) -> int:
+        """One bit per stored boolean (plus lambda*(S))."""
+        return 1 + len(self._inputs) + len(self._outputs) + len(self._z)
+
+    def _require(self, k: int) -> None:
+        if k not in self._retained:
+            raise VisibilityError(
+                f"production {k} is not retained by view {self._view.name!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MatrixFreeViewLabel(view={self._view.name!r})"
+
+
+def build_matrix_free_label(
+    index: GrammarIndex, view: WorkflowView
+) -> MatrixFreeViewLabel:
+    """Build a matrix-free label by collapsing the default view label.
+
+    Raises :class:`~repro.errors.ValidationError` if the view is not
+    coarse-grained (some matrix is not uniform).
+    """
+    full = ViewLabeler(index).label(view, FVLVariant.DEFAULT)
+    inputs: dict[tuple[int, int], bool] = {}
+    outputs: dict[tuple[int, int], bool] = {}
+    z: dict[tuple[int, int, int], bool] = {}
+    for k in sorted(full.retained_productions):
+        production = index.production(k)
+        for i in range(1, len(production.rhs) + 1):
+            inputs[(k, i)] = _collapse(full.inputs(k, i), f"I({k},{i})")
+            outputs[(k, i)] = _collapse(full.outputs(k, i), f"O({k},{i})")
+        for i in range(1, len(production.rhs) + 1):
+            for j in range(i + 1, len(production.rhs) + 1):
+                z[(k, i, j)] = _collapse(full.z(k, i, j), f"Z({k},{i},{j})")
+    lam_start = _collapse(full.lam_star_start(), "lambda*(S)")
+    return MatrixFreeViewLabel(
+        index,
+        view,
+        lam_start,
+        inputs,
+        outputs,
+        z,
+        full.retained_productions,
+        full_label=full,
+    )
+
+
+# ---------------------------------------------------------------------------
+# boolean mirror of Algorithm 2
+# ---------------------------------------------------------------------------
+
+
+def _inputs_over(labels, label: MatrixFreeViewLabel) -> bool:
+    for edge in labels:
+        if isinstance(edge, ProductionEdgeLabel):
+            if not label.inputs(edge.k, edge.i):
+                return False
+        elif isinstance(edge, RecursionEdgeLabel):
+            if not label.inputs_chain(edge.s, edge.t, edge.i - 1):
+                return False
+        else:  # pragma: no cover - defensive
+            raise DecodingError(f"unknown edge label {edge!r}")
+    return True
+
+
+def _outputs_over(labels, label: MatrixFreeViewLabel) -> bool:
+    for edge in labels:
+        if isinstance(edge, ProductionEdgeLabel):
+            if not label.outputs(edge.k, edge.i):
+                return False
+        elif isinstance(edge, RecursionEdgeLabel):
+            if not label.outputs_chain(edge.s, edge.t, edge.i - 1):
+                return False
+        else:  # pragma: no cover - defensive
+            raise DecodingError(f"unknown edge label {edge!r}")
+    return True
+
+
+def _is_prefix(shorter, longer) -> bool:
+    return len(shorter) <= len(longer) and tuple(longer[: len(shorter)]) == tuple(shorter)
+
+
+def depends_matrix_free(
+    label1: DataLabel, label2: DataLabel, view_label: MatrixFreeViewLabel
+) -> bool:
+    """Decoding predicate optimised for coarse-grained views (Matrix-Free FVL).
+
+    The fast path evaluates Algorithm 2 over booleans (every matrix of a
+    coarse-grained view that matters is uniformly true or uniformly false).
+    If a non-uniform matrix is encountered — which happens only for views
+    that are not fully coarse-grained or for directly wired neighbours — the
+    predicate falls back to the exact matrix-based decoding, so the result is
+    always correct.
+    """
+    try:
+        return _depends_boolean(label1, label2, view_label)
+    except _NonUniformMatrix:
+        from repro.core.decoder import depends as exact_depends
+
+        if view_label.full_label is None:  # pragma: no cover - defensive
+            raise ValidationError(
+                "Matrix-Free FVL met a non-uniform matrix and no exact view "
+                "label is attached for the fallback"
+            ) from None
+        return exact_depends(label1, label2, view_label.full_label)
+
+
+def _depends_boolean(
+    label1: DataLabel, label2: DataLabel, view_label: MatrixFreeViewLabel
+) -> bool:
+    index = view_label.index
+    o1, i1 = label1.producer, label1.consumer
+    o2, i2 = label2.producer, label2.consumer
+
+    if i1 is None or o2 is None:
+        return False
+    if o1 is None and i2 is None:
+        return view_label.lam_star_start()
+    if o1 is None:
+        return _inputs_over(i2.path, view_label)
+    if i2 is None:
+        return _outputs_over(o1.path, view_label)
+
+    l1, l2 = o1.path, i2.path
+    if _is_prefix(l1, l2) or _is_prefix(l2, l1):
+        return False
+    split = common_prefix_length(l1, l2)
+    e1, e2 = l1[split], l2[split]
+
+    if isinstance(e1, ProductionEdgeLabel) and isinstance(e2, ProductionEdgeLabel):
+        i, j = e1.i, e2.i
+        if i > j:
+            return False
+        return (
+            view_label.z(e1.k, i, j)
+            and _outputs_over(l1[split + 1 :], view_label)
+            and _inputs_over(l2[split + 1 :], view_label)
+        )
+
+    if isinstance(e1, RecursionEdgeLabel) and isinstance(e2, RecursionEdgeLabel):
+        s, t = e1.s, e1.t
+        i, j = e1.i, e2.i
+        if i < j:
+            if len(l1) == split + 1:
+                return False
+            e_down = l1[split + 1]
+            assert isinstance(e_down, ProductionEdgeLabel)
+            cycle_edge = index.cycle_edge(s, t + i - 1)
+            if e_down.i > cycle_edge.position:
+                return False
+            return (
+                view_label.z(e_down.k, e_down.i, cycle_edge.position)
+                and _outputs_over(l1[split + 2 :], view_label)
+                and view_label.inputs_chain(s, t + i, j - i - 1)
+                and _inputs_over(l2[split + 1 :], view_label)
+            )
+        if len(l2) == split + 1:
+            return False
+        e_down = l2[split + 1]
+        assert isinstance(e_down, ProductionEdgeLabel)
+        cycle_edge = index.cycle_edge(s, t + j - 1)
+        if cycle_edge.position > e_down.i:
+            return False
+        return (
+            view_label.z(e_down.k, cycle_edge.position, e_down.i)
+            and _outputs_over(l1[split + 1 :], view_label)
+            and view_label.outputs_chain(s, t + j, i - j - 1)
+            and _inputs_over(l2[split + 2 :], view_label)
+        )
+
+    raise DecodingError(
+        f"malformed labels: incompatible sibling edges {e1!r} and {e2!r}"
+    )

@@ -1,0 +1,298 @@
+"""Parse-tree representations of workflow runs (Section 4.2.1).
+
+The *basic parse tree* (Definition 17) mirrors the derivation: the children
+of a composite-module node are the modules produced by the production applied
+to it.  Its depth can be linear in the run size, which is why data labels
+built from it would be linear as well.
+
+The *compressed parse tree* (Definition 18) flattens linear recursions: a
+*recursive node* is inserted for every unfolded cycle of the production
+graph, and the chain of nested composite modules obtained by unfolding the
+cycle becomes its children.  For strictly linear-recursive grammars the depth
+of the compressed tree is bounded by twice the number of composite modules
+(Lemma 4), which is what makes logarithmic data labels possible.
+
+Both trees are built *online*, node by node, as the derivation proceeds
+(Section 4.2.3); the builder below also assigns the edge labels used in data
+labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.labels import EdgeLabel, ProductionEdgeLabel, RecursionEdgeLabel
+from repro.core.preprocessing import GrammarIndex
+from repro.errors import LabelingError
+
+__all__ = ["ParseNode", "CompressedParseTree", "BasicParseTree"]
+
+
+@dataclass
+class ParseNode:
+    """A node of the compressed parse tree.
+
+    ``kind`` is ``"module"`` for module-instance nodes and ``"recursive"``
+    for recursive nodes; ``edge_from_parent`` is the label of the edge from
+    the parent node (``None`` for the root) and ``path`` the concatenation of
+    edge labels from the root down to this node.
+    """
+
+    uid: int
+    kind: str
+    module_name: str | None = None
+    instance_uid: str | None = None
+    cycle: int | None = None
+    rotation: int | None = None
+    parent: "ParseNode | None" = None
+    edge_from_parent: EdgeLabel | None = None
+    path: tuple[EdgeLabel, ...] = ()
+    children: list["ParseNode"] = field(default_factory=list)
+
+    @property
+    def is_recursive(self) -> bool:
+        return self.kind == "recursive"
+
+    @property
+    def depth(self) -> int:
+        return len(self.path)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = self.instance_uid if self.kind == "module" else f"R(cycle={self.cycle})"
+        return f"ParseNode({name}, path={list(self.path)})"
+
+
+class CompressedParseTree:
+    """Online builder of the compressed parse tree of a run (Section 4.2.3)."""
+
+    def __init__(self, index: GrammarIndex) -> None:
+        self._index = index
+        self._next_uid = 1
+        self._root: ParseNode | None = None
+        self._by_instance: dict[str, ParseNode] = {}
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def root(self) -> ParseNode | None:
+        return self._root
+
+    @property
+    def n_nodes(self) -> int:
+        return self._next_uid - 1
+
+    def node_for(self, instance_uid: str) -> ParseNode:
+        try:
+            return self._by_instance[instance_uid]
+        except KeyError:
+            raise LabelingError(
+                f"no parse-tree node for instance {instance_uid!r}; the labeler "
+                "must observe every derivation event in order"
+            ) from None
+
+    def has_node(self, instance_uid: str) -> bool:
+        return instance_uid in self._by_instance
+
+    def depth(self) -> int:
+        """Maximum depth over all module nodes (used in quality analysis)."""
+        return max(
+            (node.depth for node in self._by_instance.values()), default=0
+        )
+
+    def max_fanout(self) -> int:
+        """Maximum number of children of any node (theta_t in Theorem 10)."""
+        best = 0
+        seen: set[int] = set()
+        for node in self._by_instance.values():
+            current: ParseNode | None = node
+            while current is not None and current.uid not in seen:
+                seen.add(current.uid)
+                best = max(best, len(current.children))
+                current = current.parent
+        return best
+
+    # -- construction ------------------------------------------------------------
+
+    def start(self, instance_uid: str) -> ParseNode:
+        """Create the root structure for the start module (rule (1)/(2) of 4.2.3)."""
+        if self._root is not None:
+            raise LabelingError("the parse tree already has a root")
+        start_name = self._index.grammar.start
+        if self._index.is_recursive_module(start_name):
+            s, t = self._index.cycle_position(start_name)
+            recursive = self._new_node(
+                kind="recursive", cycle=s, rotation=t, parent=None, edge=None
+            )
+            self._root = recursive
+            node = self._new_node(
+                kind="module",
+                module_name=start_name,
+                instance_uid=instance_uid,
+                parent=recursive,
+                edge=RecursionEdgeLabel(s, t, 1),
+            )
+        else:
+            node = self._new_node(
+                kind="module",
+                module_name=start_name,
+                instance_uid=instance_uid,
+                parent=None,
+                edge=None,
+            )
+            self._root = node
+        self._by_instance[instance_uid] = node
+        return node
+
+    def expand(
+        self,
+        parent_instance_uid: str,
+        production_k: int,
+        children: list[tuple[str, int, str]],
+    ) -> dict[str, ParseNode]:
+        """Insert the nodes for one production application.
+
+        ``children`` lists ``(instance_uid, position, module_name)`` for every
+        right-hand-side module, in the fixed topological order.  Returns the
+        mapping from instance uid to the created parse node.
+
+        The insertion rules follow Section 4.2.3: non-recursive children
+        become children of the expanded node with a ``(k, i)`` edge; a child
+        in the *same* cycle as the expanded module becomes the next child of
+        the enclosing recursive node (label ``(s, t, i+1)``); a child in a
+        *different* cycle gets a fresh recursive node in between.
+        """
+        parent_node = self.node_for(parent_instance_uid)
+        if parent_node.kind != "module":
+            raise LabelingError("only module nodes can be expanded")
+        parent_module = parent_node.module_name
+        created: dict[str, ParseNode] = {}
+        for instance_uid, position, module_name in children:
+            if self._index.is_recursive_module(module_name):
+                if (
+                    parent_module is not None
+                    and self._index.is_recursive_module(parent_module)
+                    and self._index.same_cycle(parent_module, module_name)
+                ):
+                    # Rule (2a): continue the recursion chain as the next
+                    # sibling of the expanded node under the recursive node.
+                    recursive = parent_node.parent
+                    if recursive is None or not recursive.is_recursive:
+                        raise LabelingError(
+                            "recursive module instance is not attached to a "
+                            "recursive parse node; events were fed out of order"
+                        )
+                    parent_edge = parent_node.edge_from_parent
+                    assert isinstance(parent_edge, RecursionEdgeLabel)
+                    node = self._new_node(
+                        kind="module",
+                        module_name=module_name,
+                        instance_uid=instance_uid,
+                        parent=recursive,
+                        edge=RecursionEdgeLabel(
+                            parent_edge.s, parent_edge.t, parent_edge.i + 1
+                        ),
+                    )
+                else:
+                    # Rule (2b): start a new recursion chain below this node.
+                    s, t = self._index.cycle_position(module_name)
+                    recursive = self._new_node(
+                        kind="recursive",
+                        cycle=s,
+                        rotation=t,
+                        parent=parent_node,
+                        edge=ProductionEdgeLabel(production_k, position),
+                    )
+                    node = self._new_node(
+                        kind="module",
+                        module_name=module_name,
+                        instance_uid=instance_uid,
+                        parent=recursive,
+                        edge=RecursionEdgeLabel(s, t, 1),
+                    )
+            else:
+                node = self._new_node(
+                    kind="module",
+                    module_name=module_name,
+                    instance_uid=instance_uid,
+                    parent=parent_node,
+                    edge=ProductionEdgeLabel(production_k, position),
+                )
+            self._by_instance[instance_uid] = node
+            created[instance_uid] = node
+        return created
+
+    # -- internals -----------------------------------------------------------------
+
+    def _new_node(
+        self,
+        *,
+        kind: str,
+        parent: ParseNode | None,
+        edge: EdgeLabel | None,
+        module_name: str | None = None,
+        instance_uid: str | None = None,
+        cycle: int | None = None,
+        rotation: int | None = None,
+    ) -> ParseNode:
+        path: tuple[EdgeLabel, ...]
+        if parent is None:
+            path = ()
+        elif edge is None:  # pragma: no cover - defensive
+            raise LabelingError("non-root nodes need an edge label")
+        else:
+            path = parent.path + (edge,)
+        node = ParseNode(
+            uid=self._next_uid,
+            kind=kind,
+            module_name=module_name,
+            instance_uid=instance_uid,
+            cycle=cycle,
+            rotation=rotation,
+            parent=parent,
+            edge_from_parent=edge,
+            path=path,
+        )
+        self._next_uid += 1
+        if parent is not None:
+            parent.children.append(node)
+        return node
+
+
+class BasicParseTree:
+    """The basic parse tree (Definition 17), built from a finished run.
+
+    The compressed tree is what the labeling scheme uses; the basic tree is
+    provided for analysis, documentation and tests (its depth illustrates why
+    compression is needed, cf. the discussion after Definition 17).
+    """
+
+    def __init__(self, run) -> None:  # run: repro.model.run.WorkflowRun
+        self._run = run
+
+    def depth(self) -> int:
+        """The depth of the basic parse tree (root at depth 0)."""
+        best = 0
+        for uid in self._run.instances:
+            best = max(best, len(self._run.ancestors(uid)))
+        return best
+
+    def children(self, instance_uid: str) -> list[str]:
+        """Derivation children of an instance, ordered by production position."""
+        children = [
+            inst
+            for inst in self._run.instances.values()
+            if inst.parent == instance_uid
+        ]
+        children.sort(key=lambda inst: inst.position or 0)
+        return [inst.uid for inst in children]
+
+    def path(self, instance_uid: str) -> list[tuple[int, int]]:
+        """The ``(k, i)`` edge ids from the root to an instance."""
+        chain = [self._run.instance(instance_uid)]
+        for ancestor in self._run.ancestors(instance_uid):
+            chain.append(self._run.instance(ancestor))
+        chain.reverse()
+        labels: list[tuple[int, int]] = []
+        for inst in chain[1:]:
+            labels.append((inst.production_index or 0, inst.position or 0))
+        return labels

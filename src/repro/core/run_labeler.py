@@ -1,0 +1,132 @@
+"""Dynamic labeling of workflow runs (Section 4.2.3).
+
+The :class:`RunLabeler` consumes the event stream of a
+:class:`~repro.model.derivation.Derivation` and assigns a
+:class:`~repro.core.labels.DataLabel` to every data item the moment it is
+produced.  Labels are built from the compressed parse tree, which the labeler
+grows top-down alongside the derivation; they are never modified afterwards
+(Definition 10), and they do not depend on any view — the same labels serve
+every safe view of the specification (view-adaptivity, Definition 11).
+"""
+
+from __future__ import annotations
+
+from repro.core.labels import DataLabel, PortLabel
+from repro.core.parse_tree import CompressedParseTree, ParseNode
+from repro.core.preprocessing import GrammarIndex
+from repro.errors import LabelingError
+from repro.model.derivation import Derivation, ExpansionEvent, InitialEvent
+
+__all__ = ["RunLabeler"]
+
+
+class RunLabeler:
+    """Assigns view-independent data labels to one run, online.
+
+    The labeler is a derivation listener: feed it the
+    :class:`~repro.model.derivation.InitialEvent` and every
+    :class:`~repro.model.derivation.ExpansionEvent` in order (or simply call
+    :meth:`attach` on a derivation, which replays past events and subscribes
+    for future ones).
+    """
+
+    def __init__(self, index: GrammarIndex) -> None:
+        self._index = index
+        self._tree = CompressedParseTree(index)
+        self._labels: dict[int, DataLabel] = {}
+        self._started = False
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def index(self) -> GrammarIndex:
+        return self._index
+
+    @property
+    def tree(self) -> CompressedParseTree:
+        return self._tree
+
+    @property
+    def labels(self) -> dict[int, DataLabel]:
+        """All data labels assigned so far, keyed by data item uid."""
+        return dict(self._labels)
+
+    def label(self, item_uid: int) -> DataLabel:
+        """The label of one data item."""
+        try:
+            return self._labels[item_uid]
+        except KeyError:
+            raise LabelingError(f"data item {item_uid} has not been labelled") from None
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, item_uid: int) -> bool:
+        return item_uid in self._labels
+
+    # -- event consumption ------------------------------------------------------
+
+    def attach(self, derivation: Derivation) -> "RunLabeler":
+        """Replay past events of a derivation and subscribe for future ones."""
+        derivation.subscribe(self, replay=True)
+        return self
+
+    def __call__(self, event: object) -> None:
+        """Consume one derivation event (listener protocol)."""
+        if isinstance(event, InitialEvent):
+            self._on_initial(event)
+        elif isinstance(event, ExpansionEvent):
+            self._on_expansion(event)
+        else:  # pragma: no cover - defensive
+            raise LabelingError(f"unknown derivation event {event!r}")
+
+    # -- internals ------------------------------------------------------------------
+
+    def _on_initial(self, event: InitialEvent) -> None:
+        if self._started:
+            raise LabelingError("the run labeler already observed an initial event")
+        self._started = True
+        node = self._tree.start(event.instance.uid)
+        for port, item_uid in enumerate(event.input_items, start=1):
+            self._assign(
+                item_uid,
+                DataLabel(producer=None, consumer=PortLabel(node.path, port)),
+            )
+        for port, item_uid in enumerate(event.output_items, start=1):
+            self._assign(
+                item_uid,
+                DataLabel(producer=PortLabel(node.path, port), consumer=None),
+            )
+
+    def _on_expansion(self, event: ExpansionEvent) -> None:
+        if not self._started:
+            raise LabelingError(
+                "expansion event received before the initial event; attach the "
+                "labeler with replay=True"
+            )
+        children = [
+            (child.uid, child.position or 0, child.module_name)
+            for child in event.children
+        ]
+        nodes = self._tree.expand(event.parent.uid, event.production_index, children)
+        for item in event.new_items:
+            producer_node = nodes[item.producer_instance]
+            consumer_node = nodes[item.consumer_instance]
+            label = DataLabel(
+                producer=PortLabel(producer_node.path, item.producer_port),
+                consumer=PortLabel(consumer_node.path, item.consumer_port),
+            )
+            self._assign(item.uid, label)
+
+    def _assign(self, item_uid: int, label: DataLabel) -> None:
+        if item_uid in self._labels:
+            raise LabelingError(
+                f"data item {item_uid} was already labelled; labels are immutable"
+            )
+        self._labels[item_uid] = label
+
+    # -- convenience -------------------------------------------------------------------
+
+    def node_for_instance(self, instance_uid: str) -> ParseNode:
+        """The compressed-parse-tree node of a module instance."""
+        return self._tree.node_for(instance_uid)

@@ -1,0 +1,41 @@
+"""Data-visibility checks (Section 5, last paragraph).
+
+Using only a data label and a view label, one can decide in constant time
+whether the data item is visible in the projected run ``R_U``: the item is
+visible iff every edge label occurring in its port-label paths refers to a
+production (or to recursion-cycle productions) retained by the view — that
+is, iff the view label's ``I`` function is defined for all of them.
+"""
+
+from __future__ import annotations
+
+from repro.core.labels import DataLabel, ProductionEdgeLabel, RecursionEdgeLabel
+from repro.errors import DecodingError
+
+__all__ = ["is_visible"]
+
+
+def is_visible(data_label: DataLabel, view_label) -> bool:
+    """Whether the labelled data item is visible in the view.
+
+    ``view_label`` may be a :class:`~repro.core.view_label.ViewLabel` or a
+    :class:`~repro.core.matrix_free.MatrixFreeViewLabel`; only its
+    retained-production information is consulted.
+    """
+    index = view_label.index
+    retained = view_label.retained_productions
+    for path in data_label.paths():
+        for edge in path:
+            if isinstance(edge, ProductionEdgeLabel):
+                if edge.k not in retained:
+                    return False
+            elif isinstance(edge, RecursionEdgeLabel):
+                length = index.cycle_length(edge.s)
+                needed = min(max(edge.i - 1, 0), length)
+                for offset in range(needed):
+                    cycle_edge = index.cycle_edge(edge.s, edge.t + offset)
+                    if cycle_edge.production not in retained:
+                        return False
+            else:  # pragma: no cover - defensive
+                raise DecodingError(f"unknown edge label {edge!r}")
+    return True

@@ -1,0 +1,104 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+applications can catch library-specific failures with a single ``except``
+clause while still being able to distinguish model-validation problems from
+analysis-level ones (e.g. unsafe specifications).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "ValidationError",
+    "WorkflowStructureError",
+    "GrammarError",
+    "ImproperGrammarError",
+    "DerivationError",
+    "ViewError",
+    "AnalysisError",
+    "UnsafeWorkflowError",
+    "NotStrictlyLinearError",
+    "LabelingError",
+    "DecodingError",
+    "VisibilityError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """Base class for errors in the workflow model layer (:mod:`repro.model`)."""
+
+
+class ValidationError(ModelError):
+    """A model object (module, workflow, assignment, ...) failed validation."""
+
+
+class WorkflowStructureError(ValidationError):
+    """A simple workflow violates a structural constraint.
+
+    The paper requires simple workflows to be acyclic and to have *pairwise
+    non-adjacent* data edges (no two data edges share a port, Definition 2).
+    """
+
+
+class GrammarError(ModelError):
+    """A workflow grammar is malformed (unknown modules, bad productions, ...)."""
+
+
+class ImproperGrammarError(GrammarError):
+    """A workflow grammar is not *proper* (Definition 5).
+
+    Proper grammars have no underivable composite modules, no unproductive
+    composite modules, and no unit-production cycles ``M => ... => M``.
+    """
+
+
+class DerivationError(ModelError):
+    """An invalid step was attempted while deriving a workflow run."""
+
+
+class ViewError(ModelError):
+    """A workflow view is malformed or not proper."""
+
+
+class AnalysisError(ReproError):
+    """Base class for errors raised by :mod:`repro.analysis`."""
+
+
+class UnsafeWorkflowError(AnalysisError):
+    """The specification (or view) is not *safe* (Definition 13).
+
+    Unsafe specifications admit no dynamic labeling scheme at all
+    (Theorem 1), so labeling them is refused.
+    """
+
+
+class NotStrictlyLinearError(AnalysisError):
+    """The grammar is not strictly linear-recursive (Definition 16).
+
+    Compact view-adaptive labeling (Section 4) requires strictly
+    linear-recursive workflow grammars; Theorem 6 shows that beyond this
+    class linear-size labels are unavoidable.
+    """
+
+
+class LabelingError(ReproError):
+    """A labeling scheme was used incorrectly (e.g. labeling out of order)."""
+
+
+class DecodingError(ReproError):
+    """The decoding predicate received malformed or incompatible labels."""
+
+
+class VisibilityError(ReproError):
+    """A query involved a data item that is not visible in the given view."""
+
+
+class SerializationError(ReproError):
+    """A specification, view or run could not be (de)serialized."""

@@ -1,0 +1,200 @@
+"""XML serialisation of specifications and views.
+
+The paper's prototype stores all data as XML files (Section 6.1); this
+module provides an equivalent XML format on top of the JSON codecs: the
+structure mirrors :mod:`repro.io.json_io`, with modules, productions, data
+edges and dependency assignments as nested elements.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.errors import SerializationError
+from repro.io.json_io import (
+    specification_from_dict,
+    specification_to_dict,
+    view_from_dict,
+    view_to_dict,
+)
+from repro.model import WorkflowSpecification, WorkflowView
+
+__all__ = [
+    "specification_to_xml",
+    "specification_from_xml",
+    "view_to_xml",
+    "view_from_xml",
+    "dump_specification_xml",
+    "load_specification_xml",
+]
+
+
+def specification_to_xml(specification: WorkflowSpecification) -> ET.Element:
+    """Serialise a specification into an ``<specification>`` XML element."""
+    data = specification_to_dict(specification)
+    root = ET.Element("specification", start=data["start"])
+    modules_el = ET.SubElement(root, "modules")
+    for module in data["modules"]:
+        ET.SubElement(
+            modules_el,
+            "module",
+            name=module["name"],
+            inputs=str(module["inputs"]),
+            outputs=str(module["outputs"]),
+            composite="true" if module["name"] in data["composite"] else "false",
+        )
+    productions_el = ET.SubElement(root, "productions")
+    for production in data["productions"]:
+        production_el = ET.SubElement(productions_el, "production", lhs=production["lhs"])
+        workflow_el = ET.SubElement(production_el, "workflow")
+        for occurrence in production["rhs"]["occurrences"]:
+            ET.SubElement(
+                workflow_el,
+                "occurrence",
+                id=occurrence["id"],
+                module=occurrence["module"],
+            )
+        for edge in production["rhs"]["edges"]:
+            ET.SubElement(
+                workflow_el,
+                "dataEdge",
+                src=edge["src"],
+                srcPort=str(edge["src_port"]),
+                dst=edge["dst"],
+                dstPort=str(edge["dst_port"]),
+            )
+        boundary_el = ET.SubElement(workflow_el, "boundary")
+        for occ, port in production["rhs"]["initial_inputs"]:
+            ET.SubElement(boundary_el, "initialInput", occurrence=occ, port=str(port))
+        for occ, port in production["rhs"]["final_outputs"]:
+            ET.SubElement(boundary_el, "finalOutput", occurrence=occ, port=str(port))
+    dependencies_el = ET.SubElement(root, "dependencies")
+    for name, pairs in sorted(data["dependencies"].items()):
+        module_el = ET.SubElement(dependencies_el, "module", name=name)
+        for i, o in pairs:
+            ET.SubElement(module_el, "edge", input=str(i), output=str(o))
+    return root
+
+
+def specification_from_xml(root: ET.Element) -> WorkflowSpecification:
+    """Deserialise a specification from XML produced by :func:`specification_to_xml`."""
+    if root.tag != "specification":
+        raise SerializationError(f"expected <specification>, found <{root.tag}>")
+    modules = []
+    composite = []
+    modules_el = root.find("modules")
+    if modules_el is None:
+        raise SerializationError("missing <modules> element")
+    for module_el in modules_el.findall("module"):
+        modules.append(
+            {
+                "name": module_el.get("name"),
+                "inputs": int(module_el.get("inputs", "0")),
+                "outputs": int(module_el.get("outputs", "0")),
+            }
+        )
+        if module_el.get("composite") == "true":
+            composite.append(module_el.get("name"))
+    productions = []
+    productions_el = root.find("productions")
+    if productions_el is None:
+        raise SerializationError("missing <productions> element")
+    for production_el in productions_el.findall("production"):
+        workflow_el = production_el.find("workflow")
+        if workflow_el is None:
+            raise SerializationError("production without <workflow>")
+        boundary_el = workflow_el.find("boundary")
+        if boundary_el is None:
+            raise SerializationError("workflow without <boundary>")
+        productions.append(
+            {
+                "lhs": production_el.get("lhs"),
+                "rhs": {
+                    "occurrences": [
+                        {"id": o.get("id"), "module": o.get("module")}
+                        for o in workflow_el.findall("occurrence")
+                    ],
+                    "edges": [
+                        {
+                            "src": e.get("src"),
+                            "src_port": int(e.get("srcPort", "0")),
+                            "dst": e.get("dst"),
+                            "dst_port": int(e.get("dstPort", "0")),
+                        }
+                        for e in workflow_el.findall("dataEdge")
+                    ],
+                    "initial_inputs": [
+                        [i.get("occurrence"), int(i.get("port", "0"))]
+                        for i in boundary_el.findall("initialInput")
+                    ],
+                    "final_outputs": [
+                        [o.get("occurrence"), int(o.get("port", "0"))]
+                        for o in boundary_el.findall("finalOutput")
+                    ],
+                },
+                "input_map": None,
+                "output_map": None,
+            }
+        )
+    dependencies: dict[str, list[list[int]]] = {}
+    dependencies_el = root.find("dependencies")
+    if dependencies_el is not None:
+        for module_el in dependencies_el.findall("module"):
+            dependencies[module_el.get("name", "")] = [
+                [int(e.get("input", "0")), int(e.get("output", "0"))]
+                for e in module_el.findall("edge")
+            ]
+    data = {
+        "modules": modules,
+        "composite": composite,
+        "start": root.get("start"),
+        "productions": productions,
+        "dependencies": dependencies,
+    }
+    return specification_from_dict(data)
+
+
+def view_to_xml(view: WorkflowView) -> ET.Element:
+    """Serialise a view into a ``<view>`` XML element."""
+    data = view_to_dict(view)
+    root = ET.Element("view", name=data["name"])
+    for name in data["visible_composites"]:
+        ET.SubElement(root, "expand", module=name)
+    dependencies_el = ET.SubElement(root, "dependencies")
+    for name, pairs in sorted(data["dependencies"].items()):
+        module_el = ET.SubElement(dependencies_el, "module", name=name)
+        for i, o in pairs:
+            ET.SubElement(module_el, "edge", input=str(i), output=str(o))
+    return root
+
+
+def view_from_xml(root: ET.Element) -> WorkflowView:
+    """Deserialise a view from XML produced by :func:`view_to_xml`."""
+    if root.tag != "view":
+        raise SerializationError(f"expected <view>, found <{root.tag}>")
+    dependencies: dict[str, list[list[int]]] = {}
+    dependencies_el = root.find("dependencies")
+    if dependencies_el is not None:
+        for module_el in dependencies_el.findall("module"):
+            dependencies[module_el.get("name", "")] = [
+                [int(e.get("input", "0")), int(e.get("output", "0"))]
+                for e in module_el.findall("edge")
+            ]
+    return view_from_dict(
+        {
+            "name": root.get("name", "view"),
+            "visible_composites": [e.get("module") for e in root.findall("expand")],
+            "dependencies": dependencies,
+        }
+    )
+
+
+def dump_specification_xml(specification: WorkflowSpecification, path: str) -> None:
+    """Write a specification to an XML file."""
+    tree = ET.ElementTree(specification_to_xml(specification))
+    tree.write(path, encoding="unicode", xml_declaration=True)
+
+
+def load_specification_xml(path: str) -> WorkflowSpecification:
+    """Read a specification from an XML file."""
+    return specification_from_xml(ET.parse(path).getroot())

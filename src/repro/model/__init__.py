@@ -1,0 +1,43 @@
+"""Fine-grained workflow model (Section 2 of the paper).
+
+This package implements the paper's workflow model: modules, simple
+workflows, workflow productions, context-free workflow grammars, dependency
+assignments, specifications, views with grey-box dependencies, and the
+derivation engine that produces workflow runs online.
+"""
+
+from repro.model.dependency import DependencyAssignment, black_box_pairs, identity_pairs
+from repro.model.derivation import Derivation, ExpansionEvent, InitialEvent, NewItem
+from repro.model.grammar import WorkflowGrammar
+from repro.model.module import Module
+from repro.model.production import Production
+from repro.model.projection import ViewProjection
+from repro.model.run import DataItem, ExpansionRecord, ModuleInstance, WorkflowRun
+from repro.model.specification import WorkflowSpecification
+from repro.model.views import WorkflowView, black_box_view, default_view
+from repro.model.workflow import DataEdge, PortRef, SimpleWorkflow
+
+__all__ = [
+    "Module",
+    "SimpleWorkflow",
+    "DataEdge",
+    "PortRef",
+    "Production",
+    "WorkflowGrammar",
+    "DependencyAssignment",
+    "black_box_pairs",
+    "identity_pairs",
+    "WorkflowSpecification",
+    "WorkflowView",
+    "default_view",
+    "black_box_view",
+    "Derivation",
+    "InitialEvent",
+    "ExpansionEvent",
+    "NewItem",
+    "WorkflowRun",
+    "ModuleInstance",
+    "DataItem",
+    "ExpansionRecord",
+    "ViewProjection",
+]

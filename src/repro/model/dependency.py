@@ -1,0 +1,182 @@
+"""Dependency assignments (Definition 6).
+
+A dependency assignment ``lambda`` gives, for each module, the set of
+fine-grained dependency edges from its input ports to its output ports.  The
+model requires *coverage*: every input contributes to at least one output and
+every output depends on at least one input.
+
+Dependencies are stored as sets of 1-based ``(input_port, output_port)``
+pairs.  The analysis and labeling layers convert them to boolean reachability
+matrices when needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import ValidationError
+from repro.model.module import Module
+
+__all__ = ["DependencyAssignment", "black_box_pairs", "identity_pairs"]
+
+DependencyPairs = frozenset[tuple[int, int]]
+
+
+def black_box_pairs(module: Module) -> DependencyPairs:
+    """The black-box dependency set: every output depends on every input."""
+    return frozenset(
+        (i, o)
+        for i in range(1, module.n_inputs + 1)
+        for o in range(1, module.n_outputs + 1)
+    )
+
+
+def identity_pairs(module: Module, extra: Iterable[tuple[int, int]] = ()) -> DependencyPairs:
+    """Identity-like dependencies: port ``i`` feeds port ``i``.
+
+    If the module has more outputs than inputs (or vice versa), the surplus
+    ports are attached to port 1 of the other side so that the coverage
+    requirement of Definition 6 still holds.  Additional pairs can be merged
+    in through ``extra``.
+    """
+    pairs: set[tuple[int, int]] = set()
+    for i in range(1, module.n_inputs + 1):
+        pairs.add((i, min(i, module.n_outputs)))
+    for o in range(1, module.n_outputs + 1):
+        pairs.add((min(o, module.n_inputs), o))
+    pairs.update((int(a), int(b)) for a, b in extra)
+    return frozenset(pairs)
+
+
+class DependencyAssignment:
+    """A mapping from module names to fine-grained dependency edge sets.
+
+    Parameters
+    ----------
+    dependencies:
+        Mapping from module name to an iterable of 1-based
+        ``(input_port, output_port)`` pairs.
+    """
+
+    def __init__(
+        self, dependencies: Mapping[str, Iterable[tuple[int, int]]] | None = None
+    ) -> None:
+        self._deps: dict[str, DependencyPairs] = {}
+        if dependencies:
+            for name, pairs in dependencies.items():
+                self._deps[name] = frozenset((int(i), int(o)) for i, o in pairs)
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def black_box(cls, modules: Iterable[Module]) -> "DependencyAssignment":
+        """Black-box dependencies for every given module."""
+        return cls({m.name: black_box_pairs(m) for m in modules})
+
+    def with_module(
+        self, module: Module | str, pairs: Iterable[tuple[int, int]]
+    ) -> "DependencyAssignment":
+        """A copy of this assignment with the entry for one module replaced."""
+        name = module.name if isinstance(module, Module) else module
+        new = dict(self._deps)
+        new[name] = frozenset((int(i), int(o)) for i, o in pairs)
+        return DependencyAssignment(new)
+
+    def merged_with(self, other: "DependencyAssignment") -> "DependencyAssignment":
+        """A copy where entries from ``other`` override entries of this one."""
+        new = dict(self._deps)
+        new.update(other.as_dict())
+        return DependencyAssignment(new)
+
+    def restricted_to(self, names: Iterable[str]) -> "DependencyAssignment":
+        """A copy containing only entries for the given module names."""
+        wanted = set(names)
+        return DependencyAssignment(
+            {name: pairs for name, pairs in self._deps.items() if name in wanted}
+        )
+
+    # -- accessors -----------------------------------------------------------
+
+    def as_dict(self) -> dict[str, DependencyPairs]:
+        return dict(self._deps)
+
+    def modules(self) -> set[str]:
+        return set(self._deps)
+
+    def defines(self, module_name: str) -> bool:
+        return module_name in self._deps
+
+    def pairs(self, module_name: str) -> DependencyPairs:
+        """The dependency edge set for ``module_name``."""
+        try:
+            return self._deps[module_name]
+        except KeyError:
+            raise ValidationError(
+                f"no dependency assignment for module {module_name!r}"
+            ) from None
+
+    def depends(self, module_name: str, input_port: int, output_port: int) -> bool:
+        """Whether ``output_port`` of the module depends on ``input_port``."""
+        return (input_port, output_port) in self.pairs(module_name)
+
+    # -- validation ----------------------------------------------------------
+
+    def validate_for(self, modules: Iterable[Module], *, require_all: bool = True) -> None:
+        """Validate coverage (Definition 6) for the given modules.
+
+        Raises :class:`ValidationError` if a module is missing (when
+        ``require_all``), if a pair references a non-existent port, or if
+        some input or output port is left uncovered.
+        """
+        for module in modules:
+            if not self.defines(module.name):
+                if require_all:
+                    raise ValidationError(
+                        f"dependency assignment missing for module {module.name!r}"
+                    )
+                continue
+            pairs = self._deps[module.name]
+            covered_inputs: set[int] = set()
+            covered_outputs: set[int] = set()
+            for i, o in pairs:
+                if not 1 <= i <= module.n_inputs:
+                    raise ValidationError(
+                        f"module {module.name!r}: dependency references input port "
+                        f"{i} (valid: 1..{module.n_inputs})"
+                    )
+                if not 1 <= o <= module.n_outputs:
+                    raise ValidationError(
+                        f"module {module.name!r}: dependency references output port "
+                        f"{o} (valid: 1..{module.n_outputs})"
+                    )
+                covered_inputs.add(i)
+                covered_outputs.add(o)
+            missing_inputs = set(module.input_ports) - covered_inputs
+            if missing_inputs:
+                raise ValidationError(
+                    f"module {module.name!r}: input ports {sorted(missing_inputs)} "
+                    "contribute to no output (Definition 6 requires coverage)"
+                )
+            missing_outputs = set(module.output_ports) - covered_outputs
+            if missing_outputs:
+                raise ValidationError(
+                    f"module {module.name!r}: output ports {sorted(missing_outputs)} "
+                    "depend on no input (Definition 6 requires coverage)"
+                )
+
+    def is_black_box_for(self, module: Module) -> bool:
+        """Whether this assignment gives ``module`` black-box dependencies."""
+        return self.pairs(module.name) == black_box_pairs(module)
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DependencyAssignment):
+            return NotImplemented
+        return self._deps == other._deps
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._deps.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DependencyAssignment({len(self._deps)} modules)"

@@ -1,0 +1,101 @@
+"""Modules: the basic building block of the workflow model (Definition 1).
+
+A :class:`Module` has a set of input ports and a set of output ports.  Ports
+are identified positionally: input ports are ``1 .. n_inputs`` and output
+ports ``1 .. n_outputs`` (the paper's examples use the same top-to-bottom
+numbering).  Optional human-readable port names may be attached; they play no
+role in any algorithm and exist purely for presentation and serialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+__all__ = ["Module"]
+
+
+@dataclass(frozen=True)
+class Module:
+    """A workflow module ``M = (I, O)`` with positional ports.
+
+    Parameters
+    ----------
+    name:
+        Unique module name within a grammar.  By the paper's convention,
+        composite modules use uppercase names (``"S"``, ``"A"``) and atomic
+        modules lowercase names (``"a"``, ``"b"``); the convention is not
+        enforced.
+    n_inputs / n_outputs:
+        Number of input and output ports.  Both must be at least one; the
+        model (Definition 6) requires every module to have inputs and
+        outputs so that dependency assignments can cover them.
+    input_names / output_names:
+        Optional port names.  When given, their length must match the port
+        counts.
+    """
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    input_names: tuple[str, ...] | None = field(default=None, compare=False)
+    output_names: tuple[str, ...] | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("module name must be a non-empty string")
+        if self.n_inputs < 1:
+            raise ValidationError(
+                f"module {self.name!r} must have at least one input port"
+            )
+        if self.n_outputs < 1:
+            raise ValidationError(
+                f"module {self.name!r} must have at least one output port"
+            )
+        if self.input_names is not None and len(self.input_names) != self.n_inputs:
+            raise ValidationError(
+                f"module {self.name!r}: {len(self.input_names)} input names "
+                f"given for {self.n_inputs} input ports"
+            )
+        if self.output_names is not None and len(self.output_names) != self.n_outputs:
+            raise ValidationError(
+                f"module {self.name!r}: {len(self.output_names)} output names "
+                f"given for {self.n_outputs} output ports"
+            )
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def input_ports(self) -> range:
+        """1-based input port indices, ``range(1, n_inputs + 1)``."""
+        return range(1, self.n_inputs + 1)
+
+    @property
+    def output_ports(self) -> range:
+        """1-based output port indices, ``range(1, n_outputs + 1)``."""
+        return range(1, self.n_outputs + 1)
+
+    def input_name(self, port: int) -> str:
+        """Human-readable name of input ``port`` (1-based)."""
+        self._check_port(port, self.n_inputs, "input")
+        if self.input_names is not None:
+            return self.input_names[port - 1]
+        return f"{self.name}.in{port}"
+
+    def output_name(self, port: int) -> str:
+        """Human-readable name of output ``port`` (1-based)."""
+        self._check_port(port, self.n_outputs, "output")
+        if self.output_names is not None:
+            return self.output_names[port - 1]
+        return f"{self.name}.out{port}"
+
+    def _check_port(self, port: int, limit: int, kind: str) -> None:
+        if not 1 <= port <= limit:
+            raise ValidationError(
+                f"module {self.name!r} has no {kind} port {port} "
+                f"(valid: 1..{limit})"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}[{self.n_inputs}->{self.n_outputs}]"

@@ -1,0 +1,134 @@
+"""Projection of workflow runs onto views (Section 2.2).
+
+A view ``U = (Delta', lambda')`` is defined over the specification and then
+*projected* onto each run: the projected run ``R_U`` keeps only the part of
+the derivation that uses productions of composite modules in ``Delta'``.
+Concretely,
+
+* a module **instance** of the full run is *visible* in the view iff every
+  proper ancestor in the derivation hierarchy is an instance of a module in
+  ``Delta'`` (its expansion is allowed by the view);
+* a visible instance is a **view leaf** iff the view does not expand it
+  (its module is not in ``Delta'``) or the derivation has not expanded it
+  yet (partial runs);
+* a **data item** is visible iff it is a boundary item of the run (an
+  initial input or final output of the start module) or it was created by
+  the expansion of a visible instance whose module belongs to ``Delta'``.
+
+These are purely structural notions (they do not involve ``lambda'``); the
+reachability semantics of the projected run is provided by
+:mod:`repro.analysis.reachability`.
+"""
+
+from __future__ import annotations
+
+from repro.model.run import WorkflowRun
+from repro.model.views import WorkflowView
+
+__all__ = ["ViewProjection"]
+
+
+class ViewProjection:
+    """Structural projection of a run onto a view."""
+
+    def __init__(self, run: WorkflowRun, view: WorkflowView) -> None:
+        self._run = run
+        self._view = view
+        self._visible_instances = self._compute_visible_instances()
+        self._leaves = self._compute_leaves()
+        self._visible_items = self._compute_visible_items()
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def run(self) -> WorkflowRun:
+        return self._run
+
+    @property
+    def view(self) -> WorkflowView:
+        return self._view
+
+    @property
+    def visible_instances(self) -> frozenset[str]:
+        """Instances that belong to the projected run ``R_U``."""
+        return self._visible_instances
+
+    @property
+    def leaf_instances(self) -> frozenset[str]:
+        """Visible instances that the view treats as atomic (unexpanded)."""
+        return self._leaves
+
+    @property
+    def visible_items(self) -> frozenset[int]:
+        """Data items that belong to the projected run ``R_U``."""
+        return self._visible_items
+
+    def is_visible_instance(self, instance_uid: str) -> bool:
+        return instance_uid in self._visible_instances
+
+    def is_leaf_instance(self, instance_uid: str) -> bool:
+        return instance_uid in self._leaves
+
+    def is_visible_item(self, item_uid: int) -> bool:
+        return item_uid in self._visible_items
+
+    def leaf_attachment(self, item_uid: int) -> tuple[tuple[str, int] | None, tuple[str, int] | None]:
+        """The (producer, consumer) attachment of a visible item at view-leaf level.
+
+        For each side, returns the innermost ``(instance uid, port)`` pair
+        whose instance is visible in the view, or ``None`` when the item is a
+        run boundary item on that side.
+        """
+        item = self._run.item(item_uid)
+        producer = None
+        for instance_uid, port in item.producers:
+            if instance_uid in self._visible_instances:
+                producer = (instance_uid, port)
+            else:
+                break
+        consumer = None
+        for instance_uid, port in item.consumers:
+            if instance_uid in self._visible_instances:
+                consumer = (instance_uid, port)
+            else:
+                break
+        return producer, consumer
+
+    # -- computation -----------------------------------------------------------
+
+    def _compute_visible_instances(self) -> frozenset[str]:
+        visible: set[str] = set()
+        delta = self._view.visible_composites
+        # Process instances in creation order so parents are decided first.
+        ordered = sorted(
+            self._run.instances.values(), key=lambda inst: (inst.step_created, inst.uid)
+        )
+        for instance in ordered:
+            if instance.parent is None:
+                visible.add(instance.uid)
+                continue
+            parent = self._run.instance(instance.parent)
+            if parent.uid in visible and parent.module_name in delta:
+                visible.add(instance.uid)
+        return frozenset(visible)
+
+    def _compute_leaves(self) -> frozenset[str]:
+        delta = self._view.visible_composites
+        leaves: set[str] = set()
+        for uid in self._visible_instances:
+            instance = self._run.instance(uid)
+            if instance.module_name not in delta or not instance.is_expanded:
+                leaves.add(uid)
+        return frozenset(leaves)
+
+    def _compute_visible_items(self) -> frozenset[int]:
+        delta = self._view.visible_composites
+        visible: set[int] = set()
+        for uid, item in self._run.data_items.items():
+            if item.created_by is None:
+                visible.add(uid)
+                continue
+            creator = self._run.instance(item.created_by)
+            if creator.uid in self._visible_instances and creator.module_name in delta:
+                visible.add(uid)
+        return frozenset(visible)

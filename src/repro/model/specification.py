@@ -1,0 +1,105 @@
+"""Workflow specifications ``G^lambda`` (Definition 7) and coarse-grainedness.
+
+A specification pairs a (proper) workflow grammar with a dependency
+assignment for its atomic modules.  A specification is *coarse-grained*
+(Definition 8) when every atomic module has black-box dependencies and every
+production right-hand side has a single source and a single sink module; this
+is the model of the prior work the paper compares against.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.model.dependency import DependencyAssignment
+from repro.model.grammar import WorkflowGrammar
+
+__all__ = ["WorkflowSpecification"]
+
+
+class WorkflowSpecification:
+    """A fine-grained workflow specification ``G^lambda``.
+
+    Parameters
+    ----------
+    grammar:
+        The workflow grammar ``G``.
+    dependencies:
+        Dependency assignment ``lambda`` covering (at least) all atomic
+        modules of the grammar.
+    require_proper:
+        When true (default) the grammar is checked for properness
+        (Definition 5); the paper assumes proper grammars throughout.
+    """
+
+    def __init__(
+        self,
+        grammar: WorkflowGrammar,
+        dependencies: DependencyAssignment,
+        *,
+        require_proper: bool = True,
+    ) -> None:
+        if require_proper:
+            grammar.check_proper()
+        atomic_modules = [grammar.module(name) for name in sorted(grammar.atomic_modules)]
+        dependencies.validate_for(atomic_modules, require_all=True)
+        self._grammar = grammar
+        self._dependencies = dependencies
+
+    @property
+    def grammar(self) -> WorkflowGrammar:
+        return self._grammar
+
+    @property
+    def dependencies(self) -> DependencyAssignment:
+        """The dependency assignment ``lambda`` for atomic modules."""
+        return self._dependencies
+
+    # -- classification ------------------------------------------------------
+
+    def is_coarse_grained(self) -> bool:
+        """Whether the specification is coarse-grained (Definition 8).
+
+        Requires (1) black-box dependencies on every atomic module and
+        (2) a single source and single sink occurrence in every production's
+        right-hand side.
+        """
+        for name in self._grammar.atomic_modules:
+            module = self._grammar.module(name)
+            if not self._dependencies.is_black_box_for(module):
+                return False
+        return self.has_single_source_sink_productions()
+
+    def has_single_source_sink_productions(self) -> bool:
+        """Whether every production RHS has one source and one sink occurrence."""
+        for production in self._grammar.productions:
+            rhs = production.rhs
+            has_incoming = {e.dst_occurrence for e in rhs.edges}
+            has_outgoing = {e.src_occurrence for e in rhs.edges}
+            sources = [occ for occ in rhs.occurrences if occ not in has_incoming]
+            sinks = [occ for occ in rhs.occurrences if occ not in has_outgoing]
+            if len(sources) != 1 or len(sinks) != 1:
+                return False
+        return True
+
+    def coarsened(self) -> "WorkflowSpecification":
+        """The coarse-grained specification with the same grammar.
+
+        Replaces every atomic module's dependencies by black-box
+        dependencies.  Raises :class:`ValidationError` if the grammar's
+        productions do not have single-source/single-sink right-hand sides,
+        since Definition 8 requires both conditions.
+        """
+        if not self.has_single_source_sink_productions():
+            raise ValidationError(
+                "cannot coarsen: some production right-hand side does not have a "
+                "single source and a single sink module (Definition 8)"
+            )
+        atomic = [self._grammar.module(name) for name in self._grammar.atomic_modules]
+        return WorkflowSpecification(
+            self._grammar,
+            DependencyAssignment.black_box(atomic),
+            require_proper=False,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WorkflowSpecification({self._grammar!r})"

@@ -1,0 +1,56 @@
+"""Workload generators: paper examples, BioAID-like and synthetic workflows,
+random runs and random safe views (Sections 6.1 and 6.5)."""
+
+from repro.workloads.bioaid import (
+    BIOAID_COMPOSITE_MODULES,
+    BIOAID_MAX_PRODUCTION_SIZE,
+    BIOAID_RECURSIVE_PRODUCTIONS,
+    BIOAID_TOTAL_MODULES,
+    BIOAID_TOTAL_PRODUCTIONS,
+    build_bioaid_specification,
+)
+from repro.workloads.builder import (
+    chain_production,
+    chain_workflow,
+    idempotent_dependency_pairs,
+    random_dependency_pairs,
+)
+from repro.workloads.paper_examples import (
+    build_nonstrict_example,
+    build_running_example,
+    build_unsafe_example,
+    running_example_view_u2,
+    running_example_views,
+)
+from repro.workloads.runs import (
+    random_run,
+    recursive_production_indices,
+    terminal_production_choice,
+)
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic_specification
+from repro.workloads.views import random_view, view_suite
+
+__all__ = [
+    "build_running_example",
+    "running_example_view_u2",
+    "running_example_views",
+    "build_unsafe_example",
+    "build_nonstrict_example",
+    "build_bioaid_specification",
+    "BIOAID_TOTAL_MODULES",
+    "BIOAID_COMPOSITE_MODULES",
+    "BIOAID_TOTAL_PRODUCTIONS",
+    "BIOAID_RECURSIVE_PRODUCTIONS",
+    "BIOAID_MAX_PRODUCTION_SIZE",
+    "SyntheticConfig",
+    "build_synthetic_specification",
+    "random_run",
+    "recursive_production_indices",
+    "terminal_production_choice",
+    "random_view",
+    "view_suite",
+    "chain_workflow",
+    "chain_production",
+    "idempotent_dependency_pairs",
+    "random_dependency_pairs",
+]

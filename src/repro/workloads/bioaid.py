@@ -1,0 +1,169 @@
+"""A BioAID-like real-life workflow specification (Section 6.1).
+
+The paper's real-life dataset is the *BioAID* workflow from the
+myExperiment repository, described only through its statistics: a strictly
+linear-recursive grammar with **112 modules (16 composite)**, **23
+productions (7 recursive — two loops and four forks, plus one additional
+recursion)**, at most **19 modules per production**, and modules with at most
+4 input and 7 output ports.  The workflow itself is not distributed with the
+paper, so this generator builds a specification that matches those
+statistics:
+
+* 16 composite modules (``S`` plus ``M2`` … ``M16``) and 96 atomic modules,
+  112 in total;
+* 23 productions: one mutual recursion ``M2 <-> M3`` (two recursive
+  productions), five self-recursions over ``M4`` … ``M8`` (five recursive
+  productions, the paper's loops/forks), seven base-case productions for the
+  recursive modules, and nine single productions for the non-recursive
+  composite modules;
+* every production right-hand side is a pipeline of at most 19 modules with
+  a single source and a single sink (so black-box views are well defined);
+* module degree 4 (within the paper's "at most 4 inputs / 7 outputs" bound).
+
+Only these structural statistics enter the paper's measurements (label
+lengths, construction time, query time), which is why the substitution
+preserves the evaluation's behaviour; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.model import (
+    DependencyAssignment,
+    Module,
+    Production,
+    WorkflowGrammar,
+    WorkflowSpecification,
+)
+from repro.workloads.builder import chain_production, idempotent_dependency_pairs
+
+__all__ = [
+    "BIOAID_TOTAL_MODULES",
+    "BIOAID_COMPOSITE_MODULES",
+    "BIOAID_TOTAL_PRODUCTIONS",
+    "BIOAID_RECURSIVE_PRODUCTIONS",
+    "BIOAID_MAX_PRODUCTION_SIZE",
+    "build_bioaid_specification",
+]
+
+BIOAID_TOTAL_MODULES = 112
+BIOAID_COMPOSITE_MODULES = 16
+BIOAID_TOTAL_PRODUCTIONS = 23
+BIOAID_RECURSIVE_PRODUCTIONS = 7
+BIOAID_MAX_PRODUCTION_SIZE = 19
+
+
+def build_bioaid_specification(
+    *, module_degree: int = 4, seed: int = 7
+) -> WorkflowSpecification:
+    """Build the BioAID-like specification (see the module docstring)."""
+    rng = random.Random(seed)
+    m = module_degree
+
+    modules: dict[str, Module] = {}
+    composites: list[str] = []
+
+    def composite(name: str) -> Module:
+        module = Module(name, m, m)
+        modules[name] = module
+        composites.append(name)
+        return module
+
+    atom_counter = 0
+
+    def fresh_atom() -> Module:
+        nonlocal atom_counter
+        atom_counter += 1
+        module = Module(f"t{atom_counter}", m, m)
+        modules[module.name] = module
+        return module
+
+    composite("S")
+    for index in range(2, BIOAID_COMPOSITE_MODULES + 1):
+        composite(f"M{index}")
+
+    # -- production plan ------------------------------------------------------
+    # Each entry: (lhs, [embedded composite names], body size before padding).
+    # Non-recursive composites (one production each).  The hierarchy makes
+    # every composite derivable from S.
+    plan: list[tuple[str, list[str], int]] = [
+        ("S", ["M9", "M10", "M11"], 12),
+        ("M9", ["M2", "M12"], 10),
+        ("M10", ["M4", "M13"], 10),
+        ("M11", ["M5", "M14"], 9),
+        ("M12", ["M6", "M15"], 9),
+        ("M13", ["M7", "M16"], 9),
+        ("M14", ["M8"], 8),
+        ("M15", [], 7),
+        ("M16", [], 7),
+    ]
+    # Recursive productions: the mutual recursion M2 <-> M3 and the five
+    # self-recursions over M4..M8 (loops / forks).
+    recursive_plan: list[tuple[str, list[str], int]] = [
+        ("M2", ["M3"], 8),
+        ("M3", ["M2"], 8),
+        ("M4", ["M4"], 7),
+        ("M5", ["M5"], 7),
+        ("M6", ["M6"], 7),
+        ("M7", ["M7"], 6),
+        ("M8", ["M8"], 6),
+    ]
+    # Base-case productions for the recursive modules.
+    base_plan: list[tuple[str, list[str], int]] = [
+        (name, [], 2) for name in ("M2", "M3", "M4", "M5", "M6", "M7", "M8")
+    ]
+
+    all_plans = plan + recursive_plan + base_plan
+    # Adjust filler counts so that the total number of atomic modules is
+    # exactly 96 (and therefore the module count is 112).
+    target_atoms = BIOAID_TOTAL_MODULES - BIOAID_COMPOSITE_MODULES
+    planned_atoms = sum(size - len(embedded) for _, embedded, size in all_plans)
+    deficit = target_atoms - planned_atoms
+    adjusted: list[tuple[str, list[str], int]] = []
+    for lhs, embedded, size in all_plans:
+        if deficit > 0 and size < BIOAID_MAX_PRODUCTION_SIZE:
+            room = min(deficit, BIOAID_MAX_PRODUCTION_SIZE - size)
+            size += room
+            deficit -= room
+        elif deficit < 0 and size - len(embedded) > 2 and lhs not in ("S",):
+            room = min(-deficit, size - len(embedded) - 2)
+            size -= room
+            deficit += room
+        adjusted.append((lhs, embedded, size))
+    if deficit != 0:  # pragma: no cover - defensive, plan is static
+        raise RuntimeError(f"BioAID plan does not balance: deficit {deficit}")
+
+    productions: list[Production] = []
+    for lhs_name, embedded, size in adjusted:
+        lhs = modules[lhs_name]
+        if size < len(embedded) + 2 and embedded:  # pragma: no cover - defensive
+            raise RuntimeError(f"production for {lhs_name} too small for its plan")
+        # Build the pipeline with an atom at both ends (single source and
+        # single sink) and the embedded composite modules interleaved with
+        # filler atoms in the middle.
+        n_middle_fillers = size - len(embedded) - 2 if size >= 2 else 0
+        body: list[tuple[str, Module]] = []
+        source = fresh_atom()
+        body.append((source.name, source))
+        remaining_fillers = n_middle_fillers
+        for name in embedded:
+            body.append((name, modules[name]))
+            if remaining_fillers > 0:
+                filler = fresh_atom()
+                body.append((filler.name, filler))
+                remaining_fillers -= 1
+        for _ in range(remaining_fillers):
+            filler = fresh_atom()
+            body.append((filler.name, filler))
+        if size >= 2:
+            sink = fresh_atom()
+            body.append((sink.name, sink))
+        productions.append(chain_production(lhs, body))
+
+    grammar = WorkflowGrammar(modules, set(composites), "S", productions)
+    shared_pairs = idempotent_dependency_pairs(m, rng)
+    dependencies = DependencyAssignment(
+        {name: shared_pairs for name in grammar.atomic_modules}
+    )
+    return WorkflowSpecification(grammar, dependencies)

@@ -1,0 +1,111 @@
+"""Shared machinery for the workload generators (Section 6.1 / 6.5).
+
+The generated specifications (the BioAID-like workflow and the synthetic
+family of Figure 26) are built from *chain productions*: the right-hand side
+is a pipeline of modules of a common degree ``m`` (every module has ``m``
+input and ``m`` output ports), wired port-to-port, so that
+
+* every production has a single source and a single sink module, which makes
+  black-box (coarse-grained) views well defined and safe (Definition 8) —
+  a prerequisite for the DRL / Matrix-Free comparisons of Section 6.4;
+* the dependency matrix induced on the left-hand side is the boolean product
+  of the member matrices.
+
+To guarantee that the generated specification is *safe* for any recursive
+structure (Definition 13), every atomic module receives the same
+reflexive-and-transitively-closed ("idempotent") dependency matrix ``B``
+drawn at random from the generator seed: products of ``B`` with itself are
+again ``B``, so every composite module's induced dependencies equal ``B`` no
+matter which production is used, and the safety check always succeeds.  The
+matrix is genuinely fine-grained (it is not all-true unless the random draw
+saturates it), and grey-box randomness per view is injected later by the
+random-view generator, which re-assigns dependencies of the modules a view
+hides (those carry no consistency constraints).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.model import DataEdge, Module, Production, SimpleWorkflow
+
+__all__ = [
+    "idempotent_dependency_pairs",
+    "random_dependency_pairs",
+    "chain_workflow",
+    "chain_production",
+]
+
+
+def idempotent_dependency_pairs(
+    degree: int, rng: random.Random, *, extra_pairs: int | None = None
+) -> frozenset[tuple[int, int]]:
+    """A random reflexive, transitively closed dependency relation on ``degree`` ports.
+
+    The result always contains the diagonal (port ``i`` feeds port ``i``), so
+    it satisfies the coverage requirement of Definition 6, and it is closed
+    under composition, so chains of modules carrying it induce it again.
+    """
+    if degree < 1:
+        raise ValueError("degree must be positive")
+    n_extra = extra_pairs if extra_pairs is not None else degree
+    relation = [[i == j for j in range(degree)] for i in range(degree)]
+    for _ in range(n_extra):
+        i = rng.randrange(degree)
+        j = rng.randrange(degree)
+        relation[i][j] = True
+    # Warshall closure.
+    for k in range(degree):
+        for i in range(degree):
+            if relation[i][k]:
+                for j in range(degree):
+                    if relation[k][j]:
+                        relation[i][j] = True
+    return frozenset(
+        (i + 1, j + 1)
+        for i in range(degree)
+        for j in range(degree)
+        if relation[i][j]
+    )
+
+
+def random_dependency_pairs(
+    n_inputs: int, n_outputs: int, rng: random.Random, *, density: float = 0.4
+) -> frozenset[tuple[int, int]]:
+    """A random dependency edge set satisfying the coverage rule of Definition 6."""
+    pairs: set[tuple[int, int]] = set()
+    for i in range(1, n_inputs + 1):
+        pairs.add((i, rng.randint(1, n_outputs)))
+    for o in range(1, n_outputs + 1):
+        pairs.add((rng.randint(1, n_inputs), o))
+    for i in range(1, n_inputs + 1):
+        for o in range(1, n_outputs + 1):
+            if rng.random() < density:
+                pairs.add((i, o))
+    return frozenset(pairs)
+
+
+def chain_workflow(members: Sequence[tuple[str, Module]]) -> SimpleWorkflow:
+    """A pipeline workflow: consecutive members wired port-to-port.
+
+    Every member must have the same number of input and output ports as its
+    neighbours expect (the generators use a single degree throughout).  The
+    first member's inputs are the initial inputs, the last member's outputs
+    the final outputs — a single source and a single sink.
+    """
+    edges: list[DataEdge] = []
+    for (src_id, src_module), (dst_id, dst_module) in zip(members, members[1:]):
+        if src_module.n_outputs != dst_module.n_inputs:
+            raise ValueError(
+                f"cannot chain {src_module.name!r} ({src_module.n_outputs} outputs) "
+                f"into {dst_module.name!r} ({dst_module.n_inputs} inputs)"
+            )
+        for port in range(1, src_module.n_outputs + 1):
+            edges.append(DataEdge(src_id, port, dst_id, port))
+    return SimpleWorkflow(list(members), edges)
+
+
+def chain_production(lhs: Module, members: Sequence[tuple[str, Module]]) -> Production:
+    """A production whose right-hand side is a :func:`chain_workflow`."""
+    return Production(lhs, chain_workflow(members))

@@ -1,0 +1,305 @@
+"""The paper's worked examples, reconstructed as executable specifications.
+
+Three specifications are provided:
+
+* :func:`build_running_example` — the running example of Figures 2–5: a
+  strictly linear-recursive grammar with start module ``S``, composite
+  modules ``A``–``E``, a mutual recursion between ``A`` and ``B``, a
+  self-recursion over ``D`` (a loop over ``f``), and fine-grained
+  dependencies that make some outputs of composite modules independent of
+  some inputs (the behaviour Example 8 relies on).
+
+  The paper's figures do not give the exact port wiring, so the workflows
+  here are a structurally faithful reconstruction: the module names, the
+  production count (eight), the production-graph cycles (``C(1)`` between
+  ``A`` and ``B`` through edges ``(2, 2)`` and ``(4, 2)``; ``C(2)`` the
+  self-loop ``(6, 2)`` over ``D``), the topological position of ``E`` as the
+  third module of ``W5`` (used by Example 19) and the white-box/grey-box
+  behaviour of views all match the text.  Quantities that depend on the
+  exact wiring (e.g. the concrete matrices of Example 16) are checked in the
+  test suite against this reconstruction's own algorithms rather than the
+  paper's figures.
+
+* :func:`build_unsafe_example` — the unsafe specification of Figure 6
+  (Example 9): two alternative productions for the start module that induce
+  different input/output dependencies, hence no dynamic labeling exists
+  (Theorem 1).
+
+* :func:`build_nonstrict_example` — the linear- but not *strictly*
+  linear-recursive specification of Figure 10 (Theorem 6): two self-loops
+  share the start module, so compact dynamic labeling is impossible even
+  though the grammar is linear-recursive and the assignment safe.
+"""
+
+from __future__ import annotations
+
+from repro.model import (
+    DataEdge,
+    DependencyAssignment,
+    Module,
+    Production,
+    SimpleWorkflow,
+    WorkflowGrammar,
+    WorkflowSpecification,
+    WorkflowView,
+)
+from repro.model.dependency import black_box_pairs
+
+__all__ = [
+    "build_running_example",
+    "running_example_view_u2",
+    "running_example_views",
+    "build_unsafe_example",
+    "build_nonstrict_example",
+]
+
+
+# ---------------------------------------------------------------------------
+# running example (Figures 2-5)
+# ---------------------------------------------------------------------------
+
+
+def _running_example_modules() -> dict[str, Module]:
+    return {
+        # composite modules
+        "S": Module("S", 2, 2),
+        "A": Module("A", 1, 1),
+        "B": Module("B", 1, 1),
+        "C": Module("C", 2, 2),
+        "D": Module("D", 1, 1),
+        "E": Module("E", 2, 2),
+        # atomic modules
+        "a": Module("a", 1, 1),
+        "b": Module("b", 1, 2),
+        "c": Module("c", 2, 1),
+        "d": Module("d", 1, 1),
+        "e": Module("e", 1, 1),
+        "f": Module("f", 1, 1),
+        "g": Module("g", 2, 2),
+    }
+
+
+def build_running_example() -> WorkflowSpecification:
+    """The running example ``G^lambda`` of Figure 2 (see the module docstring)."""
+    m = _running_example_modules()
+
+    # p1 = S -> W1 with modules a, b, A, C, c, d.
+    w1 = SimpleWorkflow(
+        [
+            ("a", m["a"]),
+            ("b", m["b"]),
+            ("A", m["A"]),
+            ("C", m["C"]),
+            ("c", m["c"]),
+            ("d", m["d"]),
+        ],
+        [
+            DataEdge("a", 1, "A", 1),
+            DataEdge("b", 1, "C", 1),
+            DataEdge("A", 1, "C", 2),
+            DataEdge("C", 1, "c", 1),
+            DataEdge("C", 2, "d", 1),
+            DataEdge("d", 1, "c", 2),
+        ],
+    )
+
+    # p2 = A -> W2 with modules b, B, C, c (the A<->B recursion enters through B
+    # at topological position 2, giving the cycle edge (2, 2) of Example 12).
+    w2 = SimpleWorkflow(
+        [("b", m["b"]), ("B", m["B"]), ("C", m["C"]), ("c", m["c"])],
+        [
+            DataEdge("b", 1, "B", 1),
+            DataEdge("b", 2, "C", 1),
+            DataEdge("B", 1, "C", 2),
+            DataEdge("C", 1, "c", 1),
+            DataEdge("C", 2, "c", 2),
+        ],
+    )
+
+    # p3 = A -> W3 with modules b, C, e, c (the non-recursive alternative for A).
+    w3 = SimpleWorkflow(
+        [("b", m["b"]), ("C", m["C"]), ("e", m["e"]), ("c", m["c"])],
+        [
+            DataEdge("b", 1, "C", 1),
+            DataEdge("b", 2, "C", 2),
+            DataEdge("C", 1, "e", 1),
+            DataEdge("e", 1, "c", 1),
+            DataEdge("C", 2, "c", 2),
+        ],
+    )
+
+    # p4 = B -> W4 with modules e, A (closing the A<->B recursion; cycle edge (4, 2)).
+    w4 = SimpleWorkflow(
+        [("e", m["e"]), ("A", m["A"])],
+        [DataEdge("e", 1, "A", 1)],
+    )
+
+    # p5 = C -> W5 with modules b, D, E, c (E is the third module, cf. Example 19).
+    w5 = SimpleWorkflow(
+        [("b", m["b"]), ("D", m["D"]), ("E", m["E"]), ("c", m["c"])],
+        [
+            DataEdge("b", 1, "D", 1),
+            DataEdge("D", 1, "E", 1),
+            DataEdge("b", 2, "E", 2),
+            DataEdge("E", 1, "c", 1),
+        ],
+    )
+
+    # p6 = D -> W6 with modules f, D (self-recursion: the loop over f; cycle edge (6, 2)).
+    w6 = SimpleWorkflow(
+        [("f", m["f"]), ("D", m["D"])],
+        [DataEdge("f", 1, "D", 1)],
+    )
+
+    # p7 = D -> W7 with the single module f (the loop exit).
+    w7 = SimpleWorkflow([("f", m["f"])], [])
+
+    # p8 = E -> W8 with the single module g.
+    w8 = SimpleWorkflow([("g", m["g"])], [])
+
+    productions = [
+        Production(m["S"], w1),
+        Production(m["A"], w2),
+        Production(m["A"], w3),
+        Production(m["B"], w4),
+        Production(m["C"], w5),
+        Production(m["D"], w6),
+        Production(m["D"], w7),
+        Production(m["E"], w8),
+    ]
+    grammar = WorkflowGrammar(m, {"S", "A", "B", "C", "D", "E"}, "S", productions)
+    dependencies = DependencyAssignment(
+        {
+            "a": {(1, 1)},
+            "b": {(1, 1), (1, 2)},
+            "c": {(1, 1), (2, 1)},
+            "d": {(1, 1)},
+            "e": {(1, 1)},
+            "f": {(1, 1)},
+            # g is deliberately fine-grained: output 1 depends only on input 1,
+            # output 2 only on input 2.  Through W8 and W5 this makes output 1
+            # of C independent of C's second input, which is what lets views
+            # with grey-box dependencies change query answers (Example 8).
+            "g": {(1, 1), (2, 2)},
+        }
+    )
+    return WorkflowSpecification(grammar, dependencies)
+
+
+def running_example_view_u2(
+    specification: WorkflowSpecification | None = None,
+) -> WorkflowView:
+    """The view ``U2 = (Delta', lambda')`` of Example 7: ``Delta' = {S, A, B}``.
+
+    Modules ``D``, ``E``, ``f`` and ``g`` become underivable; ``C`` is treated
+    as atomic and is given black-box (grey-box w.r.t. the true) dependencies,
+    so the answer to "does an output of C depend on its second input?" flips
+    from *no* (default view) to *yes* (this view) — the Example 8 behaviour.
+    """
+    spec = specification or build_running_example()
+    grammar = spec.grammar
+    deps = {
+        name: spec.dependencies.pairs(name) for name in ("a", "b", "c", "d", "e")
+    }
+    deps["C"] = black_box_pairs(grammar.module("C"))
+    return WorkflowView({"S", "A", "B"}, DependencyAssignment(deps), name="U2")
+
+
+def running_example_views(
+    specification: WorkflowSpecification | None = None,
+) -> list[WorkflowView]:
+    """A small collection of proper, safe views over the running example.
+
+    Returns the default view, the grey-box view of Example 7 and a white-box
+    abstraction view that hides only ``D`` and ``E``.
+    """
+    from repro.analysis.safety import full_dependency_assignment
+    from repro.model.views import default_view
+
+    spec = specification or build_running_example()
+    grammar = spec.grammar
+    views = [default_view(spec), running_example_view_u2(spec)]
+    # Abstraction view: hide D and E but keep their true (white-box) dependencies.
+    full = full_dependency_assignment(grammar, spec.dependencies)
+    delta = {"S", "A", "B", "C"}
+    deps = {}
+    for name in ("a", "b", "c", "d", "e", "D", "E"):
+        deps[name] = full.pairs(name)
+    views.append(WorkflowView(delta, DependencyAssignment(deps), name="abstraction"))
+    return views
+
+
+# ---------------------------------------------------------------------------
+# unsafe example (Figure 6)
+# ---------------------------------------------------------------------------
+
+
+def build_unsafe_example() -> tuple[WorkflowGrammar, DependencyAssignment]:
+    """The unsafe specification of Figure 6 / Example 9.
+
+    ``S`` has two productions, one rewriting it to an atomic module with
+    "straight" dependencies and one with "crossed" dependencies; the induced
+    input/output dependencies differ, so no dynamic labeling scheme exists.
+    The grammar and the assignment are returned separately so callers can run
+    :func:`repro.analysis.safety.is_safe` on them directly.
+    """
+    s = Module("S", 2, 2)
+    a = Module("a", 2, 2)
+    b = Module("b", 2, 2)
+    grammar = WorkflowGrammar(
+        {"S": s, "a": a, "b": b},
+        {"S"},
+        "S",
+        [
+            Production(s, SimpleWorkflow([("a", a)], [])),
+            Production(s, SimpleWorkflow([("b", b)], [])),
+        ],
+    )
+    dependencies = DependencyAssignment(
+        {
+            "a": {(1, 1), (2, 2)},
+            "b": {(1, 2), (2, 1)},
+        }
+    )
+    return grammar, dependencies
+
+
+# ---------------------------------------------------------------------------
+# linear- but not strictly linear-recursive example (Figure 10)
+# ---------------------------------------------------------------------------
+
+
+def build_nonstrict_example() -> WorkflowSpecification:
+    """The specification of Figure 10 (proof of Theorem 6).
+
+    ``S`` has two recursive productions (two self-loops in the production
+    graph share the vertex ``S``), so the grammar is linear-recursive but not
+    strictly linear-recursive; the dependency assignment is safe.
+    """
+    s = Module("S", 2, 1)
+    a = Module("a", 2, 2)
+    b = Module("b", 2, 2)
+    c = Module("c", 2, 1)
+    wa = SimpleWorkflow(
+        [("a", a), ("S", s)],
+        [DataEdge("a", 1, "S", 1), DataEdge("a", 2, "S", 2)],
+    )
+    wb = SimpleWorkflow(
+        [("b", b), ("S", s)],
+        [DataEdge("b", 1, "S", 1), DataEdge("b", 2, "S", 2)],
+    )
+    wc = SimpleWorkflow([("c", c)], [])
+    grammar = WorkflowGrammar(
+        {"S": s, "a": a, "b": b, "c": c},
+        {"S"},
+        "S",
+        [Production(s, wa), Production(s, wb), Production(s, wc)],
+    )
+    dependencies = DependencyAssignment(
+        {
+            "a": {(1, 1), (1, 2), (2, 2)},
+            "b": {(1, 1), (2, 1), (2, 2)},
+            "c": {(1, 1), (2, 1)},
+        }
+    )
+    return WorkflowSpecification(grammar, dependencies)

@@ -1,0 +1,105 @@
+"""Random workflow runs (Section 6.1).
+
+The paper simulates executions by applying random sequences of productions
+until a run reaches a target size (1K–32K data items).  The helpers here do
+the same: :func:`random_run` grows a run by preferring recursive productions
+until the target number of data items is reached and then terminates the
+derivation with base-case productions; the resulting
+:class:`~repro.model.derivation.Derivation` carries the full event stream, so
+labeling schemes can replay it online exactly as during a live execution.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.analysis.production_graph import ProductionGraph
+from repro.errors import DerivationError
+from repro.model import Derivation, WorkflowSpecification
+from repro.model.grammar import WorkflowGrammar
+
+__all__ = ["recursive_production_indices", "terminal_production_choice", "random_run"]
+
+
+def recursive_production_indices(grammar: WorkflowGrammar) -> frozenset[int]:
+    """Production numbers whose right-hand side can derive their own left-hand side."""
+    graph = ProductionGraph(grammar)
+    recursive: set[int] = set()
+    for k, production in enumerate(grammar.productions, start=1):
+        lhs = production.lhs.name
+        if any(
+            graph.reaches(name, lhs) for name in production.rhs.module_names()
+        ):
+            recursive.add(k)
+    return frozenset(recursive)
+
+
+def terminal_production_choice(grammar: WorkflowGrammar) -> dict[str, int]:
+    """For every composite module, a production that leads to termination fastest.
+
+    Computes the minimal derivation height of every module by fixpoint and
+    returns, per composite module, the production minimising the maximal
+    height of its right-hand-side modules.  Expanding pending instances with
+    these productions always terminates (the grammar is proper, so heights
+    are finite).
+    """
+    heights: dict[str, int] = {name: 0 for name in grammar.atomic_modules}
+    choice: dict[str, int] = {}
+    changed = True
+    while changed:
+        changed = False
+        for k, production in enumerate(grammar.productions, start=1):
+            lhs = production.lhs.name
+            rhs_names = production.rhs.module_names()
+            if any(name not in heights for name in rhs_names):
+                continue
+            height = 1 + max((heights[name] for name in rhs_names), default=0)
+            if lhs not in heights or height < heights[lhs]:
+                heights[lhs] = height
+                choice[lhs] = k
+                changed = True
+    missing = sorted(set(grammar.composite_modules) - set(choice))
+    if missing:  # pragma: no cover - impossible for proper grammars
+        raise DerivationError(f"no terminating production for modules {missing}")
+    return choice
+
+
+def random_run(
+    specification: WorkflowSpecification,
+    target_items: int,
+    *,
+    seed: int = 0,
+    choose_pending: Callable[[random.Random, list[str]], str] | None = None,
+) -> Derivation:
+    """Derive a random run with roughly ``target_items`` data items.
+
+    While the run is below the target, pending composite instances are
+    expanded with randomly chosen productions, biased towards recursive ones
+    so the run keeps growing; once the target is reached the remaining
+    pending instances are expanded with terminating productions.  The
+    returned derivation is complete (no pending composite instances).
+    """
+    grammar = specification.grammar
+    rng = random.Random(seed)
+    recursive = recursive_production_indices(grammar)
+    terminal = terminal_production_choice(grammar)
+    derivation = Derivation(specification)
+
+    while not derivation.is_complete and derivation.run.n_data_items < target_items:
+        pending = derivation.pending_instances()
+        if choose_pending is None:
+            uid = rng.choice(pending)
+        else:
+            uid = choose_pending(rng, pending)
+        instance = derivation.run.instance(uid)
+        candidates = [k for k, _ in grammar.productions_for(instance.module_name)]
+        growing = [k for k in candidates if k in recursive]
+        pool = growing if growing else candidates
+        derivation.expand(uid, rng.choice(pool))
+
+    while not derivation.is_complete:
+        uid = derivation.pending_instances()[0]
+        instance = derivation.run.instance(uid)
+        derivation.expand(uid, terminal[instance.module_name])
+    return derivation

@@ -1,0 +1,174 @@
+"""Random workflow views (Section 6.1 / 6.3 / 6.4).
+
+The paper obtains views by "enumerating all possible proper subsets of
+composite modules and assigning random input-output dependencies".  The
+generators below produce *proper* and *safe* views of three dependency
+flavours:
+
+* ``grey``  — view-atomic modules that were composite in the specification
+  (the modules the view hides) receive random dependencies; original atomic
+  modules keep their true dependencies.  This is the general grey-box case
+  used in Sections 6.2–6.3.
+* ``white`` — every view-atomic module keeps its induced true dependencies
+  (abstraction views).
+* ``black`` — every view-atomic module gets black-box dependencies (the
+  coarse-grained views used for the DRL comparison in Section 6.4).
+
+``Delta'`` is chosen as a random *derivable-closed* subset: starting from the
+start module, composite modules reachable through already-chosen productions
+are added one by one, which keeps the restricted grammar proper.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.safety import full_dependency_assignment, is_safe_view
+from repro.errors import UnsafeWorkflowError, ViewError
+from repro.model import DependencyAssignment, WorkflowSpecification, WorkflowView
+from repro.model.dependency import black_box_pairs
+from repro.workloads.builder import random_dependency_pairs
+
+__all__ = ["random_view", "view_suite"]
+
+
+def _random_delta(
+    specification: WorkflowSpecification, n_expand: int, rng: random.Random
+) -> frozenset[str]:
+    """A random derivable-closed subset of composite modules containing the start."""
+    grammar = specification.grammar
+    start = grammar.start
+    chosen: set[str] = {start}
+    while len(chosen) < n_expand:
+        frontier: set[str] = set()
+        for name in chosen:
+            for _, production in grammar.productions_for(name):
+                for member in production.rhs.module_names():
+                    if grammar.is_composite(member) and member not in chosen:
+                        frontier.add(member)
+        if not frontier:
+            break
+        chosen.add(rng.choice(sorted(frontier)))
+    return frozenset(chosen)
+
+
+def random_view(
+    specification: WorkflowSpecification,
+    n_expand: int,
+    *,
+    seed: int = 0,
+    mode: str = "grey",
+    name: str | None = None,
+    max_attempts: int = 20,
+) -> WorkflowView:
+    """A random proper, safe view exposing roughly ``n_expand`` composite modules.
+
+    ``mode`` is ``"grey"``, ``"white"`` or ``"black"`` (see the module
+    docstring).  Safety is verified with the checker of Section 3.1; in the
+    (unlikely, for the provided generators) event that a random draw is
+    unsafe, new draws are attempted up to ``max_attempts`` times.
+    """
+    if mode not in ("grey", "white", "black"):
+        raise ValueError(f"unknown view mode {mode!r}")
+    grammar = specification.grammar
+    label = name or f"{mode}-view-{n_expand}-{seed}"
+    last_error: Exception | None = None
+    for attempt in range(max_attempts):
+        rng = random.Random((seed, attempt).__hash__())
+        delta = _random_delta(specification, n_expand, rng)
+        view = WorkflowView(delta, DependencyAssignment(), name=label)
+        atomic_in_view = sorted(view.view_atomic_modules(grammar))
+        deps: dict[str, frozenset[tuple[int, int]]] = {}
+        if mode == "white":
+            full = full_dependency_assignment(grammar, specification.dependencies)
+            for module_name in atomic_in_view:
+                deps[module_name] = full.pairs(module_name)
+        else:
+            # Grey-box randomness must not break safety: a hidden composite
+            # whose perceived dependencies feed into the induced matrix of a
+            # module with several retained productions would have to satisfy
+            # the consistency constraint, so such modules keep their true
+            # induced dependencies and only the unconstrained ones are
+            # randomised.
+            constrained_sources = {
+                m
+                for m in delta
+                if len(
+                    [
+                        k
+                        for k, _ in grammar.productions_for(m)
+                    ]
+                )
+                >= 2
+            }
+            restricted = view.restricted_grammar(grammar)
+            reachable_from_constrained: set[str] = set(constrained_sources)
+            changed = True
+            while changed:
+                changed = False
+                for source in list(reachable_from_constrained):
+                    for _, production in restricted.productions_for(source) if source in restricted.composite_modules else []:
+                        for member in production.rhs.module_names():
+                            if member not in reachable_from_constrained:
+                                reachable_from_constrained.add(member)
+                                changed = True
+            full = (
+                full_dependency_assignment(grammar, specification.dependencies)
+                if mode == "grey"
+                else None
+            )
+            for module_name in atomic_in_view:
+                module = grammar.module(module_name)
+                if mode == "black":
+                    deps[module_name] = black_box_pairs(module)
+                elif grammar.is_composite(module_name):
+                    if module_name in reachable_from_constrained and full is not None:
+                        deps[module_name] = full.pairs(module_name)
+                    else:
+                        # Hidden composite: random (grey-box) perceived deps.
+                        deps[module_name] = random_dependency_pairs(
+                            module.n_inputs, module.n_outputs, rng
+                        )
+                else:
+                    # True atomic module: keep the true dependencies.
+                    deps[module_name] = specification.dependencies.pairs(module_name)
+        view = WorkflowView(delta, DependencyAssignment(deps), name=label)
+        try:
+            view.validate_against(specification)
+        except ViewError as exc:
+            last_error = exc
+            continue
+        if is_safe_view(specification, view):
+            return view
+        last_error = UnsafeWorkflowError(f"random view draw {attempt} was unsafe")
+    raise UnsafeWorkflowError(
+        f"could not generate a safe random view after {max_attempts} attempts: "
+        f"{last_error}"
+    )
+
+
+def view_suite(
+    specification: WorkflowSpecification,
+    *,
+    seed: int = 0,
+    mode: str = "grey",
+    sizes: dict[str, int] | None = None,
+) -> dict[str, WorkflowView]:
+    """The small / medium / large views used in Section 6.3.
+
+    By default the views expose 2, 8 and 16 composite modules respectively
+    (capped by the number of composite modules of the specification).
+    """
+    n_composite = len(specification.grammar.composite_modules)
+    if sizes is None:
+        sizes = {"small": 2, "medium": 8, "large": 16}
+    suite: dict[str, WorkflowView] = {}
+    for label, size in sizes.items():
+        suite[label] = random_view(
+            specification,
+            min(size, n_composite),
+            seed=seed,
+            mode=mode,
+            name=f"{label}-{mode}",
+        )
+    return suite

@@ -1,0 +1,122 @@
+"""Tests for the production graph, edge ids, cycles and recursion classes (Section 3.2)."""
+
+import pytest
+
+from repro.analysis import (
+    ProductionGraph,
+    is_linear_recursive,
+    is_recursive,
+    is_strictly_linear_recursive,
+    recursion_summary,
+    recursive_modules,
+)
+from repro.errors import NotStrictlyLinearError
+
+
+def test_edge_ids_of_running_example(running_spec):
+    graph = ProductionGraph(running_spec.grammar)
+    # Production 1 rewrites S with the six modules of W1.
+    assert graph.edge(1, 1).source == "S"
+    assert graph.edge(1, 1).target == "a"
+    assert graph.edge(1, 3).target == "A"
+    # Production 2 (A -> W2) has B at topological position 2 (Example 12).
+    assert graph.edge(2, 2).target == "B"
+    # Production 4 (B -> W4) has A at position 2.
+    assert graph.edge(4, 2).target == "A"
+    assert not graph.has_edge(1, 7)
+
+
+def test_reachability_in_production_graph(running_spec):
+    graph = ProductionGraph(running_spec.grammar)
+    assert graph.reaches("S", "f")
+    assert graph.reaches("A", "B")
+    assert graph.reaches("B", "A")
+    assert graph.reaches("C", "C")  # self-reachability by convention
+    assert not graph.reaches("C", "A")
+
+
+def test_recursive_modules_of_running_example(running_spec):
+    assert recursive_modules(running_spec.grammar) == frozenset({"A", "B", "D"})
+
+
+def test_cycles_match_example_12(running_spec):
+    graph = ProductionGraph(running_spec.grammar)
+    cycles = graph.cycles()
+    keys = [[edge.key for edge in cycle] for cycle in cycles]
+    assert [(2, 2), (4, 2)] in keys
+    assert [(6, 2)] in keys
+    assert len(cycles) == 2
+
+
+def test_running_example_is_strictly_linear(running_spec):
+    assert is_recursive(running_spec.grammar)
+    assert is_linear_recursive(running_spec.grammar)
+    assert is_strictly_linear_recursive(running_spec.grammar)
+
+
+def test_nonstrict_example_classification(nonstrict_spec):
+    grammar = nonstrict_spec.grammar
+    assert is_recursive(grammar)
+    assert is_linear_recursive(grammar)
+    assert not is_strictly_linear_recursive(grammar)
+    with pytest.raises(NotStrictlyLinearError):
+        ProductionGraph(grammar).cycles()
+
+
+def test_unsafe_example_is_not_recursive(unsafe_example):
+    grammar, _ = unsafe_example
+    assert not is_recursive(grammar)
+    assert is_strictly_linear_recursive(grammar)  # trivially (no cycles)
+
+
+def test_bioaid_recursion_structure(bioaid_spec):
+    grammar = bioaid_spec.grammar
+    assert is_strictly_linear_recursive(grammar)
+    graph = ProductionGraph(grammar)
+    cycles = graph.cycles()
+    # One mutual recursion (length 2) plus five self-loops.
+    lengths = sorted(len(cycle) for cycle in cycles)
+    assert lengths == [1, 1, 1, 1, 1, 2]
+
+
+def test_synthetic_recursion_structure(synthetic_spec):
+    grammar = synthetic_spec.grammar
+    graph = ProductionGraph(grammar)
+    cycles = graph.cycles()
+    # nesting_depth=3 levels, each a cycle of recursion_length=2.
+    assert len(cycles) == 3
+    assert all(len(cycle) == 2 for cycle in cycles)
+
+
+def test_recursion_summary(running_spec):
+    summary = recursion_summary(running_spec.grammar)
+    assert summary["recursive"] and summary["linear"] and summary["strict"]
+    assert summary["recursive_modules"] == ["A", "B", "D"]
+    assert [(6, 2)] in summary["cycles"]
+
+
+def test_nonlinear_grammar_detected():
+    from repro.model import DataEdge, Module, Production, SimpleWorkflow, WorkflowGrammar
+
+    s = Module("S", 1, 1)
+    a = Module("a", 1, 2)
+    b = Module("b", 2, 1)
+    # S -> workflow containing two instances of S: not linear-recursive.
+    w = SimpleWorkflow(
+        [("a", a), ("S1", s), ("S2", s), ("b", b)],
+        [
+            DataEdge("a", 1, "S1", 1),
+            DataEdge("a", 2, "S2", 1),
+            DataEdge("S1", 1, "b", 1),
+            DataEdge("S2", 1, "b", 2),
+        ],
+    )
+    base = SimpleWorkflow([("c", Module("c", 1, 1))], [])
+    grammar = WorkflowGrammar(
+        {"S": s, "a": a, "b": b, "c": Module("c", 1, 1)},
+        {"S"},
+        "S",
+        [Production(s, w), Production(s, base)],
+    )
+    assert not is_linear_recursive(grammar)
+    assert not is_strictly_linear_recursive(grammar)

@@ -1,0 +1,143 @@
+"""Tests for safety, full dependency assignments and the reachability oracle (Section 3.1)."""
+
+import pytest
+
+from repro.analysis import (
+    RunReachabilityOracle,
+    WorkflowPortGraph,
+    are_consistent,
+    boundary_reachability_matrix,
+    dependency_matrix,
+    full_dependency_assignment,
+    full_dependency_matrices,
+    induced_dependency_matrix,
+    is_safe,
+    is_safe_view,
+    view_full_assignment,
+)
+from repro.errors import UnsafeWorkflowError, VisibilityError
+from repro.model import Derivation, default_view
+from tests.conftest import derive_running
+
+
+def test_running_example_is_safe(running_spec):
+    assert is_safe(running_spec.grammar, running_spec.dependencies)
+
+
+def test_full_assignment_of_running_example(running_spec):
+    full = full_dependency_matrices(running_spec.grammar, running_spec.dependencies)
+    # Every module (atomic and composite) gets a matrix.
+    assert set(full) == set(running_spec.grammar.module_names)
+    # C's first output depends only on its first input (the behaviour Example 8
+    # exploits); its second output depends on both inputs.
+    c = full["C"]
+    assert c.get(1, 1) and not c.get(2, 1)
+    assert c.get(1, 2) and c.get(2, 2)
+    # S is fine-grained as well: its first output ignores its first input.
+    s = full["S"]
+    assert not s.get(1, 1) and s.get(2, 1)
+    assert s.get(1, 2) and s.get(2, 2)
+    # A and B are 1x1, hence forced to depend.
+    assert full["A"].get(1, 1)
+    assert full["B"].get(1, 1)
+
+
+def test_unsafe_example_detected(unsafe_example):
+    grammar, deps = unsafe_example
+    assert not is_safe(grammar, deps)
+    with pytest.raises(UnsafeWorkflowError):
+        full_dependency_matrices(grammar, deps)
+
+
+def test_nonstrict_example_is_safe(nonstrict_spec):
+    # Figure 10's specification is safe (it only fails strict linearity).
+    assert is_safe(nonstrict_spec.grammar, nonstrict_spec.dependencies)
+
+
+def test_view_safety(running_spec, view_u2, running_views):
+    assert is_safe_view(running_spec, view_u2)
+    for view in running_views:
+        assert is_safe_view(running_spec, view)
+    full = view_full_assignment(running_spec, view_u2)
+    # In U2, C is perceived as black-box, so every output of C depends on
+    # every input; S's first output still bypasses C entirely.
+    assert full["C"].is_all_true()
+    assert not full["S"].get(1, 1) and full["S"].get(2, 2)
+
+
+def test_generated_specs_are_safe(bioaid_spec, synthetic_spec):
+    assert is_safe(bioaid_spec.grammar, bioaid_spec.dependencies)
+    assert is_safe(synthetic_spec.grammar, synthetic_spec.dependencies)
+
+
+def test_dependency_matrix_and_consistency(running_spec):
+    grammar = running_spec.grammar
+    matrices = {
+        name: dependency_matrix(grammar.module(name), running_spec.dependencies.pairs(name))
+        for name in grammar.atomic_modules
+    }
+    full = full_dependency_matrices(grammar, running_spec.dependencies)
+    p2 = grammar.production(2)
+    p3 = grammar.production(3)
+    induced_2 = induced_dependency_matrix(p2, full)
+    induced_3 = induced_dependency_matrix(p3, full)
+    assert induced_2 == induced_3 == full["A"]
+    assert are_consistent(p2.rhs, p3.rhs, full)
+    assert boundary_reachability_matrix(p2.rhs, full) == induced_2
+
+
+def test_workflow_port_graph_basis(running_spec):
+    grammar = running_spec.grammar
+    full = full_dependency_matrices(grammar, running_spec.dependencies)
+    rhs = grammar.production(1).rhs
+    graph = WorkflowPortGraph(rhs, full)
+    # b's input reaches C's first input (direct edge b.out1 -> C.in1).
+    assert graph.reaches(("in", "b", 1), ("in", "C", 1))
+    # a's input cannot be reached from anything (it is a source).
+    assert not graph.reaches(("in", "b", 1), ("in", "a", 1))
+
+
+def test_oracle_example8_behaviour(running_spec, view_u2):
+    """The reachability answer flips between the default view and U2 (Example 8)."""
+    derivation = Derivation(running_spec)
+    derivation.expand("S:1", 1)
+    derivation.expand("C:1", 5)
+    derivation.expand("D:1", 7)
+    derivation.expand("E:1", 8)
+    derivation.expand("A:1", 3)
+    derivation.expand("C:2", 5)
+    derivation.expand("D:2", 7)
+    derivation.expand("E:2", 8)
+    run = derivation.run
+    d_in2 = run.item_at("C:1", "in", 2)   # item entering C's second input
+    d_out1 = run.item_at("C:1", "out", 1)  # item leaving C's first output
+    oracle_default = RunReachabilityOracle(run, default_view(running_spec), running_spec)
+    oracle_u2 = RunReachabilityOracle(run, view_u2, running_spec)
+    assert oracle_default.depends(d_in2, d_out1) is False
+    assert oracle_u2.depends(d_in2, d_out1) is True
+
+
+def test_oracle_boundary_conventions(running_spec):
+    derivation = derive_running(running_spec, seed=2)
+    run = derivation.run
+    oracle = RunReachabilityOracle(run, default_view(running_spec), running_spec)
+    initial = derivation.initial_event.input_items[0]
+    final = derivation.initial_event.output_items[0]
+    assert not oracle.depends(final, initial)
+    assert not oracle.depends(initial, initial)
+    # Nothing can depend on a final output; an initial input depends on nothing.
+    assert all(not oracle.depends(final, d) for d in list(run.data_items)[:10])
+    assert all(not oracle.depends(d, initial) for d in list(run.data_items)[:10])
+
+
+def test_oracle_visibility_errors(running_spec, view_u2):
+    derivation = Derivation(running_spec)
+    derivation.expand("S:1", 1)
+    derivation.expand("C:1", 5)
+    run = derivation.run
+    oracle = RunReachabilityOracle(run, view_u2, running_spec)
+    hidden_item = run.item_at("D:1", "in", 1)
+    visible_item = run.item_at("C:1", "in", 1)
+    assert not oracle.is_visible(hidden_item)
+    with pytest.raises(VisibilityError):
+        oracle.depends(hidden_item, visible_item)

@@ -1,0 +1,87 @@
+"""Tests for the DRL and naive baselines."""
+
+import random
+
+import pytest
+
+from repro.analysis import RunReachabilityOracle
+from repro.baselines import DRL_ORDER_HEADER_BITS, DRLScheme, NaiveScheme
+from repro.core import FVLScheme
+from repro.errors import VisibilityError
+from repro.io import LabelCodec
+from repro.workloads import build_bioaid_specification, random_run, random_view
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = build_bioaid_specification()
+    scheme = FVLScheme(spec)
+    drl = DRLScheme(spec)
+    derivation = random_run(spec, 400, seed=9)
+    return spec, scheme, drl, derivation
+
+
+def test_drl_labels_only_visible_items(setup):
+    spec, scheme, drl, derivation = setup
+    view = random_view(spec, 4, seed=4, mode="black", name="v4")
+    labeler = drl.label_run(derivation, view)
+    oracle = RunReachabilityOracle(derivation.run, view, spec)
+    visible = {d for d in derivation.run.data_items if oracle.is_visible(d)}
+    assert set(labeler.labels) == visible
+    hidden = sorted(set(derivation.run.data_items) - visible)
+    if hidden:
+        with pytest.raises(VisibilityError):
+            labeler.label(hidden[0])
+
+
+def test_drl_answers_match_oracle(setup):
+    spec, scheme, drl, derivation = setup
+    view = random_view(spec, 8, seed=5, mode="black", name="v8")
+    labeler = drl.label_run(derivation, view)
+    oracle = RunReachabilityOracle(derivation.run, view, spec)
+    visible = sorted(oracle.projection.visible_items)
+    rng = random.Random(1)
+    for _ in range(400):
+        d1, d2 = rng.choice(visible), rng.choice(visible)
+        assert drl.depends(labeler.label(d1), labeler.label(d2), view) == oracle.depends(d1, d2)
+
+
+def test_drl_labels_are_per_view(setup):
+    spec, scheme, drl, derivation = setup
+    view_a = random_view(spec, 4, seed=6, mode="black", name="va")
+    view_b = random_view(spec, 8, seed=7, mode="black", name="vb")
+    labeler_a = drl.label_run(derivation, view_a)
+    with pytest.raises(VisibilityError):
+        drl.depends(
+            labeler_a.label(next(iter(labeler_a.labels))),
+            labeler_a.label(next(iter(labeler_a.labels))),
+            view_b,
+        )
+
+
+def test_drl_label_overhead_constant(setup):
+    spec, scheme, drl, derivation = setup
+    codec = LabelCodec(scheme.index)
+    fvl_labeler = scheme.label_run(derivation)
+    view = random_view(
+        spec, len(spec.grammar.composite_modules), seed=8, mode="black", name="all"
+    )
+    drl_labeler = drl.label_run(derivation, view)
+    assert DRL_ORDER_HEADER_BITS > 0
+    for uid, drl_label in list(drl_labeler.labels.items())[:100]:
+        fvl_bits = codec.data_label_bits(fvl_labeler.label(uid))
+        drl_bits = codec.data_label_bits(drl_label.core) + DRL_ORDER_HEADER_BITS
+        assert drl_bits == fvl_bits + DRL_ORDER_HEADER_BITS
+
+
+def test_naive_scheme_matches_oracle(setup):
+    spec, scheme, drl, derivation = setup
+    naive = NaiveScheme(spec)
+    view = random_view(spec, 6, seed=10, mode="grey", name="grey6")
+    oracle = RunReachabilityOracle(derivation.run, view, spec)
+    visible = sorted(oracle.projection.visible_items)
+    rng = random.Random(2)
+    for _ in range(200):
+        d1, d2 = rng.choice(visible), rng.choice(visible)
+        assert naive.depends(derivation.run, view, d1, d2) == oracle.depends(d1, d2)
+    assert naive.index_size_items(derivation.run, view) == len(visible)

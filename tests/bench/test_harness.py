@@ -1,0 +1,91 @@
+"""Smoke tests for the benchmark harness (tiny parameters)."""
+
+import pytest
+
+from repro.bench import (
+    PreparedWorkload,
+    fig17_data_label_length,
+    fig19_view_label_length,
+    fig20_query_time,
+    fig21_multiview_space,
+    fig23_query_time_vs_drl,
+    fig24_nesting_depth,
+    format_table,
+    prepare_bioaid,
+    table1_factors,
+    write_csv,
+)
+from repro.bench.measure import ResultTable
+
+
+@pytest.fixture(scope="module")
+def workload() -> PreparedWorkload:
+    return prepare_bioaid()
+
+
+def test_fig17_shape(workload):
+    table = fig17_data_label_length(workload, run_sizes=(200, 400), samples=1)
+    assert table.columns == ["run_size", "FVL-avg", "FVL-max", "DRL-avg", "DRL-max"]
+    assert len(table.rows) == 2
+    fvl = table.column("FVL-avg")
+    drl = table.column("DRL-avg")
+    # Labels grow with the run size and DRL labels carry a constant overhead.
+    assert fvl[1] >= fvl[0]
+    assert all(d > f for f, d in zip(fvl, drl))
+
+
+def test_fig19_ordering(workload):
+    table = fig19_view_label_length(workload, view_sizes={"small": 2, "large": 12})
+    for row in table.rows:
+        _, space, default, query = row
+        assert space <= default <= query
+
+
+def test_fig20_runs(workload):
+    table = fig20_query_time(workload, run_sizes=(200,), n_queries=60)
+    assert len(table.rows) == 1
+    # The space-efficient variant must be the slowest of the three.
+    _, space, default, query = table.rows[0]
+    assert space >= default and space >= query
+
+
+def test_fig21_fvl_flat_drl_linear(workload):
+    table = fig21_multiview_space(workload, run_size=300, max_views=4)
+    fvl = table.column("FVL")
+    drl = table.column("DRL")
+    assert len(set(fvl)) == 1  # view-adaptive: independent of the number of views
+    assert drl[-1] > drl[0] * 2.5  # per-view labels grow roughly linearly
+
+
+def test_fig23_runs(workload):
+    table = fig23_query_time_vs_drl(
+        workload, run_size=300, n_queries=100, view_sizes={"small": 2}
+    )
+    assert table.columns == ["view", "FVL", "Matrix-Free FVL", "DRL"]
+    assert len(table.rows) == 1
+
+
+def test_fig24_monotone_trend():
+    table = fig24_nesting_depth(depths=(2, 6), run_size=600, workflow_size=8)
+    bits = table.column("FVL_avg_bits")
+    assert bits[1] > bits[0]
+
+
+def test_table1_classifications():
+    table = table1_factors(run_size=400, n_queries=50, workflow_size=8)
+    assert len(table.rows) == 4
+    allowed = {"no impact", "low impact", "high impact"}
+    for row in table.rows:
+        assert set(row[1:]) <= allowed
+
+
+def test_reporting_helpers(tmp_path):
+    table = ResultTable("demo", ["a", "b"])
+    table.add_row(1, 2)
+    text = format_table(table)
+    assert "demo" in text and "a" in text
+    path = tmp_path / "demo.csv"
+    write_csv(table, str(path))
+    assert path.read_text().splitlines()[0] == "a,b"
+    with pytest.raises(ValueError):
+        table.add_row(1)

@@ -1,0 +1,91 @@
+"""Shared fixtures: paper examples, generated workloads, derivation helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Derivation, FVLScheme
+from repro.workloads import (
+    build_bioaid_specification,
+    build_nonstrict_example,
+    build_running_example,
+    build_synthetic_specification,
+    build_unsafe_example,
+    running_example_view_u2,
+    running_example_views,
+)
+
+
+@pytest.fixture(scope="session")
+def running_spec():
+    """The running example of Figure 2 (session-scoped; treat as read-only)."""
+    return build_running_example()
+
+
+@pytest.fixture(scope="session")
+def running_scheme(running_spec):
+    return FVLScheme(running_spec)
+
+
+@pytest.fixture(scope="session")
+def running_views(running_spec):
+    return running_example_views(running_spec)
+
+
+@pytest.fixture(scope="session")
+def view_u2(running_spec):
+    return running_example_view_u2(running_spec)
+
+
+@pytest.fixture(scope="session")
+def unsafe_example():
+    return build_unsafe_example()
+
+
+@pytest.fixture(scope="session")
+def nonstrict_spec():
+    return build_nonstrict_example()
+
+
+@pytest.fixture(scope="session")
+def bioaid_spec():
+    return build_bioaid_specification()
+
+
+@pytest.fixture(scope="session")
+def synthetic_spec():
+    return build_synthetic_specification(
+        workflow_size=8, module_degree=3, nesting_depth=3, recursion_length=2
+    )
+
+
+def derive_running(spec, seed: int = 0, max_steps: int = 30) -> Derivation:
+    """A random, complete derivation of the running example (helper, not a fixture)."""
+    rng = random.Random(seed)
+    derivation = Derivation(spec)
+    steps = 0
+    while not derivation.is_complete and steps < max_steps:
+        pending = derivation.pending_instances()
+        uid = rng.choice(pending)
+        instance = derivation.run.instance(uid)
+        candidates = [k for k, _ in spec.grammar.productions_for(instance.module_name)]
+        if steps > max_steps // 2 and len(candidates) > 1:
+            k = candidates[-1]
+        else:
+            k = rng.choice(candidates)
+        derivation.expand(uid, k)
+        steps += 1
+    while not derivation.is_complete:
+        uid = derivation.pending_instances()[0]
+        instance = derivation.run.instance(uid)
+        candidates = [k for k, _ in spec.grammar.productions_for(instance.module_name)]
+        derivation.expand(uid, candidates[-1])
+    return derivation
+
+
+@pytest.fixture()
+def running_derivation(running_spec):
+    """A fresh, moderately sized complete derivation of the running example."""
+    return derive_running(running_spec, seed=1)

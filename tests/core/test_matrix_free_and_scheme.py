@@ -1,0 +1,84 @@
+"""Tests for Matrix-Free FVL and the FVLScheme facade."""
+
+import random
+
+import pytest
+
+from repro.analysis import RunReachabilityOracle
+from repro.core import FVLScheme, FVLVariant, MatrixFreeViewLabel
+from repro.errors import DecodingError, NotStrictlyLinearError
+from repro.workloads import (
+    build_bioaid_specification,
+    build_nonstrict_example,
+    random_run,
+    random_view,
+)
+
+
+@pytest.fixture(scope="module")
+def bioaid_setup():
+    spec = build_bioaid_specification()
+    scheme = FVLScheme(spec)
+    derivation = random_run(spec, 500, seed=5)
+    labeler = scheme.label_run(derivation)
+    return spec, scheme, derivation, labeler
+
+
+def test_matrix_free_label_construction(bioaid_setup):
+    spec, scheme, derivation, labeler = bioaid_setup
+    view = random_view(spec, 8, seed=1, mode="black", name="bb")
+    mf = scheme.label_view_matrix_free(view)
+    assert isinstance(mf, MatrixFreeViewLabel)
+    assert mf.retained_productions
+    assert mf.size_bits() < scheme.label_view(view).size_bits()
+
+
+def test_matrix_free_agrees_with_exact_decoding(bioaid_setup):
+    spec, scheme, derivation, labeler = bioaid_setup
+    view = random_view(spec, 8, seed=2, mode="black", name="bb2")
+    mf = scheme.label_view_matrix_free(view)
+    exact = scheme.label_view(view, FVLVariant.QUERY_EFFICIENT)
+    oracle = RunReachabilityOracle(derivation.run, view, spec)
+    visible = sorted(oracle.projection.visible_items)
+    rng = random.Random(0)
+    for _ in range(400):
+        d1, d2 = rng.choice(visible), rng.choice(visible)
+        l1, l2 = labeler.label(d1), labeler.label(d2)
+        assert scheme.depends(l1, l2, mf) == scheme.depends(l1, l2, exact)
+        assert scheme.depends(l1, l2, mf) == oracle.depends(d1, d2)
+
+
+def test_matrix_free_visibility(bioaid_setup):
+    spec, scheme, derivation, labeler = bioaid_setup
+    view = random_view(spec, 2, seed=3, mode="black", name="tiny")
+    mf = scheme.label_view_matrix_free(view)
+    oracle = RunReachabilityOracle(derivation.run, view, spec)
+    for d in list(derivation.run.data_items)[:200]:
+        assert scheme.is_visible(labeler.label(d), mf) == oracle.is_visible(d)
+
+
+def test_scheme_requires_strictly_linear_grammar():
+    with pytest.raises(NotStrictlyLinearError):
+        FVLScheme(build_nonstrict_example())
+
+
+def test_scheme_from_bare_grammar(running_spec):
+    scheme = FVLScheme(running_spec.grammar)
+    assert scheme.specification is None
+    with pytest.raises(DecodingError):
+        scheme.label_default_view()
+
+
+def test_basic_scheme_conversion(running_spec, running_scheme):
+    """Theorem 8's conversion: pair data labels with the default-view label."""
+    from repro.model import Derivation
+
+    derivation = Derivation(running_spec)
+    labeler = running_scheme.label_run(derivation)
+    derivation.expand("S:1", 1)
+    view_label = running_scheme.label_default_view()
+    items = sorted(derivation.run.data_items)
+    l1, l2 = labeler.label(items[0]), labeler.label(items[-1])
+    assert running_scheme.basic_scheme_depends(l1, l2, view_label) == running_scheme.depends(
+        l1, l2, view_label
+    )

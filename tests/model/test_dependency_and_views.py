@@ -1,0 +1,140 @@
+"""Tests for dependency assignments, specifications and views (Defs 6-9)."""
+
+import pytest
+
+from repro.errors import ValidationError, ViewError
+from repro.model import (
+    DependencyAssignment,
+    Module,
+    WorkflowSpecification,
+    WorkflowView,
+    black_box_view,
+    default_view,
+)
+from repro.model.dependency import black_box_pairs, identity_pairs
+
+
+def test_black_box_pairs():
+    m = Module("m", 2, 3)
+    assert black_box_pairs(m) == frozenset(
+        {(1, 1), (1, 2), (1, 3), (2, 1), (2, 2), (2, 3)}
+    )
+
+
+def test_identity_pairs_covers_all_ports():
+    m = Module("m", 2, 3)
+    pairs = identity_pairs(m)
+    assert all(any(i == p for p, _ in pairs) for i in (1, 2))
+    assert all(any(o == p for _, p in pairs) for o in (1, 2, 3))
+
+
+def test_assignment_validation_accepts_running_example(running_spec):
+    atoms = [running_spec.grammar.module(n) for n in running_spec.grammar.atomic_modules]
+    running_spec.dependencies.validate_for(atoms)
+
+
+def test_assignment_rejects_uncovered_input():
+    m = Module("m", 2, 1)
+    deps = DependencyAssignment({"m": {(1, 1)}})
+    with pytest.raises(ValidationError, match="contribute"):
+        deps.validate_for([m])
+
+
+def test_assignment_rejects_uncovered_output():
+    m = Module("m", 1, 2)
+    deps = DependencyAssignment({"m": {(1, 1)}})
+    with pytest.raises(ValidationError, match="depend"):
+        deps.validate_for([m])
+
+
+def test_assignment_rejects_out_of_range_ports():
+    m = Module("m", 1, 1)
+    deps = DependencyAssignment({"m": {(1, 2)}})
+    with pytest.raises(ValidationError):
+        deps.validate_for([m])
+
+
+def test_assignment_missing_module():
+    m = Module("m", 1, 1)
+    deps = DependencyAssignment({})
+    with pytest.raises(ValidationError):
+        deps.validate_for([m])
+    deps.validate_for([m], require_all=False)  # tolerated when not required
+
+
+def test_assignment_helpers():
+    m = Module("m", 1, 2)
+    deps = DependencyAssignment({"m": {(1, 1), (1, 2)}})
+    assert deps.depends("m", 1, 2)
+    assert deps.is_black_box_for(m)
+    replaced = deps.with_module(m, {(1, 1)})
+    assert not replaced.depends("m", 1, 2)
+    merged = replaced.merged_with(deps)
+    assert merged.depends("m", 1, 2)
+    assert deps.restricted_to(["zzz"]).modules() == set()
+
+
+def test_specification_requires_atomic_coverage(running_spec):
+    grammar = running_spec.grammar
+    with pytest.raises(ValidationError):
+        WorkflowSpecification(grammar, DependencyAssignment({}))
+
+
+def test_specification_coarse_grained_classification(running_spec, bioaid_spec):
+    assert not running_spec.is_coarse_grained()
+    # The BioAID generator uses single-source/sink chains, so coarsening works.
+    assert bioaid_spec.has_single_source_sink_productions()
+    coarse = bioaid_spec.coarsened()
+    assert coarse.is_coarse_grained()
+
+
+def test_coarsened_rejected_without_single_source_sink(running_spec):
+    assert not running_spec.has_single_source_sink_productions()
+    with pytest.raises(ValidationError):
+        running_spec.coarsened()
+
+
+def test_default_view_is_proper_and_white_box(running_spec):
+    view = default_view(running_spec)
+    view.validate_against(running_spec)
+    assert view.expands("C")
+    assert view.has_white_box_dependencies(running_spec)
+
+
+def test_view_u2_is_proper_and_grey_box(running_spec, view_u2):
+    view_u2.validate_against(running_spec)
+    assert not view_u2.expands("C")
+    assert not view_u2.has_white_box_dependencies(running_spec)
+
+
+def test_view_atomic_modules_of_u2(running_spec, view_u2):
+    atomic = view_u2.view_atomic_modules(running_spec.grammar)
+    assert atomic == {"a", "b", "c", "d", "e", "C"}
+    assert "D" not in atomic  # underivable in the view
+    assert "g" not in atomic
+
+
+def test_view_with_unknown_composite_rejected(running_spec):
+    view = WorkflowView({"S", "nope"}, DependencyAssignment({}), name="bad")
+    with pytest.raises(ViewError):
+        view.validate_against(running_spec)
+
+
+def test_view_missing_dependencies_rejected(running_spec):
+    view = WorkflowView({"S", "A", "B"}, DependencyAssignment({}), name="bad")
+    with pytest.raises(ViewError):
+        view.validate_against(running_spec)
+    assert not view.is_proper(running_spec)
+
+
+def test_black_box_view_helper(running_spec):
+    view = black_box_view(running_spec, {"S", "A", "B"}, name="bb")
+    view.validate_against(running_spec)
+    pairs = view.dependencies.pairs("C")
+    assert pairs == black_box_pairs(running_spec.grammar.module("C"))
+
+
+def test_abstraction_view_is_white_box(running_spec, running_views):
+    abstraction = [v for v in running_views if v.name == "abstraction"][0]
+    abstraction.validate_against(running_spec)
+    assert abstraction.has_white_box_dependencies(running_spec)

@@ -1,0 +1,141 @@
+"""Tests for the derivation engine, runs and view projection."""
+
+import pytest
+
+from repro.errors import DerivationError
+from repro.model import Derivation, ViewProjection, default_view
+from tests.conftest import derive_running
+
+
+def test_initial_state(running_spec):
+    derivation = Derivation(running_spec)
+    run = derivation.run
+    assert run.root.module_name == "S"
+    # S has 2 inputs and 2 outputs -> 4 boundary data items.
+    assert run.n_data_items == 4
+    assert derivation.pending_instances() == ["S:1"]
+    assert not derivation.is_complete
+    initial = derivation.initial_event
+    assert len(initial.input_items) == 2
+    assert len(initial.output_items) == 2
+
+
+def test_expand_creates_children_and_items(running_spec):
+    derivation = Derivation(running_spec)
+    event = derivation.expand("S:1", 1)
+    assert event.production_index == 1
+    assert [child.module_name for child in event.children] == [
+        "a", "b", "A", "C", "d", "c"
+    ]
+    # W1 has 6 internal data edges.
+    assert len(event.new_items) == 6
+    run = derivation.run
+    assert run.n_data_items == 10
+    assert run.instance("A:1").parent == "S:1"
+    assert run.instance("A:1").position == 3
+
+
+def test_expand_rejects_wrong_production(running_spec):
+    derivation = Derivation(running_spec)
+    with pytest.raises(DerivationError):
+        derivation.expand("S:1", 2)  # production 2 rewrites A, not S
+
+
+def test_expand_rejects_double_expansion(running_spec):
+    derivation = Derivation(running_spec)
+    derivation.expand("S:1", 1)
+    with pytest.raises(DerivationError):
+        derivation.expand("S:1", 1)
+
+
+def test_expand_rejects_atomic_instance(running_spec):
+    derivation = Derivation(running_spec)
+    derivation.expand("S:1", 1)
+    with pytest.raises(DerivationError):
+        derivation.expand("a:1", 1)
+
+
+def test_boundary_items_are_reattached(running_spec):
+    derivation = Derivation(running_spec)
+    derivation.expand("S:1", 1)
+    run = derivation.run
+    first_input = derivation.initial_event.input_items[0]
+    item = run.item(first_input)
+    # The first input of S maps to the first initial input of W1 (a.in1).
+    assert item.consumers[0] == ("S:1", 1)
+    assert item.consumers[1] == ("a:1", 1)
+    assert item.is_initial_input
+
+
+def test_listeners_receive_replay_and_live_events(running_spec):
+    derivation = Derivation(running_spec)
+    derivation.expand("S:1", 1)
+    seen = []
+    derivation.subscribe(seen.append, replay=True)
+    assert len(seen) == 2  # initial + one expansion
+    derivation.expand("A:1", 3)
+    assert len(seen) == 3
+
+
+def test_complete_derivation_has_only_atomic_instances(running_spec):
+    derivation = derive_running(running_spec, seed=3)
+    assert derivation.is_complete
+    grammar = running_spec.grammar
+    for uid, instance in derivation.run.instances.items():
+        if grammar.is_composite(instance.module_name):
+            assert instance.is_expanded, uid
+
+
+def test_expand_all_with_strategy(running_spec):
+    derivation = Derivation(running_spec)
+    # Always choose the last candidate production (non-recursive alternatives).
+    derivation.expand_all(lambda instance, candidates: candidates[-1])
+    assert derivation.is_complete
+
+
+def test_ancestors_chain(running_spec):
+    derivation = Derivation(running_spec)
+    derivation.expand("S:1", 1)
+    derivation.expand("A:1", 2)
+    run = derivation.run
+    assert run.ancestors("B:1") == ["A:1", "S:1"]
+    assert run.ancestors("S:1") == []
+
+
+def test_projection_default_view_sees_everything(running_spec):
+    derivation = derive_running(running_spec, seed=5)
+    projection = ViewProjection(derivation.run, default_view(running_spec))
+    assert projection.visible_items == frozenset(derivation.run.data_items)
+    assert projection.visible_instances == frozenset(derivation.run.instances)
+
+
+def test_projection_u2_hides_c_internals(running_spec, view_u2):
+    derivation = Derivation(running_spec)
+    derivation.expand("S:1", 1)
+    items_before = set(derivation.run.data_items)
+    derivation.expand("C:1", 5)  # expand C; its internals must be hidden in U2
+    projection = ViewProjection(derivation.run, view_u2)
+    assert projection.visible_items == frozenset(items_before)
+    assert not projection.is_visible_instance("D:1")
+    assert projection.is_leaf_instance("C:1")
+
+
+def test_projection_partial_run_leaves(running_spec):
+    derivation = Derivation(running_spec)
+    derivation.expand("S:1", 1)
+    projection = ViewProjection(derivation.run, default_view(running_spec))
+    # A and C are visible but not yet expanded -> they are leaves of R_U.
+    assert projection.is_leaf_instance("A:1")
+    assert projection.is_leaf_instance("C:1")
+    assert not projection.is_leaf_instance("S:1")
+
+
+def test_leaf_attachment(running_spec, view_u2):
+    derivation = Derivation(running_spec)
+    derivation.expand("S:1", 1)
+    derivation.expand("C:1", 5)
+    projection = ViewProjection(derivation.run, view_u2)
+    run = derivation.run
+    item_uid = run.item_at("C:1", "in", 1)
+    producer, consumer = projection.leaf_attachment(item_uid)
+    assert consumer == ("C:1", 1)  # deeper attachments are hidden in U2

@@ -1,0 +1,166 @@
+"""Unit tests for productions, grammars and properness (Definitions 3-5)."""
+
+import pytest
+
+from repro.errors import GrammarError, ImproperGrammarError, ValidationError
+from repro.model import DataEdge, Module, Production, SimpleWorkflow, WorkflowGrammar
+
+
+def _simple(module_names, edges=()):
+    modules = [(name, Module(name, 1, 1)) for name in module_names]
+    return SimpleWorkflow(modules, edges)
+
+
+def test_production_arity_must_match():
+    lhs = Module("M", 2, 1)
+    rhs = _simple(["x"])  # one initial input, one final output
+    with pytest.raises(ValidationError):
+        Production(lhs, rhs)
+
+
+def test_production_default_maps_are_identity():
+    lhs = Module("M", 1, 1)
+    production = Production(lhs, _simple(["x"]))
+    assert production.input_map == (1,)
+    assert production.output_map == (1,)
+    assert production.rhs_initial_input(1) == ("x", 1)
+    assert production.rhs_final_output(1) == ("x", 1)
+
+
+def test_production_explicit_permutation():
+    lhs = Module("M", 2, 2)
+    a = Module("a", 2, 2)
+    rhs = SimpleWorkflow([("a", a)], [])
+    production = Production(lhs, rhs, input_map=[2, 1])
+    assert production.rhs_initial_input(1) == ("a", 2)
+    assert production.rhs_initial_input(2) == ("a", 1)
+
+
+def test_production_rejects_bad_permutation():
+    lhs = Module("M", 2, 2)
+    a = Module("a", 2, 2)
+    with pytest.raises(ValidationError):
+        Production(lhs, SimpleWorkflow([("a", a)], []), input_map=[1, 1])
+
+
+def test_grammar_basic_accessors(running_spec):
+    grammar = running_spec.grammar
+    assert grammar.start == "S"
+    assert grammar.is_composite("A")
+    assert grammar.is_atomic("a")
+    assert len(grammar.productions) == 8
+    assert grammar.production_index(grammar.production(3)) == 3
+    assert [k for k, _ in grammar.productions_for("A")] == [2, 3]
+
+
+def test_grammar_rejects_atomic_lhs():
+    s = Module("S", 1, 1)
+    a = Module("a", 1, 1)
+    b = Module("b", 1, 1)
+    with pytest.raises(GrammarError):
+        WorkflowGrammar(
+            {"S": s, "a": a, "b": b},
+            {"S"},
+            "S",
+            [Production(s, SimpleWorkflow([("a", a)], [])),
+             Production(a, SimpleWorkflow([("b", b)], []))],
+        )
+
+
+def test_grammar_rejects_unknown_start():
+    a = Module("a", 1, 1)
+    with pytest.raises(GrammarError):
+        WorkflowGrammar({"a": a}, set(), "S", [])
+
+
+def test_grammar_start_must_be_composite():
+    s = Module("S", 1, 1)
+    with pytest.raises(GrammarError):
+        WorkflowGrammar({"S": s}, set(), "S", [])
+
+
+def test_grammar_rejects_unregistered_module_in_rhs():
+    s = Module("S", 1, 1)
+    ghost = Module("ghost", 1, 1)
+    with pytest.raises(GrammarError):
+        WorkflowGrammar(
+            {"S": s},
+            {"S"},
+            "S",
+            [Production(s, SimpleWorkflow([("ghost", ghost)], []))],
+        )
+
+
+def test_properness_of_running_example(running_spec):
+    assert running_spec.grammar.is_proper()
+    running_spec.grammar.check_proper()
+
+
+def test_underivable_module_detected():
+    s, a = Module("S", 1, 1), Module("a", 1, 1)
+    orphan = Module("X", 1, 1)
+    grammar = WorkflowGrammar(
+        {"S": s, "a": a, "X": orphan},
+        {"S", "X"},
+        "S",
+        [
+            Production(s, SimpleWorkflow([("a", a)], [])),
+            Production(orphan, SimpleWorkflow([("a", a)], [])),
+        ],
+    )
+    assert not grammar.is_proper()
+    with pytest.raises(ImproperGrammarError, match="underivable"):
+        grammar.check_proper()
+
+
+def test_unproductive_module_detected():
+    s, x = Module("S", 1, 1), Module("X", 1, 1)
+    grammar = WorkflowGrammar(
+        {"S": s, "X": x},
+        {"S", "X"},
+        "S",
+        [
+            Production(s, SimpleWorkflow([("X", x)], [])),
+            Production(x, SimpleWorkflow([("X", x)], [])),
+        ],
+    )
+    assert not grammar.is_proper()
+    with pytest.raises(ImproperGrammarError, match="unproductive"):
+        grammar.check_proper()
+
+
+def test_unit_cycle_detected():
+    s, x, a = Module("S", 1, 1), Module("X", 1, 1), Module("a", 1, 1)
+    grammar = WorkflowGrammar(
+        {"S": s, "X": x, "a": a},
+        {"S", "X"},
+        "S",
+        [
+            Production(s, SimpleWorkflow([("X", x)], [])),
+            Production(x, SimpleWorkflow([("S", s)], [])),
+            Production(x, SimpleWorkflow([("a", a)], [])),
+            Production(s, SimpleWorkflow([("a", a)], [])),
+        ],
+    )
+    assert grammar.unit_cycles()
+    with pytest.raises(ImproperGrammarError, match="cycle"):
+        grammar.check_proper()
+
+
+def test_restricted_grammar_of_view(running_spec):
+    grammar = running_spec.grammar
+    restricted = grammar.restricted_to({"S", "A", "B"})
+    assert set(restricted.composite_modules) == {"S", "A", "B"}
+    # D, E, f, g are no longer derivable and are pruned.
+    assert "D" not in restricted.module_names
+    assert "g" not in restricted.module_names
+    assert "C" in restricted.module_names  # still derivable, now atomic-in-view
+    assert restricted.is_proper()
+
+
+def test_restricted_grammar_rejects_non_composite():
+    pass
+
+
+def test_grammar_size_positive(running_spec):
+    assert running_spec.grammar.size() > 0

@@ -1,0 +1,152 @@
+"""Tests for the workload generators (paper examples, BioAID-like, synthetic, runs, views)."""
+
+import pytest
+
+from repro.analysis import is_safe, is_safe_view, is_strictly_linear_recursive
+from repro.errors import UnsafeWorkflowError
+from repro.model.dependency import black_box_pairs
+from repro.workloads import (
+    BIOAID_COMPOSITE_MODULES,
+    BIOAID_MAX_PRODUCTION_SIZE,
+    BIOAID_RECURSIVE_PRODUCTIONS,
+    BIOAID_TOTAL_MODULES,
+    BIOAID_TOTAL_PRODUCTIONS,
+    SyntheticConfig,
+    build_bioaid_specification,
+    build_running_example,
+    build_synthetic_specification,
+    chain_workflow,
+    idempotent_dependency_pairs,
+    random_dependency_pairs,
+    random_run,
+    random_view,
+    recursive_production_indices,
+    terminal_production_choice,
+    view_suite,
+)
+
+
+def test_running_example_structure(running_spec):
+    grammar = running_spec.grammar
+    assert len(grammar.productions) == 8
+    assert grammar.composite_modules == frozenset({"S", "A", "B", "C", "D", "E"})
+    assert grammar.production(5).rhs.module_names()[2] == "E"  # Example 19
+    assert is_safe(grammar, running_spec.dependencies)
+
+
+def test_bioaid_statistics(bioaid_spec):
+    grammar = bioaid_spec.grammar
+    assert len(grammar.module_names) == BIOAID_TOTAL_MODULES == 112
+    assert len(grammar.composite_modules) == BIOAID_COMPOSITE_MODULES == 16
+    assert len(grammar.productions) == BIOAID_TOTAL_PRODUCTIONS == 23
+    recursive = recursive_production_indices(grammar)
+    assert len(recursive) == BIOAID_RECURSIVE_PRODUCTIONS == 7
+    assert max(len(p.rhs) for p in grammar.productions) <= BIOAID_MAX_PRODUCTION_SIZE
+    assert all(m.n_inputs <= 4 and m.n_outputs <= 7 for m in grammar.modules.values())
+    assert is_strictly_linear_recursive(grammar)
+    assert is_safe(grammar, bioaid_spec.dependencies)
+    assert bioaid_spec.has_single_source_sink_productions()
+
+
+def test_bioaid_is_deterministic():
+    a = build_bioaid_specification(seed=7)
+    b = build_bioaid_specification(seed=7)
+    assert a.grammar.module_names == b.grammar.module_names
+    assert a.dependencies == b.dependencies
+
+
+def test_synthetic_structure_and_parameters():
+    config = SyntheticConfig(
+        workflow_size=10, module_degree=3, nesting_depth=3, recursion_length=2
+    )
+    spec = build_synthetic_specification(config)
+    grammar = spec.grammar
+    assert len(grammar.composite_modules) == 6  # depth * recursion_length
+    assert len(grammar.productions) == 12  # two per composite module
+    assert is_strictly_linear_recursive(grammar)
+    assert is_safe(grammar, spec.dependencies)
+    for k, production in enumerate(grammar.productions, start=1):
+        assert len(production.rhs) in (1, 10)
+    assert all(
+        m.n_inputs == 3 and m.n_outputs == 3 for m in grammar.modules.values()
+    )
+
+
+def test_synthetic_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        SyntheticConfig(workflow_size=1)
+    with pytest.raises(ValueError):
+        SyntheticConfig(module_degree=0)
+    with pytest.raises(TypeError):
+        build_synthetic_specification(SyntheticConfig(), nesting_depth=2)
+
+
+def test_idempotent_pairs_are_idempotent():
+    import random
+
+    from repro.matrices import BoolMatrix
+
+    rng = random.Random(5)
+    for degree in (2, 3, 5):
+        pairs = idempotent_dependency_pairs(degree, rng)
+        matrix = BoolMatrix.from_pairs(pairs, degree, degree)
+        assert matrix @ matrix == matrix
+        assert all(matrix.get(i, i) for i in range(1, degree + 1))
+
+
+def test_random_dependency_pairs_cover(running_spec):
+    import random
+
+    rng = random.Random(0)
+    pairs = random_dependency_pairs(3, 4, rng)
+    assert all(any(i == p for p, _ in pairs) for i in (1, 2, 3))
+    assert all(any(o == p for _, p in pairs) for o in (1, 2, 3, 4))
+
+
+def test_chain_workflow_requires_matching_arity():
+    from repro.model import Module
+
+    with pytest.raises(ValueError):
+        chain_workflow([("x", Module("x", 1, 2)), ("y", Module("y", 1, 1))])
+
+
+def test_random_run_reaches_target_and_completes(bioaid_spec):
+    derivation = random_run(bioaid_spec, 300, seed=3)
+    assert derivation.is_complete
+    assert derivation.run.n_data_items >= 300
+    # Determinism for a fixed seed.
+    again = random_run(bioaid_spec, 300, seed=3)
+    assert again.run.n_data_items == derivation.run.n_data_items
+
+
+def test_terminal_production_choice_terminates(running_spec, bioaid_spec, synthetic_spec):
+    for spec in (running_spec, bioaid_spec, synthetic_spec):
+        choice = terminal_production_choice(spec.grammar)
+        assert set(choice) == set(spec.grammar.composite_modules)
+
+
+def test_random_views_are_proper_and_safe(bioaid_spec, synthetic_spec):
+    for spec in (bioaid_spec, synthetic_spec):
+        for mode in ("grey", "white", "black"):
+            view = random_view(spec, 5, seed=2, mode=mode)
+            view.validate_against(spec)
+            assert is_safe_view(spec, view)
+            assert spec.grammar.start in view.visible_composites
+
+
+def test_black_views_are_black_box(bioaid_spec):
+    view = random_view(bioaid_spec, 4, seed=1, mode="black")
+    grammar = bioaid_spec.grammar
+    for name in view.view_atomic_modules(grammar):
+        assert view.dependencies.pairs(name) == black_box_pairs(grammar.module(name))
+
+
+def test_view_suite_sizes(bioaid_spec):
+    suite = view_suite(bioaid_spec, seed=1, sizes={"small": 2, "medium": 8, "large": 16})
+    assert set(suite) == {"small", "medium", "large"}
+    assert len(suite["small"].visible_composites) <= len(suite["large"].visible_composites)
+
+
+def test_random_view_unknown_mode(bioaid_spec):
+    with pytest.raises(ValueError):
+        random_view(bioaid_spec, 3, mode="???")
