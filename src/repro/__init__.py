@@ -36,6 +36,12 @@ from repro.core import (
     ViewLabel,
     ViewLabeler,
 )
+from repro.engine import (
+    CacheStats,
+    DependsQuery,
+    EngineStats,
+    QueryEngine,
+)
 from repro.errors import (
     DecodingError,
     LabelingError,
@@ -91,6 +97,11 @@ __all__ = [
     "DataLabel",
     "PortLabel",
     "BoolMatrix",
+    # engine
+    "QueryEngine",
+    "DependsQuery",
+    "EngineStats",
+    "CacheStats",
     # errors
     "ReproError",
     "ValidationError",

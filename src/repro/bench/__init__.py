@@ -11,6 +11,7 @@ from repro.bench.experiments import (
     fig23_query_time_vs_drl,
     fig24_nesting_depth,
     fig25_module_degree,
+    fig26_batched_query_throughput,
     table1_factors,
 )
 from repro.bench.measure import ResultTable, Timer, time_call
@@ -38,5 +39,6 @@ __all__ = [
     "fig23_query_time_vs_drl",
     "fig24_nesting_depth",
     "fig25_module_degree",
+    "fig26_batched_query_throughput",
     "table1_factors",
 ]

@@ -5,7 +5,13 @@ view labels (three materialisation variants plus the matrix-free
 specialisation), the decoding predicate and the visibility check.
 """
 
-from repro.core.decoder import depends, inputs_matrix, outputs_matrix
+from repro.core.decoder import (
+    DecodeCache,
+    depends,
+    inputs_matrix,
+    intermediate_matrix,
+    outputs_matrix,
+)
 from repro.core.labels import (
     DataLabel,
     EdgeLabel,
@@ -47,6 +53,8 @@ __all__ = [
     "inputs_matrix",
     "outputs_matrix",
     "depends",
+    "DecodeCache",
+    "intermediate_matrix",
     "is_visible",
     "FVLScheme",
 ]

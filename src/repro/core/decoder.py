@@ -28,7 +28,6 @@ from typing import Sequence
 from repro.core.labels import (
     DataLabel,
     EdgeLabel,
-    PortLabel,
     ProductionEdgeLabel,
     RecursionEdgeLabel,
     common_prefix_length,
@@ -39,7 +38,45 @@ from repro.errors import DecodingError
 from repro.matrices import BoolMatrix
 from repro.model.module import Module
 
-__all__ = ["inputs_matrix", "outputs_matrix", "depends"]
+__all__ = ["DecodeCache", "inputs_matrix", "outputs_matrix", "depends", "intermediate_matrix"]
+
+
+class DecodeCache:
+    """Memoized view-constant intermediates of the decoding predicate.
+
+    Every matrix the predicate assembles depends only on the *paths* of the
+    two data labels and on the view label — never on the queried port
+    indices — so one cache entry serves every query whose labels share the
+    same parse-tree paths.  Batched callers (:class:`repro.engine.QueryEngine`)
+    keep one instance per decoded view and thread it through :func:`depends`;
+    single-shot callers pass ``None`` and pay the original cost.
+    """
+
+    __slots__ = ("inputs_segments", "outputs_segments", "pair_matrices", "max_entries")
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        self.inputs_segments: dict[tuple, BoolMatrix] = {}
+        self.outputs_segments: dict[tuple, BoolMatrix] = {}
+        self.pair_matrices: dict[tuple, BoolMatrix | None] = {}
+        #: Total entry budget across the three tables; ``None`` means
+        #: unbounded.  Once full, further results are computed but not
+        #: stored, so memory stays bounded for adversarial query streams.
+        self.max_entries = max_entries
+
+    def has_room(self, extra: int = 0) -> bool:
+        """Whether the budget admits another entry.
+
+        ``extra`` lets callers that keep side tables (e.g. the engine's chain
+        memo) count those entries against the same budget.
+        """
+        return self.max_entries is None or len(self) + extra < self.max_entries
+
+    def __len__(self) -> int:
+        return (
+            len(self.inputs_segments)
+            + len(self.outputs_segments)
+            + len(self.pair_matrices)
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -87,30 +124,63 @@ def _module_at_path(path: Sequence[EdgeLabel], index: GrammarIndex) -> Module:
     raise DecodingError(f"unknown edge label {last!r}")
 
 
-def _inputs_chain_over(
-    labels: Sequence[EdgeLabel], view_label: ViewLabel, identity_size: int
+def _chain_over(
+    labels: Sequence[EdgeLabel],
+    view_label: ViewLabel,
+    identity_size: int,
+    matrix_for,
+    cache: DecodeCache | None,
+    segments: dict | None,
 ) -> BoolMatrix:
-    """Left-to-right product of ``Inputs`` matrices over a path segment."""
+    """Left-to-right product of per-edge matrices over a path segment."""
+    if segments is not None:
+        key = (tuple(labels), identity_size)
+        cached = segments.get(key)
+        if cached is not None:
+            return cached
     result: BoolMatrix | None = None
     for edge in labels:
-        matrix = inputs_matrix(edge, view_label)
+        matrix = matrix_for(edge, view_label)
         result = matrix if result is None else result @ matrix
     if result is None:
-        return BoolMatrix.identity(identity_size)
+        result = BoolMatrix.identity(identity_size)
+    if segments is not None and cache.has_room():
+        segments[key] = result
     return result
+
+
+def _inputs_chain_over(
+    labels: Sequence[EdgeLabel],
+    view_label: ViewLabel,
+    identity_size: int,
+    cache: DecodeCache | None = None,
+) -> BoolMatrix:
+    """Left-to-right product of ``Inputs`` matrices over a path segment."""
+    return _chain_over(
+        labels,
+        view_label,
+        identity_size,
+        inputs_matrix,
+        cache,
+        cache.inputs_segments if cache is not None else None,
+    )
 
 
 def _outputs_chain_over(
-    labels: Sequence[EdgeLabel], view_label: ViewLabel, identity_size: int
+    labels: Sequence[EdgeLabel],
+    view_label: ViewLabel,
+    identity_size: int,
+    cache: DecodeCache | None = None,
 ) -> BoolMatrix:
     """Left-to-right product of ``Outputs`` matrices over a path segment."""
-    result: BoolMatrix | None = None
-    for edge in labels:
-        matrix = outputs_matrix(edge, view_label)
-        result = matrix if result is None else result @ matrix
-    if result is None:
-        return BoolMatrix.identity(identity_size)
-    return result
+    return _chain_over(
+        labels,
+        view_label,
+        identity_size,
+        outputs_matrix,
+        cache,
+        cache.outputs_segments if cache is not None else None,
+    )
 
 
 def _is_prefix(shorter: Sequence[EdgeLabel], longer: Sequence[EdgeLabel]) -> bool:
@@ -122,12 +192,18 @@ def _is_prefix(shorter: Sequence[EdgeLabel], longer: Sequence[EdgeLabel]) -> boo
 # ---------------------------------------------------------------------------
 
 
-def depends(label1: DataLabel, label2: DataLabel, view_label: ViewLabel) -> bool:
+def depends(
+    label1: DataLabel,
+    label2: DataLabel,
+    view_label: ViewLabel,
+    cache: DecodeCache | None = None,
+) -> bool:
     """The decoding predicate ``pi(phi_r(d1), phi_r(d2), phi_v(U))``.
 
     Returns ``True`` iff data item ``d2`` (labelled ``label2``) depends on
     data item ``d1`` (labelled ``label1``) with respect to the view whose
-    label is ``view_label``.
+    label is ``view_label``.  An optional :class:`DecodeCache` memoizes the
+    view-constant matrices across calls that share label paths.
     """
     index = view_label.index
     o1, i1 = label1.producer, label1.consumer
@@ -144,39 +220,69 @@ def depends(label1: DataLabel, label2: DataLabel, view_label: ViewLabel) -> bool
     # Case III: initial input -> intermediate item.
     if o1 is None:
         matrix = _inputs_chain_over(
-            i2.path, view_label, identity_size=index.start_module.n_inputs
+            i2.path, view_label, identity_size=index.start_module.n_inputs, cache=cache
         )
         return matrix.get(i1.port, i2.port)
 
     # Case IV: intermediate item -> final output (symmetric, with Outputs).
     if i2 is None:
         matrix = _outputs_chain_over(
-            o1.path, view_label, identity_size=index.start_module.n_outputs
+            o1.path, view_label, identity_size=index.start_module.n_outputs, cache=cache
         )
         # matrix[x, y] == True iff output x of S is reachable FROM output y of M1.
         return matrix.get(o2.port, o1.port)
 
     # Main cases: both items are intermediate.
-    return _depends_intermediate(o1, i2, view_label)
+    matrix = intermediate_matrix(o1.path, i2.path, view_label, cache)
+    if matrix is None:
+        return False
+    return matrix.get(o1.port, i2.port)
 
 
-def _depends_intermediate(o1: PortLabel, i2: PortLabel, view_label: ViewLabel) -> bool:
-    index = view_label.index
-    l1, x = o1.path, o1.port
-    l2, y = i2.path, i2.port
+def intermediate_matrix(
+    l1: tuple[EdgeLabel, ...],
+    l2: tuple[EdgeLabel, ...],
+    view_label: ViewLabel,
+    cache: DecodeCache | None = None,
+) -> BoolMatrix | None:
+    """Reachability matrix from the outputs at path ``l1`` to the inputs at ``l2``.
 
+    ``None`` means no dependency can exist between the two parse-tree nodes
+    (the matrix would be all-false).  The result depends only on the two
+    paths and the view label — not on the queried ports — which is what lets
+    batched callers answer every query pair sharing the same paths with a
+    single matrix assembly.
+    """
+    if cache is not None:
+        key = (l1, l2)
+        try:
+            return cache.pair_matrices[key]
+        except KeyError:
+            pass
+    matrix = _intermediate_matrix(l1, l2, view_label, cache)
+    if cache is not None and cache.has_room():
+        cache.pair_matrices[key] = matrix
+    return matrix
+
+
+def _intermediate_matrix(
+    l1: tuple[EdgeLabel, ...],
+    l2: tuple[EdgeLabel, ...],
+    view_label: ViewLabel,
+    cache: DecodeCache | None,
+) -> BoolMatrix | None:
     # Case 1: one module is derived from the other (or they coincide).
     if _is_prefix(l1, l2) or _is_prefix(l2, l1):
-        return False
+        return None
 
     split = common_prefix_length(l1, l2)
     e1 = l1[split]
     e2 = l2[split]
 
     if isinstance(e1, ProductionEdgeLabel) and isinstance(e2, ProductionEdgeLabel):
-        return _case_module_lca(l1, x, l2, y, split, e1, e2, view_label)
+        return _case_module_lca(l1, l2, split, e1, e2, view_label, cache)
     if isinstance(e1, RecursionEdgeLabel) and isinstance(e2, RecursionEdgeLabel):
-        return _case_recursive_lca(l1, x, l2, y, split, e1, e2, view_label)
+        return _case_recursive_lca(l1, l2, split, e1, e2, view_label, cache)
     raise DecodingError(
         "malformed labels: sibling edges of the same parse-tree node must have "
         f"the same kind, got {e1!r} and {e2!r}"
@@ -185,14 +291,13 @@ def _depends_intermediate(o1: PortLabel, i2: PortLabel, view_label: ViewLabel) -
 
 def _case_module_lca(
     l1: tuple[EdgeLabel, ...],
-    x: int,
     l2: tuple[EdgeLabel, ...],
-    y: int,
     split: int,
     e1: ProductionEdgeLabel,
     e2: ProductionEdgeLabel,
     view_label: ViewLabel,
-) -> bool:
+    cache: DecodeCache | None,
+) -> BoolMatrix | None:
     """Case 2a: the LCA is a module node; both diverging edges carry ``(k, .)``."""
     index = view_label.index
     if e1.k != e2.k:
@@ -204,30 +309,34 @@ def _case_module_lca(
     if i > j:
         # The producer-side module comes after the consumer-side module in the
         # topological order; no path can exist.
-        return False
+        return None
     z = view_label.z(e1.k, i, j)
     if z.is_all_false():
-        return False
+        return None
     out_chain = _outputs_chain_over(
-        l1[split + 1 :], view_label, identity_size=_module_at_path(l1, index).n_outputs
+        l1[split + 1 :],
+        view_label,
+        identity_size=_module_at_path(l1, index).n_outputs,
+        cache=cache,
     )
     in_chain = _inputs_chain_over(
-        l2[split + 1 :], view_label, identity_size=_module_at_path(l2, index).n_inputs
+        l2[split + 1 :],
+        view_label,
+        identity_size=_module_at_path(l2, index).n_inputs,
+        cache=cache,
     )
-    result = out_chain.T @ z @ in_chain
-    return result.get(x, y)
+    return out_chain.T @ z @ in_chain
 
 
 def _case_recursive_lca(
     l1: tuple[EdgeLabel, ...],
-    x: int,
     l2: tuple[EdgeLabel, ...],
-    y: int,
     split: int,
     e1: RecursionEdgeLabel,
     e2: RecursionEdgeLabel,
     view_label: ViewLabel,
-) -> bool:
+    cache: DecodeCache | None,
+) -> BoolMatrix | None:
     """Case 2b: the LCA is a recursive node; diverging edges carry ``(s, t, .)``."""
     index = view_label.index
     if (e1.s, e1.t) != (e2.s, e2.t):
@@ -246,7 +355,7 @@ def _case_recursive_lca(
         if len(l1) == split + 1:
             # o1 is an output port of chain member i itself; nothing inside
             # member i is reachable from its outputs.
-            return False
+            return None
         e_down = l1[split + 1]
         if not isinstance(e_down, ProductionEdgeLabel):
             raise DecodingError(
@@ -262,30 +371,31 @@ def _case_recursive_lca(
         i_prime = e_down.i
         j_prime = cycle_edge.position
         if i_prime > j_prime:
-            return False
+            return None
         z = view_label.z(e_down.k, i_prime, j_prime)
         if z.is_all_false():
-            return False
+            return None
         out_chain = _outputs_chain_over(
             l1[split + 2 :],
             view_label,
             identity_size=_module_at_path(l1, index).n_outputs,
+            cache=cache,
         )
         chain_down = view_label.inputs_chain(s, t + i, j - i - 1)
         in_chain = _inputs_chain_over(
             l2[split + 1 :],
             view_label,
             identity_size=_module_at_path(l2, index).n_inputs,
+            cache=cache,
         )
-        result = out_chain.T @ z @ chain_down @ in_chain
-        return result.get(x, y)
+        return out_chain.T @ z @ chain_down @ in_chain
 
     # i > j: the producer side is nested inside chain member j+1 (or deeper),
     # the consumer side hangs off member j outside the recursion chain.
     if len(l2) == split + 1:
         # i2 is an input port of chain member j; nothing nested inside member j
         # can reach its own inputs.
-        return False
+        return None
     e_down = l2[split + 1]
     if not isinstance(e_down, ProductionEdgeLabel):
         raise DecodingError(
@@ -300,20 +410,21 @@ def _case_recursive_lca(
     c_prime = cycle_edge.position
     d_prime = e_down.i
     if c_prime > d_prime:
-        return False
+        return None
     z = view_label.z(e_down.k, c_prime, d_prime)
     if z.is_all_false():
-        return False
+        return None
     out_chain = _outputs_chain_over(
         l1[split + 1 :],
         view_label,
         identity_size=_module_at_path(l1, index).n_outputs,
+        cache=cache,
     )
     chain_up = view_label.outputs_chain(s, t + j, i - j - 1)
     in_chain = _inputs_chain_over(
         l2[split + 2 :],
         view_label,
         identity_size=_module_at_path(l2, index).n_inputs,
+        cache=cache,
     )
-    result = (chain_up @ out_chain).T @ z @ in_chain
-    return result.get(x, y)
+    return (chain_up @ out_chain).T @ z @ in_chain

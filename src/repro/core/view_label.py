@@ -31,7 +31,7 @@ experimental variants (Sections 4.3 and 4.4.3):
 from __future__ import annotations
 
 from enum import Enum
-from typing import Mapping
+from typing import Callable, Mapping
 
 from repro.analysis.reachability import WorkflowPortGraph
 from repro.analysis.safety import full_dependency_matrices
@@ -40,7 +40,11 @@ from repro.errors import DecodingError, VisibilityError
 from repro.matrices import BoolMatrix, MatrixPowerTable, chain_product
 from repro.model.views import WorkflowView
 
-__all__ = ["FVLVariant", "ViewLabel", "ViewLabeler"]
+__all__ = ["FVLVariant", "ViewLabel", "ViewLabeler", "EdgeMatrixSupplier"]
+
+#: ``(function, cycle, rotation) -> matrix`` — how a chain product obtains the
+#: per-edge I/O matrices; engine-level caches plug in memoized suppliers.
+EdgeMatrixSupplier = Callable[[str, int, int], "BoolMatrix"]
 
 
 class FVLVariant(Enum):
@@ -180,6 +184,38 @@ class ViewLabel:
             return self._compute_production_matrices(k)[2][(k, i, j)]
         return self._z[(k, i, j)]
 
+    def production_matrices(
+        self, k: int
+    ) -> tuple[
+        dict[tuple[int, int], BoolMatrix],
+        dict[tuple[int, int], BoolMatrix],
+        dict[tuple[int, int, int], BoolMatrix],
+    ]:
+        """All ``I``/``O``/``Z`` matrices of one retained production.
+
+        For the space-efficient variant this recomputes them with a graph
+        search over the production body — the variant's defining trade-off.
+        Callers that answer many queries against the same view (e.g.
+        :class:`repro.engine.QueryEngine`) memoize the returned triple so the
+        search runs once per production rather than once per matrix access.
+        """
+        if k not in self._retained:
+            raise VisibilityError(
+                f"production {k} is not retained by view {self._view.name!r}"
+            )
+        if self._variant is FVLVariant.SPACE_EFFICIENT:
+            return self._compute_production_matrices(k)
+        positions = range(1, len(self._index.production(k).rhs) + 1)
+        inputs = {(k, i): self._inputs[(k, i)] for i in positions}
+        outputs = {(k, i): self._outputs[(k, i)] for i in positions}
+        z = {
+            (k, i, j): self._z[(k, i, j)]
+            for i in positions
+            for j in positions
+            if i < j
+        }
+        return inputs, outputs, z
+
     # -- recursion chain products (Algorithm 1) ---------------------------------------------
 
     def inputs_chain(self, s: int, t: int, count: int) -> BoolMatrix:
@@ -189,13 +225,27 @@ class ViewLabel:
         label ``(s, t, count + 1)``: the reachability matrix from the inputs
         of the first chain member to the inputs of member ``count + 1``.
         """
-        return self._chain("I", s, t, count)
+        return self.chain("I", s, t, count)
 
     def outputs_chain(self, s: int, t: int, count: int) -> BoolMatrix:
         """Product of ``count`` consecutive ``O`` matrices along cycle ``s`` from rotation ``t``."""
-        return self._chain("O", s, t, count)
+        return self.chain("O", s, t, count)
 
-    def _chain(self, function: str, s: int, t: int, count: int) -> BoolMatrix:
+    def chain(
+        self,
+        function: str,
+        s: int,
+        t: int,
+        count: int,
+        *,
+        edge_matrix: "EdgeMatrixSupplier | None" = None,
+    ) -> BoolMatrix:
+        """Chain product with a pluggable per-edge matrix supplier.
+
+        ``edge_matrix(function, s, rotation)`` defaults to this label's own
+        accessors; an engine-level cache substitutes memoized matrices so the
+        space-efficient variant does not re-run its graph search per edge.
+        """
         if count < 0:
             raise DecodingError("chain length cannot be negative")
         if not self.is_defined_recursion(s, t, count + 1):
@@ -203,6 +253,8 @@ class ViewLabel:
                 f"recursion (cycle {s}, rotation {t}) is not fully retained by "
                 f"view {self._view.name!r}"
             )
+        if edge_matrix is None:
+            edge_matrix = self._edge_matrix
         t = self._index.normalize_rotation(s, t)
         start_module = self._index.chain_member_module(s, t, 1)
         identity_size = (
@@ -223,16 +275,16 @@ class ViewLabel:
             return power @ prefix
         if count <= length:
             return chain_product(
-                [self._edge_matrix(function, s, t + a) for a in range(count)],
+                [edge_matrix(function, s, t + a) for a in range(count)],
                 identity_size=identity_size,
             )
         full_turns, remainder = divmod(count, length)
         prefix = chain_product(
-            [self._edge_matrix(function, s, t + a) for a in range(remainder)],
+            [edge_matrix(function, s, t + a) for a in range(remainder)],
             identity_size=identity_size,
         )
         full = chain_product(
-            [self._edge_matrix(function, s, t + a) for a in range(length)],
+            [edge_matrix(function, s, t + a) for a in range(length)],
             identity_size=identity_size,
         )
         power = full.power(full_turns)

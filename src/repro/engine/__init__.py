@@ -1,0 +1,35 @@
+"""Batched provenance query serving on top of the FVL labeling scheme.
+
+The paper's decoding predicate answers one ``(d1, d2, view)`` query from the
+labels alone; this package adds the serving layer a production deployment
+needs around it: per-view decode caching (LRU-interned view labels, memoized
+production matrices and path-segment chain products), batched evaluation that
+groups queries by shared label paths, and multi-run sharding with concurrent
+evaluation.
+"""
+
+from repro.engine.cache import (
+    CacheStats,
+    DecodedMatrixFreeState,
+    DecodedViewState,
+    LRUCache,
+)
+from repro.engine.engine import (
+    DEFAULT_RUN,
+    MATRIX_FREE,
+    DependsQuery,
+    EngineStats,
+    QueryEngine,
+)
+
+__all__ = [
+    "QueryEngine",
+    "DependsQuery",
+    "EngineStats",
+    "CacheStats",
+    "LRUCache",
+    "DecodedViewState",
+    "DecodedMatrixFreeState",
+    "MATRIX_FREE",
+    "DEFAULT_RUN",
+]

@@ -1,0 +1,256 @@
+"""Engine-side caches: a thread-safe LRU plus per-view decoded state.
+
+The decoding predicate (:mod:`repro.core.decoder`) only *reads* a view label,
+but without help it re-derives two kinds of view-constant state on every call:
+
+* for the **space-efficient** variant, each access to an ``I``/``O``/``Z``
+  matrix re-runs a graph search over the production body — the variant stores
+  nothing but ``lambda*`` — which is what makes it 30–40x slower per query
+  than the other variants;
+* for **every** variant, chain products over the label-path segments of a
+  query are rebuilt even when thousands of queries share the same paths.
+
+:class:`DecodedViewState` wraps one :class:`~repro.core.view_label.ViewLabel`
+and memoizes both, turning the repeated cost into dictionary lookups, while
+:class:`LRUCache` bounds how many decoded views the engine keeps alive.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, TypeVar
+
+from repro.core.decoder import DecodeCache, depends as _depends
+from repro.core.labels import DataLabel
+from repro.core.matrix_free import MatrixFreeViewLabel, depends_matrix_free
+from repro.core.preprocessing import GrammarIndex
+from repro.core.view_label import FVLVariant, ViewLabel
+from repro.errors import DecodingError
+from repro.matrices import BoolMatrix
+
+__all__ = ["CacheStats", "LRUCache", "DecodedViewState", "DecodedMatrixFreeState"]
+
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of one LRU cache's accounting."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    max_size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache(Generic[V]):
+    """A small thread-safe LRU with hit/miss/eviction accounting.
+
+    Values are built outside the lock (building a view label can take
+    milliseconds); if two threads race on the same key the first inserted
+    value wins and the loser's work is discarded, so entries must be
+    deterministic functions of their key.
+    """
+
+    def __init__(self, max_size: int) -> None:
+        if max_size < 1:
+            raise ValueError("cache size must be at least 1")
+        self._max_size = max_size
+        self._entries: OrderedDict[Hashable, V] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], V]) -> V:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry
+            self._misses += 1
+        value = factory()
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = value
+            while len(self._entries) > self._max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[Hashable]:
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                max_size=self._max_size,
+            )
+
+
+class DecodedViewState:
+    """Memoized decode-time state for one ``(view, variant)`` pair.
+
+    Duck-types the read interface of :class:`ViewLabel` that the decoding
+    predicate consumes (``index`` / ``lam_star_start`` / ``inputs`` /
+    ``outputs`` / ``z`` / ``inputs_chain`` / ``outputs_chain``), backed by
+    per-production and per-chain memos, and carries the
+    :class:`~repro.core.decoder.DecodeCache` of path-segment products shared
+    by every query answered through this view.
+    """
+
+    def __init__(self, label: ViewLabel, *, max_decode_entries: int | None = None) -> None:
+        self._label = label
+        self.decode_cache = DecodeCache(max_entries=max_decode_entries)
+        self._productions: dict[int, tuple[dict, dict, dict]] = {}
+        self._chains: dict[tuple[str, int, int, int], BoolMatrix] = {}
+        self._memoize = label.variant is FVLVariant.SPACE_EFFICIENT
+
+    # -- the ViewLabel read interface used by the decoder -----------------------
+
+    @property
+    def label(self) -> ViewLabel:
+        return self._label
+
+    @property
+    def index(self) -> GrammarIndex:
+        return self._label.index
+
+    @property
+    def variant(self) -> FVLVariant:
+        return self._label.variant
+
+    def lam_star_start(self) -> BoolMatrix:
+        return self._label.lam_star_start()
+
+    def inputs(self, k: int, i: int) -> BoolMatrix:
+        if not self._memoize:
+            return self._label.inputs(k, i)
+        inputs, _, _ = self._production(k)
+        try:
+            return inputs[(k, i)]
+        except KeyError:
+            raise DecodingError(f"no production-graph edge ({k}, {i})") from None
+
+    def outputs(self, k: int, i: int) -> BoolMatrix:
+        if not self._memoize:
+            return self._label.outputs(k, i)
+        _, outputs, _ = self._production(k)
+        try:
+            return outputs[(k, i)]
+        except KeyError:
+            raise DecodingError(f"no production-graph edge ({k}, {i})") from None
+
+    def z(self, k: int, i: int, j: int) -> BoolMatrix:
+        if not self._memoize or i >= j:
+            # i >= j is an all-false matrix the label returns without any
+            # graph search, for every variant.
+            return self._label.z(k, i, j)
+        _, _, z = self._production(k)
+        try:
+            return z[(k, i, j)]
+        except KeyError:
+            raise DecodingError(f"no production-graph edges ({k}, {i})/({k}, {j})") from None
+
+    def inputs_chain(self, s: int, t: int, count: int) -> BoolMatrix:
+        return self._chain("I", s, t, count)
+
+    def outputs_chain(self, s: int, t: int, count: int) -> BoolMatrix:
+        return self._chain("O", s, t, count)
+
+    # -- query evaluation ---------------------------------------------------------
+
+    def depends(self, label1: DataLabel, label2: DataLabel) -> bool:
+        return _depends(label1, label2, self, cache=self.decode_cache)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _production(self, k: int) -> tuple[dict, dict, dict]:
+        triple = self._productions.get(k)
+        if triple is None:
+            triple = self._label.production_matrices(k)
+            self._productions[k] = triple
+        return triple
+
+    def _chain(self, function: str, s: int, t: int, count: int) -> BoolMatrix:
+        t = self.index.normalize_rotation(s, t)
+        key = (function, s, t, count)
+        matrix = self._chains.get(key)
+        if matrix is None:
+            matrix = self._label.chain(
+                function, s, t, count, edge_matrix=self._edge_matrix
+            )
+            # Chain memos count against the same budget as the decode cache:
+            # `count` comes from queried labels' recursion depths, which an
+            # adversarial stream can make unbounded.
+            if self.decode_cache.has_room(extra=len(self._chains)):
+                self._chains[key] = matrix
+        return matrix
+
+    def _edge_matrix(self, function: str, s: int, rotation: int) -> BoolMatrix:
+        edge = self.index.cycle_edge(s, rotation)
+        if function == "I":
+            return self.inputs(edge.production, edge.position)
+        return self.outputs(edge.production, edge.position)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DecodedViewState(view={self._label.view.name!r}, "
+            f"variant={self._label.variant.value})"
+        )
+
+
+class DecodedMatrixFreeState:
+    """Decoded state for a coarse-grained (matrix-free) view label.
+
+    The boolean fast path needs no memoization; the state exists so the
+    engine's LRU interns the (expensive to build) label itself and so both
+    state kinds expose the same ``depends`` entry point.
+    """
+
+    def __init__(self, label: MatrixFreeViewLabel) -> None:
+        self._label = label
+
+    @property
+    def label(self) -> MatrixFreeViewLabel:
+        return self._label
+
+    @property
+    def index(self) -> GrammarIndex:
+        return self._label.index
+
+    def depends(self, label1: DataLabel, label2: DataLabel) -> bool:
+        return depends_matrix_free(label1, label2, self._label)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DecodedMatrixFreeState(view={self._label.view.name!r})"

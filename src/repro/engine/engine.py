@@ -1,0 +1,353 @@
+"""The batched provenance query engine (the serving layer of the reproduction).
+
+:class:`QueryEngine` owns one :class:`~repro.core.scheme.FVLScheme`, any
+number of labelled runs (shards) and a registry of safe views, and answers
+reachability queries in batches:
+
+* ``depends_batch(pairs, view)`` — many ``(d1, d2)`` pairs against one view
+  of one run;
+* ``depends_many(queries)`` — heterogeneous queries spanning several runs and
+  views, sharded across runs with :mod:`concurrent.futures`.
+
+Three layers of caching amortize the per-view decode work that the one-pair
+``FVLScheme.depends`` API repeats on every call:
+
+1. **View interning** — decoded :class:`ViewLabel` /
+   :class:`MatrixFreeViewLabel` state is built once per ``(view, variant)``
+   and kept in a configurable LRU;
+2. **Production memoization** — the space-efficient variant's on-demand graph
+   searches run once per production instead of once per matrix access;
+3. **Path grouping** — query pairs are grouped by their labels' shared
+   parse-tree paths; each group assembles its reachability matrix once and
+   answers every member with a single entry lookup.
+
+The combination makes the space-efficient variant's batched path perform
+within a small constant factor of the fully materialised variants (the
+one-pair API leaves it 30–40x behind).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.decoder import intermediate_matrix
+from repro.core.run_labeler import RunLabeler
+from repro.core.scheme import FVLScheme
+from repro.core.view_label import FVLVariant
+from repro.engine.cache import (
+    CacheStats,
+    DecodedMatrixFreeState,
+    DecodedViewState,
+    LRUCache,
+)
+from repro.errors import DecodingError, LabelingError, ViewError
+from repro.model.derivation import Derivation
+from repro.model.grammar import WorkflowGrammar
+from repro.model.specification import WorkflowSpecification
+from repro.model.views import WorkflowView
+
+__all__ = ["MATRIX_FREE", "DEFAULT_RUN", "DependsQuery", "EngineStats", "QueryEngine"]
+
+#: Engine-level pseudo-variant selecting the coarse-grained boolean encoding
+#: (:meth:`FVLScheme.label_view_matrix_free`) instead of an FVL matrix variant.
+MATRIX_FREE = "matrix-free"
+
+#: Run id used when the caller does not name one.
+DEFAULT_RUN = "default"
+
+
+@dataclass(frozen=True)
+class DependsQuery:
+    """One reachability query: does ``d2`` depend on ``d1`` in ``view``?"""
+
+    d1: int
+    d2: int
+    view: "WorkflowView | str"
+    run: str = DEFAULT_RUN
+    variant: "FVLVariant | str | None" = None
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Counters exposed for observability (and exercised by the test suite)."""
+
+    views: CacheStats
+    queries: int
+    batches: int
+    queries_by_run: dict[str, int]
+
+
+@dataclass
+class _RunShard:
+    """One labelled run: independent of every other shard, safe to query concurrently."""
+
+    run_id: str
+    derivation: Derivation
+    labeler: RunLabeler
+    queries: int = 0
+
+
+class QueryEngine:
+    """Batched reachability queries over labelled runs and cached view state."""
+
+    def __init__(
+        self,
+        source: FVLScheme | WorkflowSpecification | WorkflowGrammar,
+        *,
+        cache_size: int = 8,
+        variant: "FVLVariant | str" = FVLVariant.DEFAULT,
+        max_workers: int | None = None,
+        decode_cache_entries: int | None = 65536,
+    ) -> None:
+        self._scheme = source if isinstance(source, FVLScheme) else FVLScheme(source)
+        self._variant = self._check_variant(variant)
+        self._views: dict[str, WorkflowView] = {}
+        self._states: LRUCache = LRUCache(cache_size)
+        self._shards: dict[str, _RunShard] = {}
+        self._max_workers = max_workers
+        self._decode_cache_entries = decode_cache_entries
+        self._lock = threading.Lock()
+        self._batches = 0
+
+    # -- registration ------------------------------------------------------------
+
+    @property
+    def scheme(self) -> FVLScheme:
+        return self._scheme
+
+    @property
+    def run_ids(self) -> tuple[str, ...]:
+        return tuple(self._shards)
+
+    @property
+    def view_names(self) -> tuple[str, ...]:
+        return tuple(self._views)
+
+    def add_run(self, run_id: str, derivation: Derivation) -> RunLabeler:
+        """Register (and label) one run; past events are replayed, future streamed."""
+        if run_id in self._shards:
+            raise LabelingError(f"run {run_id!r} is already registered with this engine")
+        labeler = self._scheme.label_run(derivation)
+        self._shards[run_id] = _RunShard(run_id, derivation, labeler)
+        return labeler
+
+    def add_view(self, view: WorkflowView) -> WorkflowView:
+        """Register a view so queries can refer to it by name.
+
+        Re-registering a structurally identical view (same composites, same
+        perceived dependencies) keeps the existing registration — callers may
+        rebuild their view objects per request — while a genuinely different
+        view under an already-taken name is rejected.  Safety is checked when
+        the view is first decoded (labeling an unsafe view raises
+        :class:`~repro.errors.UnsafeWorkflowError`).
+        """
+        existing = self._views.get(view.name)
+        if existing is None:
+            self._views[view.name] = view
+            return view
+        if existing is view or (
+            existing.visible_composites == view.visible_composites
+            and existing.dependencies == view.dependencies
+        ):
+            return existing
+        raise ViewError(
+            f"a different view named {view.name!r} is already registered"
+        )
+
+    def run_labeler(self, run_id: str = DEFAULT_RUN) -> RunLabeler:
+        return self._shard(run_id).labeler
+
+    # -- queries -----------------------------------------------------------------
+
+    def depends(
+        self,
+        d1: int,
+        d2: int,
+        view: "WorkflowView | str",
+        *,
+        run: str = DEFAULT_RUN,
+        variant: "FVLVariant | str | None" = None,
+    ) -> bool:
+        """Single-pair convenience wrapper over :meth:`depends_batch`."""
+        return self.depends_batch([(d1, d2)], view, run=run, variant=variant)[0]
+
+    def depends_batch(
+        self,
+        pairs: "list[tuple[int, int]]",
+        view: "WorkflowView | str",
+        *,
+        run: str = DEFAULT_RUN,
+        variant: "FVLVariant | str | None" = None,
+    ) -> list[bool]:
+        """Answer ``pairs`` of ``(d1, d2)`` item ids against one view of one run.
+
+        Results line up with ``pairs``: ``result[i]`` is ``True`` iff item
+        ``pairs[i][1]`` depends on ``pairs[i][0]`` in ``view``.
+        """
+        pairs = list(pairs)
+        shard = self._shard(run)
+        state = self._decoded_state(view, variant)
+        return self._evaluate(shard, state, pairs)
+
+    def depends_many(self, queries) -> list[bool]:
+        """Answer heterogeneous queries spanning runs and views.
+
+        ``queries`` may contain :class:`DependsQuery` objects or plain tuples
+        ``(d1, d2, view)`` / ``(d1, d2, view, run)``.  Queries are grouped by
+        ``(run, view, variant)``; groups belonging to different runs are
+        evaluated concurrently (each shard's state is independent).
+        """
+        normalized = [self._normalize_query(q) for q in queries]
+        results: list[bool] = [False] * len(normalized)
+
+        # Group positions by (run, view, variant); resolve shards and views
+        # up front so bad queries raise before any thread is spawned.
+        plans: dict[str, dict[tuple, list[tuple[int, int, int]]]] = {}
+        group_context: dict[tuple, tuple["WorkflowView | str", "FVLVariant | str | None"]] = {}
+        for pos, query in enumerate(normalized):
+            self._shard(query.run)
+            view = self._resolve_view(query.view)
+            variant = self._check_variant(query.variant or self._variant)
+            key = (query.run, view.name, self._variant_key(variant))
+            group_context[key] = (view, variant)
+            plans.setdefault(query.run, {}).setdefault(key, []).append(
+                (pos, query.d1, query.d2)
+            )
+
+        def evaluate_run(run_id: str) -> list[tuple[int, bool]]:
+            shard = self._shard(run_id)
+            out: list[tuple[int, bool]] = []
+            for key, members in plans[run_id].items():
+                view, variant = group_context[key]
+                state = self._decoded_state(view, variant)
+                answers = self._evaluate(shard, state, [(d1, d2) for _, d1, d2 in members])
+                out.extend((pos, answer) for (pos, _, _), answer in zip(members, answers))
+            return out
+
+        run_ids = list(plans)
+        if len(run_ids) <= 1:
+            chunks = [evaluate_run(run_id) for run_id in run_ids]
+        else:
+            workers = min(len(run_ids), self._max_workers or len(run_ids))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                chunks = list(pool.map(evaluate_run, run_ids))
+        for chunk in chunks:
+            for pos, answer in chunk:
+                results[pos] = answer
+        return results
+
+    # -- observability ----------------------------------------------------------------
+
+    @property
+    def stats(self) -> EngineStats:
+        with self._lock:
+            return EngineStats(
+                views=self._states.stats,
+                queries=sum(s.queries for s in self._shards.values()),
+                batches=self._batches,
+                queries_by_run={s.run_id: s.queries for s in self._shards.values()},
+            )
+
+    # -- internals --------------------------------------------------------------------------
+
+    def _shard(self, run_id: str) -> _RunShard:
+        try:
+            return self._shards[run_id]
+        except KeyError:
+            raise LabelingError(
+                f"no run {run_id!r} is registered with this engine "
+                f"(known runs: {sorted(self._shards) or 'none'})"
+            ) from None
+
+    def _resolve_view(self, view: "WorkflowView | str") -> WorkflowView:
+        if isinstance(view, WorkflowView):
+            return self.add_view(view)
+        try:
+            return self._views[view]
+        except KeyError:
+            raise ViewError(
+                f"unknown view {view!r}; register it with add_view first "
+                f"(known views: {sorted(self._views) or 'none'})"
+            ) from None
+
+    def _check_variant(self, variant: "FVLVariant | str") -> "FVLVariant | str":
+        if isinstance(variant, FVLVariant) or variant == MATRIX_FREE:
+            return variant
+        try:
+            return FVLVariant(variant)
+        except ValueError:
+            raise DecodingError(
+                f"unknown labeling variant {variant!r} (expected an FVLVariant "
+                f"or {MATRIX_FREE!r})"
+            ) from None
+
+    @staticmethod
+    def _variant_key(variant: "FVLVariant | str") -> str:
+        return variant.value if isinstance(variant, FVLVariant) else variant
+
+    def _decoded_state(
+        self, view: "WorkflowView | str", variant: "FVLVariant | str | None"
+    ) -> "DecodedViewState | DecodedMatrixFreeState":
+        view = self._resolve_view(view)
+        variant = self._check_variant(variant or self._variant)
+        key = (view.name, self._variant_key(variant))
+        return self._states.get_or_create(key, lambda: self._build_state(view, variant))
+
+    def _build_state(
+        self, view: WorkflowView, variant: "FVLVariant | str"
+    ) -> "DecodedViewState | DecodedMatrixFreeState":
+        if variant == MATRIX_FREE:
+            return DecodedMatrixFreeState(self._scheme.label_view_matrix_free(view))
+        return DecodedViewState(
+            self._scheme.label_view(view, variant),
+            max_decode_entries=self._decode_cache_entries,
+        )
+
+    def _normalize_query(self, query) -> DependsQuery:
+        if isinstance(query, DependsQuery):
+            return query
+        if isinstance(query, tuple) and len(query) in (3, 4):
+            return DependsQuery(*query)
+        raise DecodingError(
+            f"cannot interpret {query!r} as a depends query; pass a DependsQuery "
+            "or a (d1, d2, view[, run]) tuple"
+        )
+
+    def _evaluate(
+        self,
+        shard: _RunShard,
+        state: "DecodedViewState | DecodedMatrixFreeState",
+        pairs: list[tuple[int, int]],
+    ) -> list[bool]:
+        label = shard.labeler.label
+        labels = [(label(d1), label(d2)) for d1, d2 in pairs]
+        with self._lock:
+            shard.queries += len(pairs)
+            self._batches += 1
+        if isinstance(state, DecodedMatrixFreeState):
+            return [state.depends(l1, l2) for l1, l2 in labels]
+
+        results = [False] * len(labels)
+        # Group intermediate-pair queries by the parse-tree paths of their
+        # labels: the reachability matrix is path-constant, so each group
+        # decodes once and every member costs one matrix-entry lookup.
+        groups: dict[tuple, list[tuple[int, int, int]]] = {}
+        for pos, (l1, l2) in enumerate(labels):
+            o1, i1 = l1.producer, l1.consumer
+            o2, i2 = l2.producer, l2.consumer
+            if i1 is None or o2 is None:
+                continue  # nothing depends on a final output / initial inputs depend on nothing
+            if o1 is None or i2 is None:
+                # Boundary cases are answered by one (cached) segment chain.
+                results[pos] = state.depends(l1, l2)
+                continue
+            groups.setdefault((o1.path, i2.path), []).append((pos, o1.port, i2.port))
+        for (path1, path2), members in groups.items():
+            matrix = intermediate_matrix(path1, path2, state, state.decode_cache)
+            if matrix is None:
+                continue
+            for pos, x, y in members:
+                results[pos] = matrix.get(x, y)
+        return results

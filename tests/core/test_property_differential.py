@@ -14,7 +14,10 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import RunReachabilityOracle
+from repro.baselines import DRLScheme
 from repro.core import FVLScheme, FVLVariant
+from repro.engine import QueryEngine
+from repro.model.projection import ViewProjection
 from repro.workloads import (
     build_running_example,
     build_synthetic_specification,
@@ -115,6 +118,60 @@ def test_data_label_length_is_logarithmic(seed):
     bound = 40 * (math.log2(n) + 1)
     for uid in derivation.run.data_items:
         assert codec.data_label_bits(labeler.label(uid)) <= bound
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000), data=st.data())
+def test_engine_batch_matches_single_pair_predicate(seed, data):
+    """QueryEngine.depends_batch agrees pair-for-pair with FVLScheme.depends.
+
+    The batched path takes shortcuts the one-pair predicate does not —
+    interned decode state, memoized production matrices, path-grouped matrix
+    assembly — so every variant is differentially checked against the
+    single-pair oracle on random runs, views and query batches.
+    """
+    derivation = _random_complete_derivation(SPEC, seed)
+    labeler = SCHEME.label_run(derivation)
+    engine = QueryEngine(SCHEME, cache_size=4)
+    engine.add_run("run", derivation)
+    view = data.draw(st.sampled_from(VIEWS))
+    variant = data.draw(st.sampled_from(list(FVLVariant)))
+    view_label = SCHEME.label_view(view, variant)
+    visible = sorted(ViewProjection(derivation.run, view).visible_items)
+    rng = random.Random(seed)
+    pairs = [(rng.choice(visible), rng.choice(visible)) for _ in range(50)]
+    batch = engine.depends_batch(pairs, view, run="run", variant=variant)
+    for (d1, d2), answer in zip(pairs, batch):
+        assert answer == SCHEME.depends(
+            labeler.label(d1), labeler.label(d2), view_label
+        )
+
+
+SYN_DRL = DRLScheme(SYN_SPEC)
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
+    n_expand=st.integers(min_value=1, max_value=3),
+    data=st.data(),
+)
+def test_engine_batch_matches_drl_on_coarse_views(seed, n_expand, data):
+    """On DRL's native setting (black-box views) the engine matches DRL too."""
+    derivation = random_run(SYN_SPEC, target_items=120, seed=seed)
+    view = random_view(SYN_SPEC, n_expand, seed=seed, mode="black")
+    variant = data.draw(st.sampled_from(list(FVLVariant)))
+    engine = QueryEngine(SYN_SCHEME, cache_size=4)
+    engine.add_run("run", derivation)
+    drl_labeler = SYN_DRL.label_run(derivation, view)
+    visible = sorted(ViewProjection(derivation.run, view).visible_items)
+    rng = random.Random(seed)
+    pairs = [(rng.choice(visible), rng.choice(visible)) for _ in range(40)]
+    batch = engine.depends_batch(pairs, view, run="run", variant=variant)
+    for (d1, d2), answer in zip(pairs, batch):
+        assert answer == SYN_DRL.depends(
+            drl_labeler.label(d1), drl_labeler.label(d2), view
+        )
 
 
 @pytest.mark.parametrize("variant", list(FVLVariant))

@@ -1,0 +1,98 @@
+"""Guards against reintroducing the space-efficient variant's 40x query cliff.
+
+Before the engine, the space-efficient variant re-ran a graph search over a
+production body on *every* matrix access of *every* query, leaving it 30-40x
+slower than the materialised variants (see
+``benchmarks/test_fig20_query_time.py``).  Two non-benchmark checks keep that
+from coming back:
+
+* a structural one — a cached batch performs at most one graph search per
+  retained production, counted by instrumenting the search itself (no timing
+  involved, so no flakiness);
+* a timing ratio — the warm batched space-efficient path stays within a
+  generous constant factor of the warm default path (the regression being
+  guarded against is a >25x cliff, so the bound has plenty of headroom).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import FVLScheme, FVLVariant, QueryEngine
+from repro.core.view_label import ViewLabel
+from repro.engine import DEFAULT_RUN
+from repro.model.projection import ViewProjection
+from repro.workloads import build_bioaid_specification, random_run, random_view
+
+from repro.bench import sample_query_pairs
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = build_bioaid_specification()
+    scheme = FVLScheme(spec)
+    derivation = random_run(spec, 400, seed=9)
+    view = random_view(spec, 8, seed=3, mode="grey", name="guard-view")
+    items = sorted(ViewProjection(derivation.run, view).visible_items)
+    pairs = sample_query_pairs(items, 300, seed=1)
+    return scheme, derivation, view, pairs
+
+
+def _fresh_engine(scheme, derivation) -> QueryEngine:
+    engine = QueryEngine(scheme)
+    engine.add_run(DEFAULT_RUN, derivation)
+    return engine
+
+
+def test_batch_runs_one_graph_search_per_production(setup, monkeypatch):
+    scheme, derivation, view, pairs = setup
+    searches = []
+    original = ViewLabel._compute_production_matrices
+
+    def counting(self, k):
+        searches.append(k)
+        return original(self, k)
+
+    monkeypatch.setattr(ViewLabel, "_compute_production_matrices", counting)
+    engine = _fresh_engine(scheme, derivation)
+    engine.depends_batch(pairs, view, variant=FVLVariant.SPACE_EFFICIENT)
+    retained = scheme.label_view(view, FVLVariant.SPACE_EFFICIENT).retained_productions
+    assert searches, "the batch never exercised the space-efficient decode path"
+    assert len(searches) <= len(retained), (
+        f"{len(searches)} graph searches for {len(retained)} retained productions: "
+        "the per-production memo is not being hit"
+    )
+    # A second batch over the warm engine must not search at all.
+    searches.clear()
+    engine.depends_batch(pairs, view, variant=FVLVariant.SPACE_EFFICIENT)
+    assert searches == []
+
+
+def test_space_efficient_batch_within_constant_factor_of_default(setup):
+    scheme, derivation, view, pairs = setup
+    engine = _fresh_engine(scheme, derivation)
+
+    def best_of(variant, repeats=5) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            engine.depends_batch(pairs, view, variant=variant)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    # Warm both decode states so only the steady-state batch path is timed.
+    default_answers = engine.depends_batch(pairs, view, variant=FVLVariant.DEFAULT)
+    space_answers = engine.depends_batch(
+        pairs, view, variant=FVLVariant.SPACE_EFFICIENT
+    )
+    assert space_answers == default_answers
+    default_time = best_of(FVLVariant.DEFAULT)
+    space_time = best_of(FVLVariant.SPACE_EFFICIENT)
+    # Warm, both paths do identical memoized work; 10x plus an absolute slack
+    # for scheduler noise is far below the >25x cliff this test guards against.
+    assert space_time <= 10 * default_time + 0.010, (
+        f"space-efficient batch took {space_time * 1e3:.2f} ms vs "
+        f"{default_time * 1e3:.2f} ms for the default variant"
+    )
