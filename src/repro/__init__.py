@@ -52,6 +52,7 @@ from repro.errors import (
     VisibilityError,
 )
 from repro.matrices import BoolMatrix
+from repro.store import LabelStore, PathTable
 from repro.model import (
     DataEdge,
     DependencyAssignment,
@@ -97,6 +98,9 @@ __all__ = [
     "DataLabel",
     "PortLabel",
     "BoolMatrix",
+    # store
+    "PathTable",
+    "LabelStore",
     # engine
     "QueryEngine",
     "DependsQuery",

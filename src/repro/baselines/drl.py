@@ -27,6 +27,8 @@ factored out into a separate view label).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
 
 from repro.core.labels import DataLabel
 from repro.core.matrix_free import MatrixFreeViewLabel, build_matrix_free_label, depends_matrix_free
@@ -83,8 +85,9 @@ class DRLRunLabeler:
         return self._view
 
     @property
-    def labels(self) -> dict[int, DRLLabel]:
-        return dict(self._labels)
+    def labels(self) -> Mapping[int, DRLLabel]:
+        """A read-only view of all labels (no copy; one entry per visible item)."""
+        return MappingProxyType(self._labels)
 
     def label(self, item_uid: int) -> DRLLabel:
         try:

@@ -1,0 +1,167 @@
+"""Ingest-side experiment: labeling throughput and label memory, object vs columnar.
+
+Not part of the paper's Section 6 — this extension experiment quantifies the
+columnar label store (``src/repro/store``) against the seed's per-item
+value-object representation on the same BioAID-like workload Figure 18 uses:
+
+* **throughput** — items labelled per second for a whole run, measured as the
+  best of several interleaved samples (both representations replay the same
+  prebuilt derivation, so the comparison isolates the label representation);
+* **memory** — resident bytes of the label state once the run is ingested:
+  deep object-graph size of the ``dict[int, DataLabel]`` for the object
+  representation, packed column payload (label store plus path-table arena)
+  for the columnar one;
+* **bulk encoding** — the size of :meth:`LabelCodec.encode_run`'s single
+  packed buffer, the at-rest form of a columnar run.
+
+``python -m repro.bench.ingest --json BENCH_ingest.json`` writes the rows as
+JSON (the CI bench-smoke step uploads this artifact to seed the performance
+trajectory).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import sys
+import time
+
+from repro.bench.measure import ResultTable
+from repro.bench.workloads import PreparedWorkload, prepare_bioaid
+from repro.io import LabelCodec
+
+__all__ = ["deep_object_bytes", "ingest_throughput", "write_ingest_json"]
+
+DEFAULT_RUN_SIZES = (1000, 2000, 4000, 8000)
+
+
+def deep_object_bytes(root: object) -> int:
+    """Total bytes of an object graph (each object counted once, types excluded).
+
+    Shared substructure — e.g. path tuples referenced by many labels — is
+    counted once, matching how the object label representation actually
+    shares them.
+    """
+    seen: set[int] = set()
+    stack = [root]
+    total = 0
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen or isinstance(obj, type):
+            continue
+        seen.add(id(obj))
+        total += sys.getsizeof(obj)
+        stack.extend(gc.get_referents(obj))
+    return total
+
+
+def _best_time(fn, samples: int) -> float:
+    best = float("inf")
+    for _ in range(samples):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def ingest_throughput(
+    workload: PreparedWorkload | None = None,
+    run_sizes: tuple[int, ...] = DEFAULT_RUN_SIZES,
+    samples: int = 3,
+) -> ResultTable:
+    """Items labelled per second and label memory vs run size, both representations."""
+    workload = workload or prepare_bioaid()
+    scheme = workload.scheme
+    codec = LabelCodec(scheme.index)
+    table = ResultTable(
+        "Ingest - labeling throughput and label memory (object vs columnar store)",
+        [
+            "run_size",
+            "object_ms",
+            "columnar_ms",
+            "speedup",
+            "object_KB",
+            "columnar_KB",
+            "memory_ratio",
+            "bulk_encode_KB",
+        ],
+        notes=(
+            "BioAID-like workload; best of interleaved samples, label_run only "
+            "(derivation prebuilt); memory is the resident label state after "
+            "ingest"
+        ),
+    )
+    for size in run_sizes:
+        derivation = workload.run(size, 0)
+        n_items = derivation.run.n_data_items
+        object_s = float("inf")
+        columnar_s = float("inf")
+        # Interleave the two representations so machine noise hits both alike.
+        for _ in range(samples):
+            object_s = min(
+                object_s, _best_time(lambda: scheme.label_run(derivation, columnar=False), 1)
+            )
+            columnar_s = min(
+                columnar_s, _best_time(lambda: scheme.label_run(derivation), 1)
+            )
+
+        object_labeler = scheme.label_run(derivation, columnar=False)
+        object_bytes = deep_object_bytes(dict(object_labeler.labels))
+        columnar_labeler = scheme.label_run(derivation)
+        store = columnar_labeler.store.compact()
+        store.table.compact()
+        columnar_bytes = store.memory_bytes() + store.table.memory_bytes()
+        _, bulk_bits = codec.encode_run(store)
+
+        table.add_row(
+            n_items,
+            round(object_s * 1e3, 2),
+            round(columnar_s * 1e3, 2),
+            round(object_s / columnar_s, 2) if columnar_s else float("inf"),
+            round(object_bytes / 1024.0, 1),
+            round(columnar_bytes / 1024.0, 1),
+            round(object_bytes / columnar_bytes, 1) if columnar_bytes else float("inf"),
+            round(bulk_bits / 8.0 / 1024.0, 1),
+        )
+    return table
+
+
+def write_ingest_json(table: ResultTable, path: str) -> None:
+    """Write the ingest experiment rows (plus metadata) as a JSON artifact."""
+    payload = {
+        "experiment": "ingest_throughput",
+        "title": table.title,
+        "notes": table.notes,
+        "rows": table.as_dicts(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    from repro.bench.reporting import format_table
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--run-sizes",
+        type=lambda s: tuple(int(x) for x in s.split(",")),
+        default=DEFAULT_RUN_SIZES,
+        help="comma-separated run sizes (default: %(default)s)",
+    )
+    parser.add_argument("--samples", type=int, default=3)
+    parser.add_argument("--json", metavar="PATH", help="write the rows as JSON")
+    args = parser.parse_args(argv)
+
+    table = ingest_throughput(run_sizes=args.run_sizes, samples=args.samples)
+    print(format_table(table))
+    if args.json:
+        write_ingest_json(table, args.json)
+        print(f"JSON written: {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -244,6 +244,8 @@ def intermediate_matrix(
     l2: tuple[EdgeLabel, ...],
     view_label: ViewLabel,
     cache: DecodeCache | None = None,
+    *,
+    key: tuple | None = None,
 ) -> BoolMatrix | None:
     """Reachability matrix from the outputs at path ``l1`` to the inputs at ``l2``.
 
@@ -252,9 +254,15 @@ def intermediate_matrix(
     paths and the view label — not on the queried ports — which is what lets
     batched callers answer every query pair sharing the same paths with a
     single matrix assembly.
+
+    ``key`` overrides the cache key.  Store-backed callers pass the pair of
+    interned integer path ids, so cache probes hash two ints instead of two
+    edge-label tuples (and the same matrix is not stored twice under both
+    keyings).
     """
     if cache is not None:
-        key = (l1, l2)
+        if key is None:
+            key = (l1, l2)
         try:
             return cache.pair_matrices[key]
         except KeyError:

@@ -13,49 +13,103 @@ of the compressed tree is bounded by twice the number of composite modules
 (Lemma 4), which is what makes logarithmic data labels possible.
 
 Both trees are built *online*, node by node, as the derivation proceeds
-(Section 4.2.3); the builder below also assigns the edge labels used in data
-labels.
+(Section 4.2.3).  The builder interns every node's root path in a
+:class:`~repro.store.path_table.PathTable` and stores only the integer
+``path_id`` on the node — no per-node path tuple, no per-node edge-label
+object.  ``ParseNode.path`` and ``ParseNode.edge_from_parent`` materialise
+the value objects lazily from the table for compatibility consumers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.core.labels import EdgeLabel, ProductionEdgeLabel, RecursionEdgeLabel
+from repro.core.labels import EdgeLabel
 from repro.core.preprocessing import GrammarIndex
 from repro.errors import LabelingError
+from repro.store.path_table import (
+    KIND_RECURSION,
+    ROOT_PATH,
+    PathTable,
+)
 
 __all__ = ["ParseNode", "CompressedParseTree", "BasicParseTree"]
 
 
-@dataclass
 class ParseNode:
     """A node of the compressed parse tree.
 
     ``kind`` is ``"module"`` for module-instance nodes and ``"recursive"``
-    for recursive nodes; ``edge_from_parent`` is the label of the edge from
-    the parent node (``None`` for the root) and ``path`` the concatenation of
-    edge labels from the root down to this node.
+    for recursive nodes.  The node's position in the tree is captured by the
+    interned ``path_id``; ``path`` and ``edge_from_parent`` are derived
+    (lazily materialised) views of it.
     """
 
-    uid: int
-    kind: str
-    module_name: str | None = None
-    instance_uid: str | None = None
-    cycle: int | None = None
-    rotation: int | None = None
-    parent: "ParseNode | None" = None
-    edge_from_parent: EdgeLabel | None = None
-    path: tuple[EdgeLabel, ...] = ()
-    children: list["ParseNode"] = field(default_factory=list)
+    __slots__ = (
+        "module_name",
+        "instance_uid",
+        "cycle",
+        "rotation",
+        "parent",
+        "_children",
+        "path_id",
+        "_table",
+    )
+
+    def __init__(
+        self,
+        table: PathTable,
+        path_id: int,
+        module_name: str | None = None,
+        instance_uid: str | None = None,
+        cycle: int | None = None,
+        rotation: int | None = None,
+        parent: "ParseNode | None" = None,
+    ) -> None:
+        self.module_name = module_name
+        self.instance_uid = instance_uid
+        self.cycle = cycle
+        self.rotation = rotation
+        self.parent = parent
+        #: Lazily allocated: most parse-tree nodes are leaves, so the child
+        #: list exists only once a first child is attached.
+        self._children: list["ParseNode"] | None = None
+        self.path_id = path_id
+        self._table = table
+
+    @property
+    def kind(self) -> str:
+        """``"module"`` for module-instance nodes, ``"recursive"`` otherwise."""
+        return "module" if self.module_name is not None else "recursive"
+
+    @property
+    def children(self) -> list["ParseNode"]:
+        """The node's children (empty for leaves)."""
+        children = self._children
+        return children if children is not None else []
+
+    def _attach(self, child: "ParseNode") -> None:
+        children = self._children
+        if children is None:
+            self._children = [child]
+        else:
+            children.append(child)
+
+    @property
+    def path(self) -> tuple[EdgeLabel, ...]:
+        """The edge labels from the root to this node (materialised, shared)."""
+        return self._table.path(self.path_id)
+
+    @property
+    def edge_from_parent(self) -> EdgeLabel | None:
+        """The label of the edge from the parent node (``None`` for the root)."""
+        return self._table.edge(self.path_id)
 
     @property
     def is_recursive(self) -> bool:
-        return self.kind == "recursive"
+        return self.module_name is None
 
     @property
     def depth(self) -> int:
-        return len(self.path)
+        return self._table.depth(self.path_id)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         name = self.instance_uid if self.kind == "module" else f"R(cycle={self.cycle})"
@@ -65,8 +119,19 @@ class ParseNode:
 class CompressedParseTree:
     """Online builder of the compressed parse tree of a run (Section 4.2.3)."""
 
-    def __init__(self, index: GrammarIndex) -> None:
+    def __init__(self, index: GrammarIndex, path_table: PathTable | None = None) -> None:
         self._index = index
+        self._table = path_table if path_table is not None else PathTable()
+        # A private arena sees every node exactly once, so edges can be
+        # appended blindly; a shared arena (query-engine shards) must go
+        # through the interning probe so identical paths of sibling runs
+        # dedupe to one id (and the bulk codec never sees duplicate rows).
+        if path_table is None:
+            self._add_production_edge = self._table.new_production_child
+            self._add_recursion_edge = self._table.new_recursion_child
+        else:
+            self._add_production_edge = self._table.extend_production
+            self._add_recursion_edge = self._table.extend_recursion
         self._next_uid = 1
         self._root: ParseNode | None = None
         self._by_instance: dict[str, ParseNode] = {}
@@ -76,6 +141,11 @@ class CompressedParseTree:
     @property
     def root(self) -> ParseNode | None:
         return self._root
+
+    @property
+    def path_table(self) -> PathTable:
+        """The arena all node paths of this tree are interned in."""
+        return self._table
 
     @property
     def n_nodes(self) -> int:
@@ -105,8 +175,8 @@ class CompressedParseTree:
         seen: set[int] = set()
         for node in self._by_instance.values():
             current: ParseNode | None = node
-            while current is not None and current.uid not in seen:
-                seen.add(current.uid)
+            while current is not None and id(current) not in seen:
+                seen.add(id(current))
                 best = max(best, len(current.children))
                 current = current.parent
         return best
@@ -121,7 +191,7 @@ class CompressedParseTree:
         if self._index.is_recursive_module(start_name):
             s, t = self._index.cycle_position(start_name)
             recursive = self._new_node(
-                kind="recursive", cycle=s, rotation=t, parent=None, edge=None
+                kind="recursive", cycle=s, rotation=t, parent=None, path_id=ROOT_PATH
             )
             self._root = recursive
             node = self._new_node(
@@ -129,7 +199,7 @@ class CompressedParseTree:
                 module_name=start_name,
                 instance_uid=instance_uid,
                 parent=recursive,
-                edge=RecursionEdgeLabel(s, t, 1),
+                path_id=self._table.extend_recursion(ROOT_PATH, s, t, 1),
             )
         else:
             node = self._new_node(
@@ -137,7 +207,7 @@ class CompressedParseTree:
                 module_name=start_name,
                 instance_uid=instance_uid,
                 parent=None,
-                edge=None,
+                path_id=ROOT_PATH,
             )
             self._root = node
         self._by_instance[instance_uid] = node
@@ -148,12 +218,17 @@ class CompressedParseTree:
         parent_instance_uid: str,
         production_k: int,
         children: list[tuple[str, int, str]],
+        position_path_ids: list[int] | None = None,
     ) -> dict[str, ParseNode]:
         """Insert the nodes for one production application.
 
         ``children`` lists ``(instance_uid, position, module_name)`` for every
         right-hand-side module, in the fixed topological order.  Returns the
-        mapping from instance uid to the created parse node.
+        mapping from instance uid to the created parse node.  When the caller
+        passes ``position_path_ids`` (a list of length ``len(children) + 1``),
+        slot ``position`` is filled with the created node's path id — the hot
+        ingest path resolves data items by production position through it
+        instead of hashing instance uids.
 
         The insertion rules follow Section 4.2.3: non-recursive children
         become children of the expanded node with a ``(k, i)`` edge; a child
@@ -161,18 +236,79 @@ class CompressedParseTree:
         the enclosing recursive node (label ``(s, t, i+1)``); a child in a
         *different* cycle gets a fresh recursive node in between.
         """
+        cycle_position_of = self._index.cycle_positions.get
+        entries = [
+            (position, module_name, cycle_position_of(module_name))
+            for _, position, module_name in children
+        ]
+        uids = [instance_uid for instance_uid, _, _ in children]
+        return self._expand(
+            parent_instance_uid, production_k, entries, uids, position_path_ids
+        )
+
+    def expand_event(
+        self,
+        parent_instance_uid: str,
+        production_k: int,
+        instances,
+        position_path_ids: list[int] | None = None,
+    ) -> None:
+        """Fast path of :meth:`expand` for derivation events.
+
+        ``instances`` are the event's :class:`~repro.model.run.ModuleInstance`
+        children, which a :class:`~repro.model.derivation.Derivation` emits in
+        the production's fixed topological order; everything else about the
+        children comes from the grammar's cached per-production template, so
+        the per-child work is one attribute read.  Created nodes are reachable
+        through :meth:`node_for` / ``position_path_ids`` (no per-call dict is
+        built, unlike :meth:`expand`).
+        """
+        entries = self._index.production_children(production_k)
+        if len(entries) != len(instances):
+            raise LabelingError(
+                f"production {production_k} has {len(entries)} right-hand-side "
+                f"modules but the event carries {len(instances)} children"
+            )
+        uids = [instance.uid for instance in instances]
+        return self._expand(
+            parent_instance_uid,
+            production_k,
+            entries,
+            uids,
+            position_path_ids,
+            build_created=False,
+        )
+
+    def _expand(
+        self,
+        parent_instance_uid: str,
+        production_k: int,
+        entries,
+        uids: list[str],
+        position_path_ids: list[int] | None,
+        build_created: bool = True,
+    ) -> dict[str, ParseNode] | None:
         parent_node = self.node_for(parent_instance_uid)
         if parent_node.kind != "module":
             raise LabelingError("only module nodes can be expanded")
         parent_module = parent_node.module_name
-        created: dict[str, ParseNode] = {}
-        for instance_uid, position, module_name in children:
-            if self._index.is_recursive_module(module_name):
-                if (
-                    parent_module is not None
-                    and self._index.is_recursive_module(parent_module)
-                    and self._index.same_cycle(parent_module, module_name)
-                ):
+        table = self._table
+        add_production_edge = self._add_production_edge
+        add_recursion_edge = self._add_recursion_edge
+        by_instance = self._by_instance
+        parent_cycle_position = (
+            self._index.cycle_positions.get(parent_module)
+            if parent_module is not None
+            else None
+        )
+        parent_cycle = (
+            parent_cycle_position[0] if parent_cycle_position is not None else None
+        )
+        next_uid = self._next_uid
+        created: dict[str, ParseNode] | None = {} if build_created else None
+        for (position, module_name, cycle_position), instance_uid in zip(entries, uids):
+            if cycle_position is not None:
+                if cycle_position[0] == parent_cycle:
                     # Rule (2a): continue the recursion chain as the next
                     # sibling of the expanded node under the recursive node.
                     recursive = parent_node.parent
@@ -181,44 +317,69 @@ class CompressedParseTree:
                             "recursive module instance is not attached to a "
                             "recursive parse node; events were fed out of order"
                         )
-                    parent_edge = parent_node.edge_from_parent
-                    assert isinstance(parent_edge, RecursionEdgeLabel)
-                    node = self._new_node(
-                        kind="module",
-                        module_name=module_name,
-                        instance_uid=instance_uid,
-                        parent=recursive,
-                        edge=RecursionEdgeLabel(
-                            parent_edge.s, parent_edge.t, parent_edge.i + 1
-                        ),
+                    kind, s, t, i = table.edge_fields(parent_node.path_id)
+                    assert kind == KIND_RECURSION
+                    node = ParseNode(
+                        table,
+                        add_recursion_edge(recursive.path_id, s, t, i + 1),
+                        module_name,
+                        instance_uid,
+                        None,
+                        None,
+                        recursive,
                     )
+                    next_uid += 1
                 else:
                     # Rule (2b): start a new recursion chain below this node.
-                    s, t = self._index.cycle_position(module_name)
-                    recursive = self._new_node(
-                        kind="recursive",
-                        cycle=s,
-                        rotation=t,
-                        parent=parent_node,
-                        edge=ProductionEdgeLabel(production_k, position),
+                    s, t = cycle_position
+                    recursive = ParseNode(
+                        table,
+                        add_production_edge(
+                            parent_node.path_id, production_k, position
+                        ),
+                        None,
+                        None,
+                        s,
+                        t,
+                        parent_node,
                     )
-                    node = self._new_node(
-                        kind="module",
-                        module_name=module_name,
-                        instance_uid=instance_uid,
-                        parent=recursive,
-                        edge=RecursionEdgeLabel(s, t, 1),
+                    next_uid += 1
+                    parent_node._attach(recursive)
+                    node = ParseNode(
+                        table,
+                        add_recursion_edge(recursive.path_id, s, t, 1),
+                        module_name,
+                        instance_uid,
+                        None,
+                        None,
+                        recursive,
                     )
+                    next_uid += 1
             else:
-                node = self._new_node(
-                    kind="module",
-                    module_name=module_name,
-                    instance_uid=instance_uid,
-                    parent=parent_node,
-                    edge=ProductionEdgeLabel(production_k, position),
+                node = ParseNode(
+                    table,
+                    add_production_edge(
+                        parent_node.path_id, production_k, position
+                    ),
+                    module_name,
+                    instance_uid,
+                    None,
+                    None,
+                    parent_node,
                 )
-            self._by_instance[instance_uid] = node
-            created[instance_uid] = node
+                next_uid += 1
+            node_parent = node.parent
+            siblings = node_parent._children
+            if siblings is None:
+                node_parent._children = [node]
+            else:
+                siblings.append(node)
+            by_instance[instance_uid] = node
+            if created is not None:
+                created[instance_uid] = node
+            if position_path_ids is not None:
+                position_path_ids[position] = node.path_id
+        self._next_uid = next_uid
         return created
 
     # -- internals -----------------------------------------------------------------
@@ -228,33 +389,28 @@ class CompressedParseTree:
         *,
         kind: str,
         parent: ParseNode | None,
-        edge: EdgeLabel | None,
+        path_id: int,
         module_name: str | None = None,
         instance_uid: str | None = None,
         cycle: int | None = None,
         rotation: int | None = None,
     ) -> ParseNode:
-        path: tuple[EdgeLabel, ...]
-        if parent is None:
-            path = ()
-        elif edge is None:  # pragma: no cover - defensive
+        if parent is not None and path_id == ROOT_PATH:  # pragma: no cover - defensive
             raise LabelingError("non-root nodes need an edge label")
-        else:
-            path = parent.path + (edge,)
+        if (kind == "module") != (module_name is not None):  # pragma: no cover
+            raise LabelingError("module nodes carry a module name, recursive nodes none")
         node = ParseNode(
-            uid=self._next_uid,
-            kind=kind,
-            module_name=module_name,
-            instance_uid=instance_uid,
-            cycle=cycle,
-            rotation=rotation,
-            parent=parent,
-            edge_from_parent=edge,
-            path=path,
+            self._table,
+            path_id,
+            module_name,
+            instance_uid,
+            cycle,
+            rotation,
+            parent,
         )
         self._next_uid += 1
         if parent is not None:
-            parent.children.append(node)
+            parent._attach(node)
         return node
 
 

@@ -45,6 +45,8 @@ class GrammarIndex:
         for s, cycle in enumerate(self._cycles, start=1):
             for t, edge in enumerate(cycle, start=1):
                 self._cycle_position[edge.source] = (s, t)
+        # production k -> ((position, module_name, cycle_position | None), ...)
+        self._production_children: dict[int, tuple] = {}
 
     # -- basic accessors ---------------------------------------------------------
 
@@ -93,11 +95,42 @@ class GrammarIndex:
         """The RHS occurrence id at position ``i`` of production ``k``."""
         return self._grammar.production(k).rhs.occurrence_at(i)
 
+    def production_children(self, k: int) -> tuple:
+        """The static child template of production ``k`` (cached).
+
+        One entry ``(position, module_name, cycle_position_or_None)`` per
+        right-hand-side module in the fixed topological order — everything
+        the parse-tree builder needs about a child that does not depend on
+        the run, so the hot ingest path reads no per-child grammar state.
+        """
+        cached = self._production_children.get(k)
+        if cached is None:
+            rhs = self._grammar.production(k).rhs
+            cached = tuple(
+                (
+                    position,
+                    rhs.module_of(occurrence).name,
+                    self._cycle_position.get(rhs.module_of(occurrence).name),
+                )
+                for position, occurrence in enumerate(rhs.topological_order, start=1)
+            )
+            self._production_children[k] = cached
+        return cached
+
     # -- cycles ------------------------------------------------------------------------
 
     def is_recursive_module(self, module_name: str) -> bool:
         """Whether the module lies on a cycle of the production graph."""
         return module_name in self._cycle_position
+
+    @property
+    def cycle_positions(self) -> dict[str, tuple[int, int]]:
+        """``module name -> (s, t)`` for every recursive module (treat as read-only).
+
+        Exposed so hot loops can probe recursion membership and cycle
+        position with a single dict lookup instead of two method calls.
+        """
+        return self._cycle_position
 
     def cycle_position(self, module_name: str) -> tuple[int, int]:
         """``(s, t)`` such that cycle ``s``'s edge ``t`` leaves ``module_name``."""

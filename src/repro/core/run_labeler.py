@@ -1,21 +1,32 @@
 """Dynamic labeling of workflow runs (Section 4.2.3).
 
 The :class:`RunLabeler` consumes the event stream of a
-:class:`~repro.model.derivation.Derivation` and assigns a
-:class:`~repro.core.labels.DataLabel` to every data item the moment it is
-produced.  Labels are built from the compressed parse tree, which the labeler
-grows top-down alongside the derivation; they are never modified afterwards
-(Definition 10), and they do not depend on any view — the same labels serve
-every safe view of the specification (view-adaptivity, Definition 11).
+:class:`~repro.model.derivation.Derivation` and assigns a data label to every
+data item the moment it is produced.  Labels are built from the compressed
+parse tree, which the labeler grows top-down alongside the derivation; they
+are never modified afterwards (Definition 10), and they do not depend on any
+view — the same labels serve every safe view of the specification
+(view-adaptivity, Definition 11).
+
+Labels live in a columnar :class:`~repro.store.LabelStore` by default: the
+hot ingest loop records four integers per item (producer/consumer path id and
+port) against the parse tree's interned :class:`~repro.store.PathTable`, and
+:class:`~repro.core.labels.DataLabel` value objects are materialised lazily,
+only for the items a caller actually reads.  Pass ``columnar=False`` to get
+the legacy per-item object representation (used as the comparison baseline by
+the ingest benchmark and the differential tests).
 """
 
 from __future__ import annotations
 
-from repro.core.labels import DataLabel, PortLabel
+from typing import Mapping
+
+from repro.core.labels import DataLabel
 from repro.core.parse_tree import CompressedParseTree, ParseNode
 from repro.core.preprocessing import GrammarIndex
 from repro.errors import LabelingError
 from repro.model.derivation import Derivation, ExpansionEvent, InitialEvent
+from repro.store import NO_PATH, LabelStore, ObjectLabelStore, PathTable
 
 __all__ = ["RunLabeler"]
 
@@ -30,10 +41,22 @@ class RunLabeler:
     for future ones).
     """
 
-    def __init__(self, index: GrammarIndex) -> None:
+    def __init__(
+        self,
+        index: GrammarIndex,
+        *,
+        columnar: bool = True,
+        path_table: "PathTable | None" = None,
+    ) -> None:
         self._index = index
-        self._tree = CompressedParseTree(index)
-        self._labels: dict[int, DataLabel] = {}
+        self._tree = CompressedParseTree(index, path_table)
+        table = self._tree.path_table
+        self._store: LabelStore | ObjectLabelStore = (
+            LabelStore(table) if columnar else ObjectLabelStore(table)
+        )
+        #: Reusable position -> path id scratch buffer; every expansion
+        #: overwrites exactly the positions its items can reference.
+        self._position_path_ids: list[int] = []
         self._started = False
 
     # -- accessors -----------------------------------------------------------
@@ -47,22 +70,28 @@ class RunLabeler:
         return self._tree
 
     @property
-    def labels(self) -> dict[int, DataLabel]:
-        """All data labels assigned so far, keyed by data item uid."""
-        return dict(self._labels)
+    def store(self) -> LabelStore | ObjectLabelStore:
+        """The label store backing this labeler (columnar unless opted out)."""
+        return self._store
+
+    @property
+    def labels(self) -> Mapping[int, DataLabel]:
+        """A read-only ``uid -> DataLabel`` view of all labels assigned so far.
+
+        The view is O(1) to obtain (no copy); store-backed labelers
+        materialise the value objects lazily per access.
+        """
+        return self._store.labels_view()
 
     def label(self, item_uid: int) -> DataLabel:
         """The label of one data item."""
-        try:
-            return self._labels[item_uid]
-        except KeyError:
-            raise LabelingError(f"data item {item_uid} has not been labelled") from None
+        return self._store.label(item_uid)
 
     def __len__(self) -> int:
-        return len(self._labels)
+        return len(self._store)
 
     def __contains__(self, item_uid: int) -> bool:
-        return item_uid in self._labels
+        return item_uid in self._store
 
     # -- event consumption ------------------------------------------------------
 
@@ -73,10 +102,10 @@ class RunLabeler:
 
     def __call__(self, event: object) -> None:
         """Consume one derivation event (listener protocol)."""
-        if isinstance(event, InitialEvent):
-            self._on_initial(event)
-        elif isinstance(event, ExpansionEvent):
+        if isinstance(event, ExpansionEvent):
             self._on_expansion(event)
+        elif isinstance(event, InitialEvent):
+            self._on_initial(event)
         else:  # pragma: no cover - defensive
             raise LabelingError(f"unknown derivation event {event!r}")
 
@@ -86,17 +115,12 @@ class RunLabeler:
         if self._started:
             raise LabelingError("the run labeler already observed an initial event")
         self._started = True
-        node = self._tree.start(event.instance.uid)
+        path_id = self._tree.start(event.instance.uid).path_id
+        append = self._store.append
         for port, item_uid in enumerate(event.input_items, start=1):
-            self._assign(
-                item_uid,
-                DataLabel(producer=None, consumer=PortLabel(node.path, port)),
-            )
+            append(item_uid, NO_PATH, 0, path_id, port)
         for port, item_uid in enumerate(event.output_items, start=1):
-            self._assign(
-                item_uid,
-                DataLabel(producer=PortLabel(node.path, port), consumer=None),
-            )
+            append(item_uid, path_id, port, NO_PATH, 0)
 
     def _on_expansion(self, event: ExpansionEvent) -> None:
         if not self._started:
@@ -104,26 +128,18 @@ class RunLabeler:
                 "expansion event received before the initial event; attach the "
                 "labeler with replay=True"
             )
-        children = [
-            (child.uid, child.position or 0, child.module_name)
-            for child in event.children
-        ]
-        nodes = self._tree.expand(event.parent.uid, event.production_index, children)
-        for item in event.new_items:
-            producer_node = nodes[item.producer_instance]
-            consumer_node = nodes[item.consumer_instance]
-            label = DataLabel(
-                producer=PortLabel(producer_node.path, item.producer_port),
-                consumer=PortLabel(consumer_node.path, item.consumer_port),
-            )
-            self._assign(item.uid, label)
+        position_path_ids = self._position_path_ids
+        needed = len(event.children) + 1 - len(position_path_ids)
+        if needed > 0:
+            position_path_ids.extend([-1] * needed)
+        self._tree.expand_event(
+            event.parent.uid, event.production_index, event.children, position_path_ids
+        )
+        self._store.extend_items(event.new_items, position_path_ids)
 
     def _assign(self, item_uid: int, label: DataLabel) -> None:
-        if item_uid in self._labels:
-            raise LabelingError(
-                f"data item {item_uid} was already labelled; labels are immutable"
-            )
-        self._labels[item_uid] = label
+        """Record one label given as a value object (raises if already labelled)."""
+        self._store.append_label(item_uid, label)
 
     # -- convenience -------------------------------------------------------------------
 

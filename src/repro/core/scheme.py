@@ -70,13 +70,25 @@ class FVLScheme:
 
     # -- phi_r: dynamic labeling of runs -------------------------------------------
 
-    def run_labeler(self) -> RunLabeler:
+    def run_labeler(self, *, columnar: bool = True, path_table=None) -> RunLabeler:
         """A fresh run labeler (to be attached to a derivation manually)."""
-        return RunLabeler(self._index)
+        return RunLabeler(self._index, columnar=columnar, path_table=path_table)
 
-    def label_run(self, derivation: Derivation) -> RunLabeler:
-        """Label a derivation: past events are replayed, future ones streamed."""
-        return RunLabeler(self._index).attach(derivation)
+    def label_run(
+        self, derivation: Derivation, *, columnar: bool = True, path_table=None
+    ) -> RunLabeler:
+        """Label a derivation: past events are replayed, future ones streamed.
+
+        ``columnar=False`` selects the legacy per-item value-object label
+        representation instead of the columnar :class:`~repro.store.LabelStore`
+        (only useful for comparisons; the answers are identical).  Passing a
+        shared ``path_table`` interns this run's paths in an existing arena so
+        path ids are comparable across runs (the query engine does this for
+        its shards).
+        """
+        return RunLabeler(
+            self._index, columnar=columnar, path_table=path_table
+        ).attach(derivation)
 
     # -- phi_v: static labeling of views --------------------------------------------
 

@@ -47,6 +47,7 @@ from repro.model.derivation import Derivation
 from repro.model.grammar import WorkflowGrammar
 from repro.model.specification import WorkflowSpecification
 from repro.model.views import WorkflowView
+from repro.store import LabelStore, PathTable
 
 __all__ = ["MATRIX_FREE", "DEFAULT_RUN", "DependsQuery", "EngineStats", "QueryEngine"]
 
@@ -102,6 +103,10 @@ class QueryEngine:
         decode_cache_entries: int | None = 65536,
     ) -> None:
         self._scheme = source if isinstance(source, FVLScheme) else FVLScheme(source)
+        #: One shared path arena for every shard: path ids are engine-global,
+        #: sibling runs dedupe their parse-tree paths, and the decode caches
+        #: can key on integer id pairs across runs.
+        self._path_table = PathTable()
         self._variant = self._check_variant(variant)
         self._views: dict[str, WorkflowView] = {}
         self._states: LRUCache = LRUCache(cache_size)
@@ -126,10 +131,14 @@ class QueryEngine:
         return tuple(self._views)
 
     def add_run(self, run_id: str, derivation: Derivation) -> RunLabeler:
-        """Register (and label) one run; past events are replayed, future streamed."""
+        """Register (and label) one run; past events are replayed, future streamed.
+
+        Runs are labelled into the engine's shared path arena; register runs
+        from one thread (queries may run concurrently, registration may not).
+        """
         if run_id in self._shards:
             raise LabelingError(f"run {run_id!r} is already registered with this engine")
-        labeler = self._scheme.label_run(derivation)
+        labeler = self._scheme.label_run(derivation, path_table=self._path_table)
         self._shards[run_id] = _RunShard(run_id, derivation, labeler)
         return labeler
 
@@ -321,14 +330,17 @@ class QueryEngine:
         state: "DecodedViewState | DecodedMatrixFreeState",
         pairs: list[tuple[int, int]],
     ) -> list[bool]:
-        label = shard.labeler.label
-        labels = [(label(d1), label(d2)) for d1, d2 in pairs]
         with self._lock:
             shard.queries += len(pairs)
             self._batches += 1
+        label = shard.labeler.label
         if isinstance(state, DecodedMatrixFreeState):
-            return [state.depends(l1, l2) for l1, l2 in labels]
+            return [state.depends(label(d1), label(d2)) for d1, d2 in pairs]
+        store = shard.labeler.store
+        if isinstance(store, LabelStore):
+            return self._evaluate_store(store, state, pairs)
 
+        labels = [(label(d1), label(d2)) for d1, d2 in pairs]
         results = [False] * len(labels)
         # Group intermediate-pair queries by the parse-tree paths of their
         # labels: the reachability matrix is path-constant, so each group
@@ -346,6 +358,50 @@ class QueryEngine:
             groups.setdefault((o1.path, i2.path), []).append((pos, o1.port, i2.port))
         for (path1, path2), members in groups.items():
             matrix = intermediate_matrix(path1, path2, state, state.decode_cache)
+            if matrix is None:
+                continue
+            for pos, x, y in members:
+                results[pos] = matrix.get(x, y)
+        return results
+
+    def _evaluate_store(
+        self,
+        store: LabelStore,
+        state: "DecodedViewState",
+        pairs: list[tuple[int, int]],
+    ) -> list[bool]:
+        """Store-backed batch evaluation: no label objects, integer grouping.
+
+        Labels are read as packed integer rows and intermediate pairs are
+        grouped (and their matrices cached) by ``(producer_path_id,
+        consumer_path_id)`` — hashing two small ints per query instead of two
+        edge-label tuples.  Only boundary queries (an initial input or a
+        final output on either side) materialise value objects, through the
+        segment-chain path that already memoizes per path.
+        """
+        row = store.row
+        results = [False] * len(pairs)
+        groups: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+        for pos, (d1, d2) in enumerate(pairs):
+            p1, p1_port, c1, _ = row(d1)
+            p2, _, c2, c2_port = row(d2)
+            if c1 < 0 or p2 < 0:
+                continue  # nothing depends on a final output / initial inputs depend on nothing
+            if p1 < 0 or c2 < 0:
+                # Boundary cases are answered by one (cached) segment chain.
+                results[pos] = state.depends(store.label(d1), store.label(d2))
+                continue
+            groups.setdefault((p1, c2), []).append((pos, p1_port, c2_port))
+        cache = state.decode_cache
+        pair_matrices = cache.pair_matrices
+        path = store.table.path
+        for key, members in groups.items():
+            try:
+                matrix = pair_matrices[key]
+            except KeyError:
+                matrix = intermediate_matrix(
+                    path(key[0]), path(key[1]), state, cache, key=key
+                )
             if matrix is None:
                 continue
             for pos, x, y in members:

@@ -1,0 +1,34 @@
+"""Columnar label storage: arena-interned parse-tree paths and bulk run labels.
+
+The ingest-side counterpart of the batched query engine: paths of the
+compressed parse tree are interned once in a :class:`PathTable` trie, and a
+run's data labels become four integer columns in a :class:`LabelStore`
+instead of per-item value objects.  See the architecture section of the
+README for how the store sits between the run labeler and the codec/engine.
+"""
+
+from repro.store.label_store import (
+    NO_PATH,
+    LabelStore,
+    LabelStoreMapping,
+    ObjectLabelStore,
+)
+from repro.store.path_table import (
+    KIND_PRODUCTION,
+    KIND_RECURSION,
+    KIND_ROOT,
+    ROOT_PATH,
+    PathTable,
+)
+
+__all__ = [
+    "PathTable",
+    "ROOT_PATH",
+    "KIND_ROOT",
+    "KIND_PRODUCTION",
+    "KIND_RECURSION",
+    "LabelStore",
+    "LabelStoreMapping",
+    "ObjectLabelStore",
+    "NO_PATH",
+]
