@@ -1,14 +1,16 @@
-"""Ingest extension: labeling throughput and label memory, object vs columnar.
+"""Ingest extension: throughput, label/node memory and checkpoints.
 
 Regenerates the ingest experiment (see ``repro.bench.ingest``) and checks the
-structural claim of the columnar store at the largest benchmarked run size:
-label memory an order of magnitude below the object representation.  The
-memory ratio is deterministic (byte counts, no timing).  The construction
-speedup (target: >=5x) is *recorded* — in the printed table and in
+structural claims of the columnar run at the largest benchmarked run size:
+label memory an order of magnitude below the object representation, and the
+node arena well below the object parse tree.  Both ratios are deterministic
+(byte counts, no timing).  The construction speedup (target: >=5x) and the
+checkpoint latencies are *recorded* — in the printed table and in
 ``BENCH_ingest.json`` via the bench-smoke CI step — but deliberately not
 asserted: this body also runs under CI's ``--benchmark-disable`` smoke pass,
 which must stay timing-independent; the non-timing enforcement that per-item
-object construction cannot return is ``tests/store/test_alloc_guard.py``.
+and per-node object construction cannot return is
+``tests/store/test_alloc_guard.py``.
 """
 
 from repro.bench.ingest import ingest_throughput
@@ -29,6 +31,11 @@ def test_ingest_regenerate(workload, benchmark):
     assert memory_ratio >= 10, (
         f"columnar label memory only {memory_ratio}x below the object "
         "representation at the largest run size (target: >=10x)"
+    )
+    tree_ratio = table.column("tree_memory_ratio")[-1]
+    assert tree_ratio >= 2, (
+        f"node arena only {tree_ratio}x below the object parse tree at the "
+        "largest run size (target: >=2x)"
     )
 
 

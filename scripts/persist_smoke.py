@@ -1,0 +1,76 @@
+"""Persistence round-trip smoke check (used by the CI bench-smoke job).
+
+Labels a BioAID-like run, checkpoints it (full, then an incremental delta of
+a continued derivation), attaches the file as a read-only mmap-backed shard
+and asserts that `depends_batch` answers are bit-identical to the in-memory
+shard — the end-to-end contract of `repro.store.persist`.
+
+Run with:  PYTHONPATH=src python scripts/persist_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import sample_query_pairs  # noqa: E402
+from repro.core import FVLScheme, FVLVariant  # noqa: E402
+from repro.core.run_labeler import RunLabeler  # noqa: E402
+from repro.engine import DEFAULT_RUN, QueryEngine  # noqa: E402
+from repro.model.projection import ViewProjection  # noqa: E402
+from repro.store import MappedRunStore, checkpoint_run  # noqa: E402
+from repro.workloads import build_bioaid_specification, random_run, random_view  # noqa: E402
+
+
+def main() -> int:
+    spec = build_bioaid_specification()
+    scheme = FVLScheme(spec)
+    derivation = random_run(spec, 800, seed=42)
+    view = random_view(spec, 6, seed=7, mode="grey", name="smoke-view")
+    items = sorted(ViewProjection(derivation.run, view).visible_items)
+    pairs = sample_query_pairs(items, 1500, seed=3)
+
+    reference = QueryEngine(scheme)
+    reference.add_run(DEFAULT_RUN, derivation)
+    expected = reference.depends_batch(pairs, view, variant=FVLVariant.DEFAULT)
+
+    events = derivation.events
+    cut = int(len(events) * 0.9)
+    with tempfile.TemporaryDirectory(prefix="persist-smoke-") as tmp:
+        run_file = os.path.join(tmp, "run.fvl")
+        labeler = RunLabeler(scheme.index)
+        for event in events[:cut]:
+            labeler(event)
+        first = checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+        for event in events[cut:]:
+            labeler(event)
+        delta = checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+        assert first.created and delta.wrote_segment, (first, delta)
+        assert delta.delta_items > 0, "continued derivation produced no delta rows"
+
+        served = QueryEngine(scheme)
+        mapped = served.attach(run_file, run_id=DEFAULT_RUN)
+        assert mapped.n_segments == 2
+        assert mapped.n_items == derivation.run.n_data_items
+        got = served.depends_batch(pairs, view, variant=FVLVariant.DEFAULT)
+        if got != expected:
+            mismatches = sum(1 for a, b in zip(got, expected) if a != b)
+            print(f"FAIL: {mismatches}/{len(pairs)} answers differ after mmap reload")
+            return 1
+        # Sanity: node columns survived too.
+        with MappedRunStore(run_file) as reread:
+            assert reread.nodes is not None
+            assert reread.nodes.max_fanout() == labeler.tree.max_fanout()
+        print(
+            f"persistence smoke OK: {len(pairs)} queries bit-identical after "
+            f"checkpoint ({first.delta_items}+{delta.delta_items} items over "
+            f"{mapped.n_segments} segments) and mmap reload"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

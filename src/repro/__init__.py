@@ -52,7 +52,13 @@ from repro.errors import (
     VisibilityError,
 )
 from repro.matrices import BoolMatrix
-from repro.store import LabelStore, PathTable
+from repro.store import (
+    LabelStore,
+    MappedRunStore,
+    NodeTable,
+    PathTable,
+    checkpoint_run,
+)
 from repro.model import (
     DataEdge,
     DependencyAssignment,
@@ -101,6 +107,9 @@ __all__ = [
     # store
     "PathTable",
     "LabelStore",
+    "NodeTable",
+    "MappedRunStore",
+    "checkpoint_run",
     # engine
     "QueryEngine",
     "DependsQuery",

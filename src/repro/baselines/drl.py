@@ -78,6 +78,8 @@ class DRLRunLabeler:
         self._retained = retained
         self._tree = CompressedParseTree(index)
         self._labels: dict[int, DRLLabel] = {}
+        #: Reusable position -> path id scratch buffer (see RunLabeler).
+        self._position_path_ids: list[int] = []
         self._started = False
 
     @property
@@ -140,11 +142,25 @@ class DRLRunLabeler:
             (child.uid, child.position or 0, child.module_name)
             for child in event.children
         ]
-        nodes = self._tree.expand(event.parent.uid, event.production_index, children)
+        position_path_ids = self._position_path_ids
+        needed = len(children) + 1 - len(position_path_ids)
+        if needed > 0:
+            position_path_ids.extend([-1] * needed)
+        # Resolve the new items by production position through the arena
+        # (DRL's per-item label objects are the baseline cost being measured;
+        # node flyweights are not, so skip materialising them).
+        self._tree.expand(
+            event.parent.uid,
+            event.production_index,
+            children,
+            position_path_ids,
+            materialize_nodes=False,
+        )
+        path = self._tree.path_table.path
         for item in event.new_items:
             label = DataLabel(
-                PortLabel(nodes[item.producer_instance].path, item.producer_port),
-                PortLabel(nodes[item.consumer_instance].path, item.consumer_port),
+                PortLabel(path(position_path_ids[item.producer_position]), item.producer_port),
+                PortLabel(path(position_path_ids[item.consumer_position]), item.consumer_port),
             )
             self._assign(item.uid, label)
 

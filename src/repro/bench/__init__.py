@@ -14,7 +14,13 @@ from repro.bench.experiments import (
     fig26_batched_query_throughput,
     table1_factors,
 )
-from repro.bench.ingest import deep_object_bytes, ingest_throughput, write_ingest_json
+from repro.bench.ingest import (
+    checkpoint_latency,
+    deep_object_bytes,
+    ingest_throughput,
+    object_tree_bytes,
+    write_ingest_json,
+)
 from repro.bench.measure import ResultTable, Timer, time_call
 from repro.bench.reporting import format_table, format_tables, write_all_csv, write_csv
 from repro.bench.workloads import PreparedWorkload, prepare_bioaid, sample_query_pairs
@@ -44,5 +50,7 @@ __all__ = [
     "table1_factors",
     "ingest_throughput",
     "write_ingest_json",
+    "object_tree_bytes",
+    "checkpoint_latency",
     "deep_object_bytes",
 ]

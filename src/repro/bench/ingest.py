@@ -1,18 +1,27 @@
-"""Ingest-side experiment: labeling throughput and label memory, object vs columnar.
+"""Ingest-side experiment: labeling throughput, label/node memory, checkpoints.
 
 Not part of the paper's Section 6 — this extension experiment quantifies the
-columnar label store (``src/repro/store``) against the seed's per-item
-value-object representation on the same BioAID-like workload Figure 18 uses:
+columnar run representation (``src/repro/store``) against the seed's
+per-item/per-node object representation on the same BioAID-like workload
+Figure 18 uses:
 
 * **throughput** — items labelled per second for a whole run, measured as the
   best of several interleaved samples (both representations replay the same
-  prebuilt derivation, so the comparison isolates the label representation);
-* **memory** — resident bytes of the label state once the run is ingested:
-  deep object-graph size of the ``dict[int, DataLabel]`` for the object
-  representation, packed column payload (label store plus path-table arena)
-  for the columnar one;
+  prebuilt derivation, so the comparison isolates the representation; since
+  the node arena, the columnar side builds the parse tree as integer rows
+  while the object side builds one ``ObjectParseNode`` per node);
+* **label memory** — resident bytes of the label state once the run is
+  ingested: deep object-graph size of the ``dict[int, DataLabel]`` for the
+  object representation, packed column payload (label store plus path-table
+  arena) for the columnar one;
+* **node memory** — resident bytes of the parse tree itself: the traversed
+  object graph (nodes + child lists) vs the :class:`NodeTable` columns;
 * **bulk encoding** — the size of :meth:`LabelCodec.encode_run`'s single
-  packed buffer, the at-rest form of a columnar run.
+  packed buffer, the at-rest form of a columnar run;
+* **checkpoint latency** — wall time of a full
+  :func:`~repro.store.checkpoint_run` of the finished run, and of an
+  incremental checkpoint that appends only the delta rows of the last ~10%
+  of the derivation.
 
 ``python -m repro.bench.ingest --json BENCH_ingest.json`` writes the rows as
 JSON (the CI bench-smoke step uploads this artifact to seed the performance
@@ -23,14 +32,24 @@ from __future__ import annotations
 
 import gc
 import json
+import os
 import sys
+import tempfile
 import time
 
 from repro.bench.measure import ResultTable
 from repro.bench.workloads import PreparedWorkload, prepare_bioaid
+from repro.core.run_labeler import RunLabeler
 from repro.io import LabelCodec
+from repro.store import checkpoint_run
 
-__all__ = ["deep_object_bytes", "ingest_throughput", "write_ingest_json"]
+__all__ = [
+    "deep_object_bytes",
+    "object_tree_bytes",
+    "checkpoint_latency",
+    "ingest_throughput",
+    "write_ingest_json",
+]
 
 DEFAULT_RUN_SIZES = (1000, 2000, 4000, 8000)
 
@@ -54,6 +73,59 @@ def deep_object_bytes(root: object) -> int:
         stack.extend(gc.get_referents(obj))
     return total
 
+def object_tree_bytes(tree) -> int:
+    """Bytes of an :class:`ObjectParseTree`'s node graph (nodes + child lists).
+
+    Walks parent->children only, so shared infrastructure both
+    representations use (the path-table arena, the grammar index, the
+    uid->node index) is excluded — this is the per-node object cost the
+    :class:`~repro.store.NodeTable` columns replace.
+    """
+    total = 0
+    stack = [tree.root] if tree.root is not None else []
+    while stack:
+        node = stack.pop()
+        total += sys.getsizeof(node)
+        children = node.children
+        if children:
+            total += sys.getsizeof(children)
+            stack.extend(children)
+    return total
+
+
+def checkpoint_latency(
+    scheme, derivation, *, delta_fraction: float = 0.1
+) -> tuple[float, float]:
+    """``(full_seconds, delta_seconds)`` for checkpointing one run.
+
+    The full checkpoint writes the finished run to a fresh file; the delta
+    measurement replays all but the last ``delta_fraction`` of the derivation
+    events, checkpoints (untimed), replays the rest and times the incremental
+    append — the cost a live deployment pays per checkpoint interval.
+    """
+    events = derivation.events
+    cut = max(1, int(len(events) * (1.0 - delta_fraction)))
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-") as tmp:
+        full_path = os.path.join(tmp, "full.fvl")
+        labeler = RunLabeler(scheme.index)
+        for event in events:
+            labeler(event)
+        start = time.perf_counter()
+        checkpoint_run(full_path, labeler.store, labeler.tree.nodes)
+        full_seconds = time.perf_counter() - start
+
+        delta_path = os.path.join(tmp, "delta.fvl")
+        grower = RunLabeler(scheme.index)
+        for event in events[:cut]:
+            grower(event)
+        checkpoint_run(delta_path, grower.store, grower.tree.nodes)
+        for event in events[cut:]:
+            grower(event)
+        start = time.perf_counter()
+        checkpoint_run(delta_path, grower.store, grower.tree.nodes)
+        delta_seconds = time.perf_counter() - start
+    return full_seconds, delta_seconds
+
 
 def _best_time(fn, samples: int) -> float:
     best = float("inf")
@@ -69,12 +141,12 @@ def ingest_throughput(
     run_sizes: tuple[int, ...] = DEFAULT_RUN_SIZES,
     samples: int = 3,
 ) -> ResultTable:
-    """Items labelled per second and label memory vs run size, both representations."""
+    """Items/second, label+node memory and checkpoint latency vs run size."""
     workload = workload or prepare_bioaid()
     scheme = workload.scheme
     codec = LabelCodec(scheme.index)
     table = ResultTable(
-        "Ingest - labeling throughput and label memory (object vs columnar store)",
+        "Ingest - throughput, label/node memory, checkpoints (object vs columnar)",
         [
             "run_size",
             "object_ms",
@@ -83,12 +155,19 @@ def ingest_throughput(
             "object_KB",
             "columnar_KB",
             "memory_ratio",
+            "tree_object_KB",
+            "tree_columnar_KB",
+            "tree_memory_ratio",
             "bulk_encode_KB",
+            "checkpoint_full_ms",
+            "checkpoint_delta_ms",
         ],
         notes=(
             "BioAID-like workload; best of interleaved samples, label_run only "
-            "(derivation prebuilt); memory is the resident label state after "
-            "ingest"
+            "(derivation prebuilt; object side builds ObjectParseNode objects, "
+            "columnar side NodeTable rows); memory is the resident label/node "
+            "state after ingest; checkpoint_delta appends the last ~10% of "
+            "events to an existing run file"
         ),
     )
     for size in run_sizes:
@@ -107,11 +186,15 @@ def ingest_throughput(
 
         object_labeler = scheme.label_run(derivation, columnar=False)
         object_bytes = deep_object_bytes(dict(object_labeler.labels))
+        tree_obj_bytes = object_tree_bytes(object_labeler.tree)
         columnar_labeler = scheme.label_run(derivation)
         store = columnar_labeler.store.compact()
         store.table.compact()
+        nodes = columnar_labeler.tree.nodes.compact()
         columnar_bytes = store.memory_bytes() + store.table.memory_bytes()
+        tree_col_bytes = nodes.memory_bytes()
         _, bulk_bits = codec.encode_run(store)
+        full_s, delta_s = checkpoint_latency(scheme, derivation)
 
         table.add_row(
             n_items,
@@ -121,7 +204,12 @@ def ingest_throughput(
             round(object_bytes / 1024.0, 1),
             round(columnar_bytes / 1024.0, 1),
             round(object_bytes / columnar_bytes, 1) if columnar_bytes else float("inf"),
+            round(tree_obj_bytes / 1024.0, 1),
+            round(tree_col_bytes / 1024.0, 1),
+            round(tree_obj_bytes / tree_col_bytes, 1) if tree_col_bytes else float("inf"),
             round(bulk_bits / 8.0 / 1024.0, 1),
+            round(full_s * 1e3, 2),
+            round(delta_s * 1e3, 2),
         )
     return table
 

@@ -25,7 +25,13 @@ from repro.core.matrix_free import (
     build_matrix_free_label,
     depends_matrix_free,
 )
-from repro.core.parse_tree import BasicParseTree, CompressedParseTree, ParseNode
+from repro.core.parse_tree import (
+    BasicParseTree,
+    CompressedParseTree,
+    ObjectParseNode,
+    ObjectParseTree,
+    ParseNode,
+)
 from repro.core.preprocessing import GrammarIndex
 from repro.core.run_labeler import RunLabeler
 from repro.core.scheme import FVLScheme
@@ -43,6 +49,8 @@ __all__ = [
     "CompressedParseTree",
     "BasicParseTree",
     "ParseNode",
+    "ObjectParseTree",
+    "ObjectParseNode",
     "RunLabeler",
     "FVLVariant",
     "ViewLabel",

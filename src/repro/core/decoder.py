@@ -38,7 +38,14 @@ from repro.errors import DecodingError
 from repro.matrices import BoolMatrix
 from repro.model.module import Module
 
-__all__ = ["DecodeCache", "inputs_matrix", "outputs_matrix", "depends", "intermediate_matrix"]
+__all__ = [
+    "DecodeCache",
+    "inputs_matrix",
+    "outputs_matrix",
+    "depends",
+    "intermediate_matrix",
+    "intermediate_matrix_for_ids",
+]
 
 
 class DecodeCache:
@@ -269,6 +276,39 @@ def intermediate_matrix(
             pass
     matrix = _intermediate_matrix(l1, l2, view_label, cache)
     if cache is not None and cache.has_room():
+        cache.pair_matrices[key] = matrix
+    return matrix
+
+
+def intermediate_matrix_for_ids(
+    table,
+    path_id1: int,
+    path_id2: int,
+    view_label: ViewLabel,
+    cache: DecodeCache,
+    *,
+    arena: int = 0,
+) -> BoolMatrix | None:
+    """:func:`intermediate_matrix` keyed by interned path ids.
+
+    Store-backed callers (the batch engine, both its scalar and vectorised
+    grouping paths) probe the cache with ``(arena, id1, id2)`` — two ints and
+    a namespace tag — instead of two edge-label tuples.  ``arena``
+    disambiguates id spaces: shards labelled into the engine's shared
+    :class:`~repro.store.PathTable` use one tag, while every attached
+    :class:`~repro.store.MappedRunStore` brings its own trie (ids assigned
+    independently) and must not share cache entries with it.  Paths are
+    materialised as tuples only on a cache miss, once per distinct pair.
+    """
+    key = (arena, int(path_id1), int(path_id2))
+    try:
+        return cache.pair_matrices[key]
+    except KeyError:
+        pass
+    matrix = _intermediate_matrix(
+        table.path(path_id1), table.path(path_id2), view_label, cache
+    )
+    if cache.has_room():
         cache.pair_matrices[key] = matrix
     return matrix
 

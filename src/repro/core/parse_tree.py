@@ -13,11 +13,20 @@ of the compressed tree is bounded by twice the number of composite modules
 (Lemma 4), which is what makes logarithmic data labels possible.
 
 Both trees are built *online*, node by node, as the derivation proceeds
-(Section 4.2.3).  The builder interns every node's root path in a
-:class:`~repro.store.path_table.PathTable` and stores only the integer
-``path_id`` on the node — no per-node path tuple, no per-node edge-label
-object.  ``ParseNode.path`` and ``ParseNode.edge_from_parent`` materialise
-the value objects lazily from the table for compatibility consumers.
+(Section 4.2.3).  :class:`CompressedParseTree` is fully columnar: every node
+is one integer row in a :class:`~repro.store.node_table.NodeTable` (parent
+row, interned path id, packed kind/module word, uid intern id, child count),
+and every node path is interned in a
+:class:`~repro.store.path_table.PathTable`.  The ingest path
+(:meth:`CompressedParseTree.expand_event`) appends rows and **constructs no
+node objects at all**; :class:`ParseNode` is a lazy flyweight over a row id,
+materialised (and cached, so identity is stable) only for the nodes a
+compatibility consumer actually touches.
+
+:class:`ObjectParseTree` is the seed's per-node object representation behind
+the same builder API.  It exists as the baseline for the ingest benchmark and
+for the differential property tests that assert the two representations are
+behaviourally identical.
 """
 
 from __future__ import annotations
@@ -25,22 +34,355 @@ from __future__ import annotations
 from repro.core.labels import EdgeLabel
 from repro.core.preprocessing import GrammarIndex
 from repro.errors import LabelingError
+from repro.store.node_table import NO_NODE, NodeTable
 from repro.store.path_table import (
     KIND_RECURSION,
     ROOT_PATH,
     PathTable,
 )
 
-__all__ = ["ParseNode", "CompressedParseTree", "BasicParseTree"]
+__all__ = [
+    "ParseNode",
+    "CompressedParseTree",
+    "ObjectParseNode",
+    "ObjectParseTree",
+    "BasicParseTree",
+]
 
 
 class ParseNode:
-    """A node of the compressed parse tree.
+    """A lazy flyweight over one :class:`~repro.store.node_table.NodeTable` row.
 
-    ``kind`` is ``"module"`` for module-instance nodes and ``"recursive"``
-    for recursive nodes.  The node's position in the tree is captured by the
-    interned ``path_id``; ``path`` and ``edge_from_parent`` are derived
-    (lazily materialised) views of it.
+    Every attribute is derived from the node's columnar row on access; the
+    object itself holds nothing but the owning tree and the row id.  Trees
+    cache flyweights per row, so ``tree.node_for(uid)`` returns the *same*
+    object for the same node and ``node.parent`` identity works as it did for
+    eager nodes.
+    """
+
+    __slots__ = ("_tree", "row")
+
+    def __init__(self, tree: "CompressedParseTree", row: int) -> None:
+        self._tree = tree
+        self.row = row
+
+    @property
+    def kind(self) -> str:
+        """``"module"`` for module-instance nodes, ``"recursive"`` otherwise."""
+        return "module" if self._tree.nodes.is_module(self.row) else "recursive"
+
+    @property
+    def is_recursive(self) -> bool:
+        return self._tree.nodes.is_recursive(self.row)
+
+    @property
+    def module_name(self) -> str | None:
+        return self._tree.nodes.module_name(self.row)
+
+    @property
+    def instance_uid(self) -> str | None:
+        return self._tree.nodes.uid(self.row)
+
+    @property
+    def cycle(self) -> int | None:
+        return self._tree.nodes.cycle(self.row)
+
+    @property
+    def rotation(self) -> int | None:
+        return self._tree.nodes.rotation(self.row)
+
+    @property
+    def path_id(self) -> int:
+        return self._tree.nodes.path_id(self.row)
+
+    @property
+    def parent(self) -> "ParseNode | None":
+        parent_row = self._tree.nodes.parent_row(self.row)
+        return None if parent_row < 0 else self._tree._node(parent_row)
+
+    @property
+    def children(self) -> list["ParseNode"]:
+        """The node's children (empty for leaves; compatibility accessor)."""
+        node = self._tree._node
+        return [node(row) for row in self._tree.nodes.children_rows(self.row)]
+
+    @property
+    def path(self) -> tuple[EdgeLabel, ...]:
+        """The edge labels from the root to this node (materialised, shared)."""
+        return self._tree.path_table.path(self.path_id)
+
+    @property
+    def edge_from_parent(self) -> EdgeLabel | None:
+        """The label of the edge from the parent node (``None`` for the root)."""
+        return self._tree.path_table.edge(self.path_id)
+
+    @property
+    def depth(self) -> int:
+        return self._tree.path_table.depth(self.path_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = self.instance_uid if self.kind == "module" else f"R(cycle={self.cycle})"
+        return f"ParseNode({name}, path={list(self.path)})"
+
+
+class CompressedParseTree:
+    """Online columnar builder of the compressed parse tree (Section 4.2.3)."""
+
+    def __init__(
+        self,
+        index: GrammarIndex,
+        path_table: PathTable | None = None,
+        node_table: NodeTable | None = None,
+    ) -> None:
+        self._index = index
+        self._table = path_table if path_table is not None else PathTable()
+        # A private arena sees every node exactly once, so edges can be
+        # appended blindly; a shared arena (query-engine shards) must go
+        # through the interning probe so identical paths of sibling runs
+        # dedupe to one id (and the bulk codec never sees duplicate rows).
+        if path_table is None:
+            self._add_production_edge = self._table.new_production_child
+            self._add_recursion_edge = self._table.new_recursion_child
+        else:
+            self._add_production_edge = self._table.extend_production
+            self._add_recursion_edge = self._table.extend_recursion
+        self._nodes = node_table if node_table is not None else NodeTable()
+        #: instance uid -> node row id (the only per-node dict the tree keeps;
+        #: node_for is keyed by uid, so it cannot be columnar).
+        self._by_instance: dict[str, int] = {}
+        #: row id -> flyweight, filled lazily so ``node.parent is node2.parent``
+        #: style identity holds for compatibility consumers without the ingest
+        #: path ever constructing a node object.
+        self._flyweights: dict[int, ParseNode] = {}
+        self._started = False
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def root(self) -> ParseNode | None:
+        return self._node(0) if len(self._nodes) else None
+
+    @property
+    def path_table(self) -> PathTable:
+        """The arena all node paths of this tree are interned in."""
+        return self._table
+
+    @property
+    def nodes(self) -> NodeTable:
+        """The columnar node arena backing this tree."""
+        return self._nodes
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    def _node(self, row: int) -> ParseNode:
+        node = self._flyweights.get(row)
+        if node is None:
+            node = self._flyweights[row] = ParseNode(self, row)
+        return node
+
+    def node_row_for(self, instance_uid: str) -> int:
+        """The node row of a module instance (raises for unknown instances)."""
+        try:
+            return self._by_instance[instance_uid]
+        except KeyError:
+            raise LabelingError(
+                f"no parse-tree node for instance {instance_uid!r}; the labeler "
+                "must observe every derivation event in order"
+            ) from None
+
+    def node_for(self, instance_uid: str) -> ParseNode:
+        return self._node(self.node_row_for(instance_uid))
+
+    def has_node(self, instance_uid: str) -> bool:
+        return instance_uid in self._by_instance
+
+    def depth(self) -> int:
+        """Maximum depth over all module nodes (used in quality analysis)."""
+        nodes = self._nodes
+        depth = self._table.depth
+        return max(
+            (depth(nodes.path_id(row)) for row in nodes.module_rows()), default=0
+        )
+
+    def max_fanout(self) -> int:
+        """Maximum number of children of any node (theta_t in Theorem 10)."""
+        return self._nodes.max_fanout()
+
+    # -- construction ------------------------------------------------------------
+
+    def start_event(self, instance_uid: str) -> int:
+        """Create the root structure for the start module (rule (1)/(2) of 4.2.3).
+
+        This is the ingest entry point: it appends the root row(s) and returns
+        the start instance's *path id* without materialising a node object.
+        """
+        if self._started:
+            raise LabelingError("the parse tree already has a root")
+        self._started = True
+        nodes = self._nodes
+        start_name = self._index.grammar.start
+        if self._index.is_recursive_module(start_name):
+            s, t = self._index.cycle_position(start_name)
+            recursive_row = nodes.append_recursive(NO_NODE, ROOT_PATH, s, t)
+            path_id = self._table.extend_recursion(ROOT_PATH, s, t, 1)
+            row = nodes.append_module(
+                recursive_row, path_id, nodes.module_id(start_name), instance_uid
+            )
+        else:
+            path_id = ROOT_PATH
+            row = nodes.append_module(
+                NO_NODE, ROOT_PATH, nodes.module_id(start_name), instance_uid
+            )
+        self._by_instance[instance_uid] = row
+        return path_id
+
+    def start(self, instance_uid: str) -> ParseNode:
+        """Compatibility wrapper over :meth:`start_event` returning the node."""
+        self.start_event(instance_uid)
+        return self.node_for(instance_uid)
+
+    def expand(
+        self,
+        parent_instance_uid: str,
+        production_k: int,
+        children: list[tuple[str, int, str]],
+        position_path_ids: list[int] | None = None,
+        *,
+        materialize_nodes: bool = True,
+    ) -> dict[str, ParseNode] | None:
+        """Insert the nodes for one production application.
+
+        ``children`` lists ``(instance_uid, position, module_name)`` for every
+        right-hand-side module, in the fixed topological order.  Returns the
+        mapping from instance uid to the created parse node (``None`` when
+        ``materialize_nodes=False`` — callers that only need path ids pass
+        ``position_path_ids`` instead and skip the flyweight dict).  When the
+        caller passes ``position_path_ids`` (a list of length
+        ``len(children) + 1``), slot ``position`` is filled with the created
+        node's path id — the hot ingest path resolves data items by production
+        position through it instead of hashing instance uids.
+
+        The insertion rules follow Section 4.2.3: non-recursive children
+        become children of the expanded node with a ``(k, i)`` edge; a child
+        in the *same* cycle as the expanded module becomes the next child of
+        the enclosing recursive node (label ``(s, t, i+1)``); a child in a
+        *different* cycle gets a fresh recursive node in between.
+        """
+        cycle_position_of = self._index.cycle_positions.get
+        entries = [
+            (position, module_name, cycle_position_of(module_name))
+            for _, position, module_name in children
+        ]
+        uids = [instance_uid for instance_uid, _, _ in children]
+        self._expand_rows(
+            parent_instance_uid, production_k, entries, uids, position_path_ids
+        )
+        if not materialize_nodes:
+            return None
+        return {uid: self.node_for(uid) for uid in uids}
+
+    def expand_event(
+        self,
+        parent_instance_uid: str,
+        production_k: int,
+        instances,
+        position_path_ids: list[int] | None = None,
+    ) -> None:
+        """Fast path of :meth:`expand` for derivation events.
+
+        ``instances`` are the event's :class:`~repro.model.run.ModuleInstance`
+        children, which a :class:`~repro.model.derivation.Derivation` emits in
+        the production's fixed topological order; everything else about the
+        children comes from the grammar's cached per-production template, so
+        the per-child work is a handful of integer column appends.  Created
+        nodes are reachable through :meth:`node_for` / ``position_path_ids``;
+        no node objects (and no per-call dict) are built.
+        """
+        entries = self._index.production_children(production_k)
+        if len(entries) != len(instances):
+            raise LabelingError(
+                f"production {production_k} has {len(entries)} right-hand-side "
+                f"modules but the event carries {len(instances)} children"
+            )
+        uids = [instance.uid for instance in instances]
+        self._expand_rows(
+            parent_instance_uid, production_k, entries, uids, position_path_ids
+        )
+
+    def _expand_rows(
+        self,
+        parent_instance_uid: str,
+        production_k: int,
+        entries,
+        uids: list[str],
+        position_path_ids: list[int] | None,
+    ) -> None:
+        parent_row = self.node_row_for(parent_instance_uid)
+        nodes = self._nodes
+        parent_module = nodes.module_name(parent_row)
+        if parent_module is None:
+            raise LabelingError("only module nodes can be expanded")
+        table = self._table
+        add_production_edge = self._add_production_edge
+        add_recursion_edge = self._add_recursion_edge
+        append_module = nodes.append_module
+        module_id = nodes.module_id
+        by_instance = self._by_instance
+        parent_cycle_position = self._index.cycle_positions.get(parent_module)
+        parent_cycle = (
+            parent_cycle_position[0] if parent_cycle_position is not None else None
+        )
+        parent_path = nodes.path_id(parent_row)
+        for (position, module_name, cycle_position), instance_uid in zip(entries, uids):
+            if cycle_position is not None:
+                if cycle_position[0] == parent_cycle:
+                    # Rule (2a): continue the recursion chain as the next
+                    # sibling of the expanded node under the recursive node.
+                    recursive_row = nodes.parent_row(parent_row)
+                    if recursive_row < 0 or not nodes.is_recursive(recursive_row):
+                        raise LabelingError(
+                            "recursive module instance is not attached to a "
+                            "recursive parse node; events were fed out of order"
+                        )
+                    kind, s, t, i = table.edge_fields(parent_path)
+                    assert kind == KIND_RECURSION
+                    path_id = add_recursion_edge(
+                        nodes.path_id(recursive_row), s, t, i + 1
+                    )
+                    row = append_module(
+                        recursive_row, path_id, module_id(module_name), instance_uid
+                    )
+                else:
+                    # Rule (2b): start a new recursion chain below this node.
+                    s, t = cycle_position
+                    recursive_path = add_production_edge(
+                        parent_path, production_k, position
+                    )
+                    recursive_row = nodes.append_recursive(
+                        parent_row, recursive_path, s, t
+                    )
+                    path_id = add_recursion_edge(recursive_path, s, t, 1)
+                    row = append_module(
+                        recursive_row, path_id, module_id(module_name), instance_uid
+                    )
+            else:
+                path_id = add_production_edge(parent_path, production_k, position)
+                row = append_module(
+                    parent_row, path_id, module_id(module_name), instance_uid
+                )
+            by_instance[instance_uid] = row
+            if position_path_ids is not None:
+                position_path_ids[position] = path_id
+
+
+class ObjectParseNode:
+    """A seed-style eager node of the compressed parse tree.
+
+    Kept (together with :class:`ObjectParseTree`) as the object-representation
+    baseline: the ingest benchmark measures the node arena against it and the
+    differential property tests assert behavioural equality.
     """
 
     __slots__ = (
@@ -62,7 +404,7 @@ class ParseNode:
         instance_uid: str | None = None,
         cycle: int | None = None,
         rotation: int | None = None,
-        parent: "ParseNode | None" = None,
+        parent: "ObjectParseNode | None" = None,
     ) -> None:
         self.module_name = module_name
         self.instance_uid = instance_uid
@@ -71,22 +413,20 @@ class ParseNode:
         self.parent = parent
         #: Lazily allocated: most parse-tree nodes are leaves, so the child
         #: list exists only once a first child is attached.
-        self._children: list["ParseNode"] | None = None
+        self._children: list["ObjectParseNode"] | None = None
         self.path_id = path_id
         self._table = table
 
     @property
     def kind(self) -> str:
-        """``"module"`` for module-instance nodes, ``"recursive"`` otherwise."""
         return "module" if self.module_name is not None else "recursive"
 
     @property
-    def children(self) -> list["ParseNode"]:
-        """The node's children (empty for leaves)."""
+    def children(self) -> list["ObjectParseNode"]:
         children = self._children
         return children if children is not None else []
 
-    def _attach(self, child: "ParseNode") -> None:
+    def _attach(self, child: "ObjectParseNode") -> None:
         children = self._children
         if children is None:
             self._children = [child]
@@ -95,12 +435,10 @@ class ParseNode:
 
     @property
     def path(self) -> tuple[EdgeLabel, ...]:
-        """The edge labels from the root to this node (materialised, shared)."""
         return self._table.path(self.path_id)
 
     @property
     def edge_from_parent(self) -> EdgeLabel | None:
-        """The label of the edge from the parent node (``None`` for the root)."""
         return self._table.edge(self.path_id)
 
     @property
@@ -113,45 +451,40 @@ class ParseNode:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         name = self.instance_uid if self.kind == "module" else f"R(cycle={self.cycle})"
-        return f"ParseNode({name}, path={list(self.path)})"
+        return f"ObjectParseNode({name}, path={list(self.path)})"
 
 
-class CompressedParseTree:
-    """Online builder of the compressed parse tree of a run (Section 4.2.3)."""
+class ObjectParseTree:
+    """The seed's per-node object builder behind the columnar tree's API."""
 
     def __init__(self, index: GrammarIndex, path_table: PathTable | None = None) -> None:
         self._index = index
         self._table = path_table if path_table is not None else PathTable()
-        # A private arena sees every node exactly once, so edges can be
-        # appended blindly; a shared arena (query-engine shards) must go
-        # through the interning probe so identical paths of sibling runs
-        # dedupe to one id (and the bulk codec never sees duplicate rows).
         if path_table is None:
             self._add_production_edge = self._table.new_production_child
             self._add_recursion_edge = self._table.new_recursion_child
         else:
             self._add_production_edge = self._table.extend_production
             self._add_recursion_edge = self._table.extend_recursion
-        self._next_uid = 1
-        self._root: ParseNode | None = None
-        self._by_instance: dict[str, ParseNode] = {}
+        self._n_nodes = 0
+        self._root: ObjectParseNode | None = None
+        self._by_instance: dict[str, ObjectParseNode] = {}
 
     # -- accessors -----------------------------------------------------------
 
     @property
-    def root(self) -> ParseNode | None:
+    def root(self) -> ObjectParseNode | None:
         return self._root
 
     @property
     def path_table(self) -> PathTable:
-        """The arena all node paths of this tree are interned in."""
         return self._table
 
     @property
     def n_nodes(self) -> int:
-        return self._next_uid - 1
+        return self._n_nodes
 
-    def node_for(self, instance_uid: str) -> ParseNode:
+    def node_for(self, instance_uid: str) -> ObjectParseNode:
         try:
             return self._by_instance[instance_uid]
         except KeyError:
@@ -164,17 +497,15 @@ class CompressedParseTree:
         return instance_uid in self._by_instance
 
     def depth(self) -> int:
-        """Maximum depth over all module nodes (used in quality analysis)."""
         return max(
             (node.depth for node in self._by_instance.values()), default=0
         )
 
     def max_fanout(self) -> int:
-        """Maximum number of children of any node (theta_t in Theorem 10)."""
         best = 0
         seen: set[int] = set()
         for node in self._by_instance.values():
-            current: ParseNode | None = node
+            current: ObjectParseNode | None = node
             while current is not None and id(current) not in seen:
                 seen.add(id(current))
                 best = max(best, len(current.children))
@@ -183,32 +514,36 @@ class CompressedParseTree:
 
     # -- construction ------------------------------------------------------------
 
-    def start(self, instance_uid: str) -> ParseNode:
-        """Create the root structure for the start module (rule (1)/(2) of 4.2.3)."""
+    def start_event(self, instance_uid: str) -> int:
+        return self.start(instance_uid).path_id
+
+    def start(self, instance_uid: str) -> ObjectParseNode:
         if self._root is not None:
             raise LabelingError("the parse tree already has a root")
         start_name = self._index.grammar.start
         if self._index.is_recursive_module(start_name):
             s, t = self._index.cycle_position(start_name)
-            recursive = self._new_node(
-                kind="recursive", cycle=s, rotation=t, parent=None, path_id=ROOT_PATH
+            recursive = ObjectParseNode(
+                self._table, ROOT_PATH, None, None, s, t, None
             )
+            self._n_nodes += 1
             self._root = recursive
-            node = self._new_node(
-                kind="module",
-                module_name=start_name,
-                instance_uid=instance_uid,
-                parent=recursive,
-                path_id=self._table.extend_recursion(ROOT_PATH, s, t, 1),
+            node = ObjectParseNode(
+                self._table,
+                self._table.extend_recursion(ROOT_PATH, s, t, 1),
+                start_name,
+                instance_uid,
+                None,
+                None,
+                recursive,
             )
+            self._n_nodes += 1
+            recursive._attach(node)
         else:
-            node = self._new_node(
-                kind="module",
-                module_name=start_name,
-                instance_uid=instance_uid,
-                parent=None,
-                path_id=ROOT_PATH,
+            node = ObjectParseNode(
+                self._table, ROOT_PATH, start_name, instance_uid, None, None, None
             )
+            self._n_nodes += 1
             self._root = node
         self._by_instance[instance_uid] = node
         return node
@@ -219,32 +554,19 @@ class CompressedParseTree:
         production_k: int,
         children: list[tuple[str, int, str]],
         position_path_ids: list[int] | None = None,
-    ) -> dict[str, ParseNode]:
-        """Insert the nodes for one production application.
-
-        ``children`` lists ``(instance_uid, position, module_name)`` for every
-        right-hand-side module, in the fixed topological order.  Returns the
-        mapping from instance uid to the created parse node.  When the caller
-        passes ``position_path_ids`` (a list of length ``len(children) + 1``),
-        slot ``position`` is filled with the created node's path id — the hot
-        ingest path resolves data items by production position through it
-        instead of hashing instance uids.
-
-        The insertion rules follow Section 4.2.3: non-recursive children
-        become children of the expanded node with a ``(k, i)`` edge; a child
-        in the *same* cycle as the expanded module becomes the next child of
-        the enclosing recursive node (label ``(s, t, i+1)``); a child in a
-        *different* cycle gets a fresh recursive node in between.
-        """
+        *,
+        materialize_nodes: bool = True,
+    ) -> dict[str, ObjectParseNode] | None:
         cycle_position_of = self._index.cycle_positions.get
         entries = [
             (position, module_name, cycle_position_of(module_name))
             for _, position, module_name in children
         ]
         uids = [instance_uid for instance_uid, _, _ in children]
-        return self._expand(
-            parent_instance_uid, production_k, entries, uids, position_path_ids
-        )
+        self._expand(parent_instance_uid, production_k, entries, uids, position_path_ids)
+        if not materialize_nodes:
+            return None
+        return {uid: self._by_instance[uid] for uid in uids}
 
     def expand_event(
         self,
@@ -253,16 +575,6 @@ class CompressedParseTree:
         instances,
         position_path_ids: list[int] | None = None,
     ) -> None:
-        """Fast path of :meth:`expand` for derivation events.
-
-        ``instances`` are the event's :class:`~repro.model.run.ModuleInstance`
-        children, which a :class:`~repro.model.derivation.Derivation` emits in
-        the production's fixed topological order; everything else about the
-        children comes from the grammar's cached per-production template, so
-        the per-child work is one attribute read.  Created nodes are reachable
-        through :meth:`node_for` / ``position_path_ids`` (no per-call dict is
-        built, unlike :meth:`expand`).
-        """
         entries = self._index.production_children(production_k)
         if len(entries) != len(instances):
             raise LabelingError(
@@ -270,14 +582,7 @@ class CompressedParseTree:
                 f"modules but the event carries {len(instances)} children"
             )
         uids = [instance.uid for instance in instances]
-        return self._expand(
-            parent_instance_uid,
-            production_k,
-            entries,
-            uids,
-            position_path_ids,
-            build_created=False,
-        )
+        self._expand(parent_instance_uid, production_k, entries, uids, position_path_ids)
 
     def _expand(
         self,
@@ -286,8 +591,7 @@ class CompressedParseTree:
         entries,
         uids: list[str],
         position_path_ids: list[int] | None,
-        build_created: bool = True,
-    ) -> dict[str, ParseNode] | None:
+    ) -> None:
         parent_node = self.node_for(parent_instance_uid)
         if parent_node.kind != "module":
             raise LabelingError("only module nodes can be expanded")
@@ -296,21 +600,14 @@ class CompressedParseTree:
         add_production_edge = self._add_production_edge
         add_recursion_edge = self._add_recursion_edge
         by_instance = self._by_instance
-        parent_cycle_position = (
-            self._index.cycle_positions.get(parent_module)
-            if parent_module is not None
-            else None
-        )
+        parent_cycle_position = self._index.cycle_positions.get(parent_module)
         parent_cycle = (
             parent_cycle_position[0] if parent_cycle_position is not None else None
         )
-        next_uid = self._next_uid
-        created: dict[str, ParseNode] | None = {} if build_created else None
+        n_nodes = self._n_nodes
         for (position, module_name, cycle_position), instance_uid in zip(entries, uids):
             if cycle_position is not None:
                 if cycle_position[0] == parent_cycle:
-                    # Rule (2a): continue the recursion chain as the next
-                    # sibling of the expanded node under the recursive node.
                     recursive = parent_node.parent
                     if recursive is None or not recursive.is_recursive:
                         raise LabelingError(
@@ -319,7 +616,7 @@ class CompressedParseTree:
                         )
                     kind, s, t, i = table.edge_fields(parent_node.path_id)
                     assert kind == KIND_RECURSION
-                    node = ParseNode(
+                    node = ObjectParseNode(
                         table,
                         add_recursion_edge(recursive.path_id, s, t, i + 1),
                         module_name,
@@ -328,11 +625,10 @@ class CompressedParseTree:
                         None,
                         recursive,
                     )
-                    next_uid += 1
+                    n_nodes += 1
                 else:
-                    # Rule (2b): start a new recursion chain below this node.
                     s, t = cycle_position
-                    recursive = ParseNode(
+                    recursive = ObjectParseNode(
                         table,
                         add_production_edge(
                             parent_node.path_id, production_k, position
@@ -343,9 +639,9 @@ class CompressedParseTree:
                         t,
                         parent_node,
                     )
-                    next_uid += 1
+                    n_nodes += 1
                     parent_node._attach(recursive)
-                    node = ParseNode(
+                    node = ObjectParseNode(
                         table,
                         add_recursion_edge(recursive.path_id, s, t, 1),
                         module_name,
@@ -354,9 +650,9 @@ class CompressedParseTree:
                         None,
                         recursive,
                     )
-                    next_uid += 1
+                    n_nodes += 1
             else:
-                node = ParseNode(
+                node = ObjectParseNode(
                     table,
                     add_production_edge(
                         parent_node.path_id, production_k, position
@@ -367,7 +663,7 @@ class CompressedParseTree:
                     None,
                     parent_node,
                 )
-                next_uid += 1
+                n_nodes += 1
             node_parent = node.parent
             siblings = node_parent._children
             if siblings is None:
@@ -375,43 +671,9 @@ class CompressedParseTree:
             else:
                 siblings.append(node)
             by_instance[instance_uid] = node
-            if created is not None:
-                created[instance_uid] = node
             if position_path_ids is not None:
                 position_path_ids[position] = node.path_id
-        self._next_uid = next_uid
-        return created
-
-    # -- internals -----------------------------------------------------------------
-
-    def _new_node(
-        self,
-        *,
-        kind: str,
-        parent: ParseNode | None,
-        path_id: int,
-        module_name: str | None = None,
-        instance_uid: str | None = None,
-        cycle: int | None = None,
-        rotation: int | None = None,
-    ) -> ParseNode:
-        if parent is not None and path_id == ROOT_PATH:  # pragma: no cover - defensive
-            raise LabelingError("non-root nodes need an edge label")
-        if (kind == "module") != (module_name is not None):  # pragma: no cover
-            raise LabelingError("module nodes carry a module name, recursive nodes none")
-        node = ParseNode(
-            self._table,
-            path_id,
-            module_name,
-            instance_uid,
-            cycle,
-            rotation,
-            parent,
-        )
-        self._next_uid += 1
-        if parent is not None:
-            parent._attach(node)
-        return node
+        self._n_nodes = n_nodes
 
 
 class BasicParseTree:
@@ -442,13 +704,16 @@ class BasicParseTree:
         children.sort(key=lambda inst: inst.position or 0)
         return [inst.uid for inst in children]
 
-    def path(self, instance_uid: str) -> list[tuple[int, int]]:
-        """The ``(k, i)`` edge ids from the root to an instance."""
+    def path(self, instance_uid: str) -> tuple[tuple[int, int], ...]:
+        """The ``(k, i)`` edge ids from the root to an instance.
+
+        Returned as a tuple, matching :attr:`ParseNode.path` (paths are
+        immutable positions, not mutable sequences).
+        """
         chain = [self._run.instance(instance_uid)]
         for ancestor in self._run.ancestors(instance_uid):
             chain.append(self._run.instance(ancestor))
         chain.reverse()
-        labels: list[tuple[int, int]] = []
-        for inst in chain[1:]:
-            labels.append((inst.production_index or 0, inst.position or 0))
-        return labels
+        return tuple(
+            (inst.production_index or 0, inst.position or 0) for inst in chain[1:]
+        )

@@ -8,13 +8,16 @@ are never modified afterwards (Definition 10), and they do not depend on any
 view — the same labels serve every safe view of the specification
 (view-adaptivity, Definition 11).
 
-Labels live in a columnar :class:`~repro.store.LabelStore` by default: the
-hot ingest loop records four integers per item (producer/consumer path id and
-port) against the parse tree's interned :class:`~repro.store.PathTable`, and
-:class:`~repro.core.labels.DataLabel` value objects are materialised lazily,
-only for the items a caller actually reads.  Pass ``columnar=False`` to get
-the legacy per-item object representation (used as the comparison baseline by
-the ingest benchmark and the differential tests).
+The whole run state is columnar by default: the parse tree grows as integer
+rows in a :class:`~repro.store.NodeTable` (no node objects), paths are
+interned in a :class:`~repro.store.PathTable`, and the hot ingest loop
+records four integers per item (producer/consumer path id and port) in a
+:class:`~repro.store.LabelStore`.  :class:`~repro.core.labels.DataLabel`
+value objects and :class:`~repro.core.parse_tree.ParseNode` flyweights are
+materialised lazily, only for the items/nodes a caller actually reads.  Pass
+``columnar=False`` to get the legacy per-item/per-node object representation
+(used as the comparison baseline by the ingest benchmark and the
+differential tests).
 """
 
 from __future__ import annotations
@@ -22,7 +25,12 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.core.labels import DataLabel
-from repro.core.parse_tree import CompressedParseTree, ParseNode
+from repro.core.parse_tree import (
+    CompressedParseTree,
+    ObjectParseNode,
+    ObjectParseTree,
+    ParseNode,
+)
 from repro.core.preprocessing import GrammarIndex
 from repro.errors import LabelingError
 from repro.model.derivation import Derivation, ExpansionEvent, InitialEvent
@@ -49,7 +57,11 @@ class RunLabeler:
         path_table: "PathTable | None" = None,
     ) -> None:
         self._index = index
-        self._tree = CompressedParseTree(index, path_table)
+        self._tree: CompressedParseTree | ObjectParseTree = (
+            CompressedParseTree(index, path_table)
+            if columnar
+            else ObjectParseTree(index, path_table)
+        )
         table = self._tree.path_table
         self._store: LabelStore | ObjectLabelStore = (
             LabelStore(table) if columnar else ObjectLabelStore(table)
@@ -66,7 +78,7 @@ class RunLabeler:
         return self._index
 
     @property
-    def tree(self) -> CompressedParseTree:
+    def tree(self) -> "CompressedParseTree | ObjectParseTree":
         return self._tree
 
     @property
@@ -115,7 +127,7 @@ class RunLabeler:
         if self._started:
             raise LabelingError("the run labeler already observed an initial event")
         self._started = True
-        path_id = self._tree.start(event.instance.uid).path_id
+        path_id = self._tree.start_event(event.instance.uid)
         append = self._store.append
         for port, item_uid in enumerate(event.input_items, start=1):
             append(item_uid, NO_PATH, 0, path_id, port)
@@ -143,6 +155,6 @@ class RunLabeler:
 
     # -- convenience -------------------------------------------------------------------
 
-    def node_for_instance(self, instance_uid: str) -> ParseNode:
+    def node_for_instance(self, instance_uid: str) -> "ParseNode | ObjectParseNode":
         """The compressed-parse-tree node of a module instance."""
         return self._tree.node_for(instance_uid)

@@ -24,15 +24,28 @@ Three layers of caching amortize the per-view decode work that the one-pair
 The combination makes the space-efficient variant's batched path perform
 within a small constant factor of the fully materialised variants (the
 one-pair API leaves it 30–40x behind).
+
+Shards come in two flavours: **labelled** runs ingested live into the
+engine's shared path arena (:meth:`QueryEngine.add_run`), and **attached**
+runs served read-only from an mmap-backed file written by
+:meth:`QueryEngine.checkpoint` (:mod:`repro.store.persist`) — disk-backed
+shards answer the same queries bit-identically without a decode pass, so a
+deployment can serve runs larger than RAM and survive restarts.  Batches of
+``VECTOR_GROUP_THRESHOLD`` or more pairs against a sealed (compacted or
+mapped) shard are grouped with numpy sort/unique over the label columns
+instead of per-pair dict probes.
 """
 
 from __future__ import annotations
 
 import threading
+import zlib
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.core.decoder import intermediate_matrix
+import numpy as np
+
+from repro.core.decoder import intermediate_matrix, intermediate_matrix_for_ids
 from repro.core.run_labeler import RunLabeler
 from repro.core.scheme import FVLScheme
 from repro.core.view_label import FVLVariant
@@ -47,9 +60,22 @@ from repro.model.derivation import Derivation
 from repro.model.grammar import WorkflowGrammar
 from repro.model.specification import WorkflowSpecification
 from repro.model.views import WorkflowView
-from repro.store import LabelStore, PathTable
+from repro.store import (
+    CheckpointResult,
+    LabelStore,
+    MappedRunStore,
+    PathTable,
+    checkpoint_run,
+)
 
 __all__ = ["MATRIX_FREE", "DEFAULT_RUN", "DependsQuery", "EngineStats", "QueryEngine"]
+
+#: Batch size from which :meth:`QueryEngine.depends_batch` groups pairs with
+#: numpy sort/unique over the path-id columns instead of a Python dict.  The
+#: vectorised path amortises four fancy-indexing gathers and one argsort over
+#: the batch; below ~10^4 pairs the dict loop wins (module-level so tests and
+#: operators can tune it).
+VECTOR_GROUP_THRESHOLD = 10_000
 
 #: Engine-level pseudo-variant selecting the coarse-grained boolean encoding
 #: (:meth:`FVLScheme.label_view_matrix_free`) instead of an FVL matrix variant.
@@ -57,6 +83,27 @@ MATRIX_FREE = "matrix-free"
 
 #: Run id used when the caller does not name one.
 DEFAULT_RUN = "default"
+
+
+def _grammar_fingerprint(index) -> int:
+    """A stable structural fingerprint of a grammar (nonzero 32-bit int).
+
+    Written into run-file headers by :meth:`QueryEngine.checkpoint` and
+    checked by :meth:`QueryEngine.attach`: packed path ids and ``(k, i)``
+    edges only decode correctly against the specification that produced
+    them, so attaching a run persisted under a different grammar must fail
+    loudly instead of serving plausible-looking wrong answers.  Built from a
+    canonical rendering of the production templates (not Python's salted
+    ``hash``), so it is stable across processes.
+    """
+    parts = [index.grammar.start]
+    for k in range(1, index.n_productions() + 1):
+        children = ",".join(
+            f"{position}:{module_name}"
+            for position, module_name, _ in index.production_children(k)
+        )
+        parts.append(f"{k}->{children}")
+    return zlib.crc32("|".join(parts).encode("utf-8")) or 1
 
 
 @dataclass(frozen=True)
@@ -82,12 +129,30 @@ class EngineStats:
 
 @dataclass
 class _RunShard:
-    """One labelled run: independent of every other shard, safe to query concurrently."""
+    """One labelled run: independent of every other shard, safe to query concurrently.
+
+    A shard is either *labelled* (a live :class:`RunLabeler` fed by a
+    derivation, in the engine's shared path arena) or *attached* (a read-only
+    :class:`~repro.store.MappedRunStore` served straight from its file
+    mapping).  ``arena`` tags the shard's path-id namespace in the decode
+    caches: labelled shards share the engine arena (tag 0), every attached
+    file brings its own trie and gets a fresh tag.
+    """
 
     run_id: str
-    derivation: Derivation
-    labeler: RunLabeler
+    arena: int
+    derivation: Derivation | None = None
+    labeler: RunLabeler | None = None
+    mapped: "MappedRunStore | None" = None
     queries: int = 0
+
+    @property
+    def store(self):
+        return self.labeler.store if self.labeler is not None else self.mapped.store
+
+    def label(self, uid: int):
+        source = self.labeler if self.labeler is not None else self.mapped
+        return source.label(uid)
 
 
 class QueryEngine:
@@ -115,6 +180,9 @@ class QueryEngine:
         self._decode_cache_entries = decode_cache_entries
         self._lock = threading.Lock()
         self._batches = 0
+        #: Next decode-cache namespace tag for attached (own-trie) shards;
+        #: labelled shards all share the engine arena under tag 0.
+        self._next_arena = 0
 
     # -- registration ------------------------------------------------------------
 
@@ -139,8 +207,59 @@ class QueryEngine:
         if run_id in self._shards:
             raise LabelingError(f"run {run_id!r} is already registered with this engine")
         labeler = self._scheme.label_run(derivation, path_table=self._path_table)
-        self._shards[run_id] = _RunShard(run_id, derivation, labeler)
+        self._shards[run_id] = _RunShard(
+            run_id, arena=0, derivation=derivation, labeler=labeler
+        )
         return labeler
+
+    def attach(self, path, run_id: str = DEFAULT_RUN) -> MappedRunStore:
+        """Serve a persisted run straight from its file mapping as a shard.
+
+        The file (written by :meth:`checkpoint` /
+        :func:`~repro.store.checkpoint_run`) is ``mmap``-ed, not decoded:
+        labels and paths page in lazily, so runs larger than RAM can be
+        queried.  The attached shard is read-only; its path ids live in the
+        file's own trie (not the engine arena), which the decode caches keep
+        apart automatically.  Register attachments from one thread, like
+        :meth:`add_run`.
+        """
+        if run_id in self._shards:
+            raise LabelingError(f"run {run_id!r} is already registered with this engine")
+        mapped = MappedRunStore(path)
+        expected = _grammar_fingerprint(self._scheme.index)
+        if mapped.fingerprint and mapped.fingerprint != expected:
+            mapped.close()
+            raise LabelingError(
+                f"run file {mapped.path!r} was checkpointed under a different "
+                "specification; its labels would decode to wrong answers here"
+            )
+        self._next_arena += 1
+        self._shards[run_id] = _RunShard(run_id, arena=self._next_arena, mapped=mapped)
+        return mapped
+
+    def checkpoint(self, path, run_id: str = DEFAULT_RUN) -> CheckpointResult:
+        """Persist a labelled shard to ``path`` (incremental after the first call).
+
+        The first checkpoint writes the whole run (trie, label columns, node
+        rows); later calls on the same file append only the rows added since
+        the recorded ``(n_paths, n_items, n_nodes)`` watermarks.  The shard
+        keeps serving from memory — use :meth:`attach` (in this or another
+        process) to serve the persisted form.
+        """
+        shard = self._shard(run_id)
+        if shard.labeler is None:
+            raise LabelingError(
+                f"run {run_id!r} is an attached mapped store; it is already "
+                "persistent and read-only"
+            )
+        tree = shard.labeler.tree
+        nodes = getattr(tree, "nodes", None)
+        return checkpoint_run(
+            path,
+            shard.labeler.store,
+            nodes,
+            fingerprint=_grammar_fingerprint(self._scheme.index),
+        )
 
     def add_view(self, view: WorkflowView) -> WorkflowView:
         """Register a view so queries can refer to it by name.
@@ -166,7 +285,12 @@ class QueryEngine:
         )
 
     def run_labeler(self, run_id: str = DEFAULT_RUN) -> RunLabeler:
-        return self._shard(run_id).labeler
+        labeler = self._shard(run_id).labeler
+        if labeler is None:
+            raise LabelingError(
+                f"run {run_id!r} is an attached mapped store and has no labeler"
+            )
+        return labeler
 
     # -- queries -----------------------------------------------------------------
 
@@ -333,12 +457,12 @@ class QueryEngine:
         with self._lock:
             shard.queries += len(pairs)
             self._batches += 1
-        label = shard.labeler.label
+        label = shard.label
         if isinstance(state, DecodedMatrixFreeState):
             return [state.depends(label(d1), label(d2)) for d1, d2 in pairs]
-        store = shard.labeler.store
+        store = shard.store
         if isinstance(store, LabelStore):
-            return self._evaluate_store(store, state, pairs)
+            return self._evaluate_store(store, state, pairs, shard.arena)
 
         labels = [(label(d1), label(d2)) for d1, d2 in pairs]
         results = [False] * len(labels)
@@ -369,19 +493,36 @@ class QueryEngine:
         store: LabelStore,
         state: "DecodedViewState",
         pairs: list[tuple[int, int]],
+        arena: int,
     ) -> list[bool]:
         """Store-backed batch evaluation: no label objects, integer grouping.
 
         Labels are read as packed integer rows and intermediate pairs are
-        grouped (and their matrices cached) by ``(producer_path_id,
-        consumer_path_id)`` — hashing two small ints per query instead of two
-        edge-label tuples.  Only boundary queries (an initial input or a
-        final output on either side) materialise value objects, through the
-        segment-chain path that already memoizes per path.
+        grouped (and their matrices cached) by ``(arena, producer_path_id,
+        consumer_path_id)`` — hashing three small ints per query instead of
+        two edge-label tuples (``arena`` keeps the id spaces of attached
+        mapped runs apart from the engine's shared trie).  Only boundary
+        queries (an initial input or a final output on either side)
+        materialise value objects, through the segment-chain path that
+        already memoizes per path.  Batches of ``VECTOR_GROUP_THRESHOLD`` or
+        more pairs over a dense *sealed* store — one that is already
+        compacted, which every mapped (attached) store is — are grouped with
+        numpy sort/unique over the path-id columns instead of the Python dict
+        loop.  Live streaming stores stay on the scalar path: the vectorised
+        gather reads whole columns, and a query must never compact (mutate) a
+        store that another thread may still be appending to.
         """
+        if (
+            len(pairs) >= VECTOR_GROUP_THRESHOLD
+            and store.is_dense
+            and store.is_compacted
+        ):
+            vectorised = self._evaluate_store_vector(store, state, pairs, arena)
+            if vectorised is not None:
+                return vectorised
         row = store.row
         results = [False] * len(pairs)
-        groups: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+        groups: dict[tuple[int, int, int], list[tuple[int, int, int]]] = {}
         for pos, (d1, d2) in enumerate(pairs):
             p1, p1_port, c1, _ = row(d1)
             p2, _, c2, c2_port = row(d2)
@@ -391,19 +532,90 @@ class QueryEngine:
                 # Boundary cases are answered by one (cached) segment chain.
                 results[pos] = state.depends(store.label(d1), store.label(d2))
                 continue
-            groups.setdefault((p1, c2), []).append((pos, p1_port, c2_port))
+            groups.setdefault((arena, p1, c2), []).append((pos, p1_port, c2_port))
         cache = state.decode_cache
         pair_matrices = cache.pair_matrices
-        path = store.table.path
+        table = store.table
         for key, members in groups.items():
             try:
                 matrix = pair_matrices[key]
             except KeyError:
-                matrix = intermediate_matrix(
-                    path(key[0]), path(key[1]), state, cache, key=key
+                matrix = intermediate_matrix_for_ids(
+                    table, key[1], key[2], state, cache, arena=arena
                 )
             if matrix is None:
                 continue
             for pos, x, y in members:
                 results[pos] = matrix.get(x, y)
+        return results
+
+    def _evaluate_store_vector(
+        self,
+        store: LabelStore,
+        state: "DecodedViewState",
+        pairs: list[tuple[int, int]],
+        arena: int,
+    ) -> list[bool] | None:
+        """Vectorised grouping for large batches over a dense, sealed store.
+
+        The four label-column gathers, the boundary classification and the
+        group-by over ``(producer_path_id, consumer_path_id)`` run as numpy
+        array operations (fancy indexing + one argsort), replacing ~10^4+
+        per-pair dict probes; matrices are then assembled once per distinct
+        path-id pair exactly as in the scalar path.  The caller guarantees
+        the store is already compacted, so ``columns()`` is a read-only view
+        grab.  Returns ``None`` when a uid falls outside the dense row range
+        so the scalar path can raise its precise per-item error.
+        """
+        n_rows = len(store)
+        base = store.base_uid
+        pair_array = np.asarray(pairs, dtype=np.int64)
+        if pair_array.size == 0:
+            return []
+        rows1 = pair_array[:, 0] - base
+        rows2 = pair_array[:, 1] - base
+        if ((rows1 < 0) | (rows1 >= n_rows) | (rows2 < 0) | (rows2 >= n_rows)).any():
+            return None
+        columns = store.columns()
+        producer_path = columns["producer_path_id"]
+        consumer_path = columns["consumer_path_id"]
+        p1 = producer_path[rows1]
+        c1 = consumer_path[rows1]
+        p2 = producer_path[rows2]
+        c2 = consumer_path[rows2]
+        x_ports = columns["producer_port"][rows1]
+        y_ports = columns["consumer_port"][rows2]
+        # Drop the view references so the store's buffers unpin once the
+        # gathered copies above are taken.
+        del columns, producer_path, consumer_path
+
+        results = [False] * len(pairs)
+        active = (c1 >= 0) & (p2 >= 0)
+        boundary = active & ((p1 < 0) | (c2 < 0))
+        for pos in np.nonzero(boundary)[0]:
+            d1, d2 = pairs[pos]
+            results[pos] = state.depends(store.label(d1), store.label(d2))
+        grouped = np.nonzero(active & ~boundary)[0]
+        if grouped.size == 0:
+            return results
+        # Sort positions by (p1, c2) packed into one int64; equal keys become
+        # one contiguous slice = one matrix assembly.
+        keys = (p1[grouped].astype(np.int64) << 32) | c2[grouped].astype(np.int64)
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        cuts = np.nonzero(np.diff(sorted_keys))[0] + 1
+        starts = np.concatenate(([0], cuts))
+        ends = np.concatenate((cuts, [sorted_keys.size]))
+        cache = state.decode_cache
+        table = store.table
+        for start, end in zip(starts, ends):
+            members = grouped[order[start:end]]
+            first = members[0]
+            matrix = intermediate_matrix_for_ids(
+                table, p1[first], c2[first], state, cache, arena=arena
+            )
+            if matrix is None:
+                continue
+            for pos in members:
+                results[pos] = matrix.get(int(x_ports[pos]), int(y_ports[pos]))
         return results

@@ -33,11 +33,17 @@ from repro.core.labels import (
 from repro.core.preprocessing import GrammarIndex
 from repro.errors import SerializationError
 
-__all__ = ["elias_gamma_bits", "LabelCodec"]
+__all__ = ["elias_gamma_bits", "LabelCodec", "RUN_ENCODING_VERSION"]
+
+#: Version tag written at the head of every :meth:`LabelCodec.encode_run`
+#: buffer (gamma-coded).  Bump when the bulk layout changes so stale at-rest
+#: buffers are rejected instead of misparsed.
+RUN_ENCODING_VERSION = 2
 
 
 def elias_gamma_bits(value: int) -> int:
     """Number of bits of the Elias gamma code of a positive integer."""
+    value = int(value)  # accept numpy scalars from mapped columns
     if value < 1:
         raise ValueError("Elias gamma codes positive integers only")
     return 2 * (value.bit_length() - 1) + 1
@@ -59,6 +65,7 @@ class _BitWriter:
             self.bits.append((value >> position) & 1)
 
     def write_gamma(self, value: int) -> None:
+        value = int(value)  # accept numpy scalars from mapped columns
         if value < 1:
             raise SerializationError("Elias gamma codes positive integers only")
         length = value.bit_length() - 1
@@ -203,15 +210,19 @@ class LabelCodec:
     def encode_run(self, store: "LabelStore") -> tuple[bytes, int]:
         """Serialise an entire :class:`~repro.store.LabelStore` to one buffer.
 
-        The format writes the store's path-table trie once — each path as a
+        The format opens with a gamma-coded :data:`RUN_ENCODING_VERSION` tag,
+        then writes the store's path-table trie once — each path as a
         gamma-coded parent delta plus one edge in the same field widths the
         per-label encoder uses — followed by the four label columns (path
         ids gamma-coded, ports fixed-width), so the shared path structure is
         never repeated per item: the bulk analogue of the per-label
         common-prefix factoring.  Returns ``(payload, number_of_bits)``;
-        decode with :meth:`decode_run`.
+        decode with :meth:`decode_run`.  Works on any store exposing the
+        read interface, including a mapped
+        :class:`~repro.store.MappedLabelStore`.
         """
         writer = _BitWriter()
+        writer.write_gamma(RUN_ENCODING_VERSION)
         table = store.table
         # Path trie: rows in id order, ids implicit, parents as deltas
         # (a child id is always strictly greater than its parent id).
@@ -264,6 +275,12 @@ class LabelCodec:
         from repro.store import LabelStore, PathTable
 
         reader = _BitReader(payload, n_bits)
+        version = reader.read_gamma()
+        if version != RUN_ENCODING_VERSION:
+            raise SerializationError(
+                f"unsupported bulk label encoding version {version} "
+                f"(supported: {RUN_ENCODING_VERSION})"
+            )
         table = path_table if path_table is not None else PathTable()
         if len(table) != 1:
             raise SerializationError("decode_run needs an empty path table")

@@ -1,10 +1,15 @@
-"""Columnar label storage: arena-interned parse-tree paths and bulk run labels.
+"""Columnar run storage: arena-interned paths, node rows, labels, run files.
 
 The ingest-side counterpart of the batched query engine: paths of the
-compressed parse tree are interned once in a :class:`PathTable` trie, and a
-run's data labels become four integer columns in a :class:`LabelStore`
-instead of per-item value objects.  See the architecture section of the
-README for how the store sits between the run labeler and the codec/engine.
+compressed parse tree are interned once in a :class:`PathTable` trie, the
+tree's nodes are integer rows in a :class:`NodeTable`, and a run's data
+labels become four integer columns in a :class:`LabelStore` instead of
+per-item value objects.  :mod:`repro.store.persist` gives the fully columnar
+run a page-aligned at-rest form: :func:`checkpoint_run` appends delta rows
+behind ``(n_paths, n_items, n_nodes)`` watermarks and :class:`MappedRunStore`
+serves the file through ``mmap`` with no decode pass.  See the architecture
+section of the README for how the store sits between the run labeler and the
+codec/engine.
 """
 
 from repro.store.label_store import (
@@ -13,12 +18,29 @@ from repro.store.label_store import (
     LabelStoreMapping,
     ObjectLabelStore,
 )
+from repro.store.node_table import (
+    NO_NODE,
+    NODE_MODULE,
+    NODE_RECURSIVE,
+    NodeTable,
+)
 from repro.store.path_table import (
     KIND_PRODUCTION,
     KIND_RECURSION,
     KIND_ROOT,
     ROOT_PATH,
     PathTable,
+)
+from repro.store.persist import (
+    FORMAT_MAGIC,
+    FORMAT_VERSION,
+    PAGE_SIZE,
+    CheckpointResult,
+    MappedLabelStore,
+    MappedNodeTable,
+    MappedPathTable,
+    MappedRunStore,
+    checkpoint_run,
 )
 
 __all__ = [
@@ -27,8 +49,21 @@ __all__ = [
     "KIND_ROOT",
     "KIND_PRODUCTION",
     "KIND_RECURSION",
+    "NodeTable",
+    "NO_NODE",
+    "NODE_MODULE",
+    "NODE_RECURSIVE",
     "LabelStore",
     "LabelStoreMapping",
     "ObjectLabelStore",
     "NO_PATH",
+    "checkpoint_run",
+    "CheckpointResult",
+    "MappedRunStore",
+    "MappedLabelStore",
+    "MappedPathTable",
+    "MappedNodeTable",
+    "FORMAT_MAGIC",
+    "FORMAT_VERSION",
+    "PAGE_SIZE",
 ]

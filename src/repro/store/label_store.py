@@ -298,6 +298,21 @@ class LabelStore:
             self._consumer_port,
         )
 
+    def raw_columns(self) -> tuple:
+        """The live label column sequences, in ``(producer_path, producer_port,
+        consumer_path, consumer_port)`` order.
+
+        Used by the persistent store to slice delta rows without forcing a
+        compaction or pinning numpy views; the returned sequences are the
+        store's own storage — do not mutate them.
+        """
+        return (
+            self._producer_path,
+            self._producer_port,
+            self._consumer_path,
+            self._consumer_port,
+        )
+
     def labels_view(self) -> LabelStoreMapping:
         """A cached read-only mapping view (labels materialise on access)."""
         if self._view is None:

@@ -265,6 +265,15 @@ class PathTable:
         """Iterate the non-root rows ``(parent, packed, c)`` in id order."""
         return zip(self._parent[1:], self._packed[1:], self._c[1:])
 
+    def raw_columns(self) -> tuple:
+        """The live ``(parent, packed, c)`` column sequences, root row included.
+
+        Used by the persistent store to slice delta rows without forcing a
+        compaction or pinning numpy views; the returned sequences are the
+        table's own storage — do not mutate them.
+        """
+        return (self._parent, self._packed, self._c)
+
     def iter_edges(self) -> Iterator[tuple[int, int, int, int, int]]:
         """Iterate the non-root rows as ``(parent, kind, a, b, c)`` in id order."""
         for parent, packed, c in self.rows():

@@ -1,0 +1,1045 @@
+"""File-backed labelled runs: page-aligned columns, mmap serving, checkpoints.
+
+With PR 2's label columns and the node arena, a labelled run is nothing but a
+handful of append-only integer columns (path-table trie, label rows, node
+rows) plus two small string intern lists.  This module gives that columnar
+run an at-rest form designed to be *mapped*, not parsed:
+
+* :func:`checkpoint_run` writes (or extends) a run file.  The file starts
+  with a fixed versioned header page carrying the ``(n_paths, n_items,
+  n_nodes)`` watermarks, followed by one or more *segments*.  Each segment
+  has a section-table page and then one page-aligned data extent per column,
+  covering exactly the rows appended since the previous checkpoint — the
+  arenas are append-only, so an incremental checkpoint writes only delta
+  rows and never rewrites existing pages.
+* :class:`MappedRunStore` opens such a file with one ``mmap`` and serves it
+  with **no decode pass**: every integer column becomes a zero-copy numpy
+  view over the mapping (lazy page-in; multi-segment columns are stitched
+  with a chunked indexer), and the uid/module-name intern blobs are decoded
+  only if a consumer asks for node identities.  The mapped
+  :class:`MappedLabelStore` / :class:`MappedPathTable` /
+  :class:`MappedNodeTable` are drop-in *read-only* replacements for their
+  in-memory classes, so the query engine, the codec and the analysis helpers
+  work on disk-backed runs larger than RAM unchanged.
+
+The derived ``child_count`` node column is not persisted (it mutates in
+place); the mapped reader recomputes it with one vectorised ``bincount`` on
+first use.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+from array import array
+from bisect import bisect_right
+from dataclasses import dataclass
+from itertools import islice
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.store.label_store import LabelStore
+from repro.store.node_table import NodeTable
+from repro.store.path_table import ROOT_PATH, PathTable
+
+__all__ = [
+    "FORMAT_MAGIC",
+    "FORMAT_VERSION",
+    "PAGE_SIZE",
+    "CheckpointResult",
+    "checkpoint_run",
+    "MappedRunStore",
+    "MappedLabelStore",
+    "MappedPathTable",
+    "MappedNodeTable",
+]
+
+FORMAT_MAGIC = b"FVLRUN01"
+FORMAT_VERSION = 1
+PAGE_SIZE = 4096
+
+#: header: magic, version, page_size, flags, n_segments, n_paths, n_items,
+#: n_nodes, n_node_uids, n_module_names, base_uid, end_offset, fingerprint
+_HEADER = struct.Struct("<8sIIIQQQQQQqQQ")
+_SEGMENT = struct.Struct("<4sIQ")  # magic, n_sections, segment_end
+_SECTION = struct.Struct("<IIQQQQ")  # id, dtype, row_start, n_rows, offset, nbytes
+_SEGMENT_MAGIC = b"SEG1"
+
+_FLAG_DENSE = 1
+_FLAG_NODES = 2
+
+#: Section (column) identifiers.  Path columns include the root row so a
+#: mapped view is indexable by path id with no prepend copy.
+_SEC_PATH_PARENT = 1
+_SEC_PATH_PACKED = 2
+_SEC_PATH_C = 3
+_SEC_LAB_PPATH = 10
+_SEC_LAB_PPORT = 11
+_SEC_LAB_CPATH = 12
+_SEC_LAB_CPORT = 13
+_SEC_LAB_UIDS = 14
+_SEC_NODE_PARENT = 20
+_SEC_NODE_PATH = 21
+_SEC_NODE_META = 22
+_SEC_NODE_UID_ID = 23
+_SEC_NODE_UID_BLOB = 24
+_SEC_MODULE_NAME_BLOB = 25
+
+_DTYPE_I32 = 0
+_DTYPE_I64 = 1
+_DTYPE_BLOB = 2
+
+_NP_DTYPES = {_DTYPE_I32: np.dtype("<i4"), _DTYPE_I64: np.dtype("<i8")}
+_TYPECODES = {_DTYPE_I32: "i", _DTYPE_I64: "q"}
+
+
+def _align(offset: int) -> int:
+    return (offset + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
+
+
+def _read_only(*_args, **_kwargs):
+    raise SerializationError(
+        "mapped run stores are read-only; append to the in-memory run and "
+        "checkpoint_run() the delta instead"
+    )
+
+
+@dataclass(frozen=True)
+class _Header:
+    n_segments: int
+    n_paths: int
+    n_items: int
+    n_nodes: int
+    n_node_uids: int
+    n_module_names: int
+    base_uid: int
+    end_offset: int
+    dense: bool
+    has_nodes: bool
+    #: Caller-supplied specification identity (0 = unchecked).  The engine
+    #: passes a structural grammar fingerprint so a run file can never be
+    #: attached to a different specification and silently decode garbage.
+    fingerprint: int = 0
+
+    def pack(self) -> bytes:
+        flags = (_FLAG_DENSE if self.dense else 0) | (
+            _FLAG_NODES if self.has_nodes else 0
+        )
+        return _HEADER.pack(
+            FORMAT_MAGIC,
+            FORMAT_VERSION,
+            PAGE_SIZE,
+            flags,
+            self.n_segments,
+            self.n_paths,
+            self.n_items,
+            self.n_nodes,
+            self.n_node_uids,
+            self.n_module_names,
+            self.base_uid,
+            self.end_offset,
+            self.fingerprint,
+        )
+
+
+def _unpack_header(buffer: bytes) -> _Header:
+    if len(buffer) < _HEADER.size:
+        raise SerializationError("truncated run store: missing header")
+    (
+        magic,
+        version,
+        page_size,
+        flags,
+        n_segments,
+        n_paths,
+        n_items,
+        n_nodes,
+        n_node_uids,
+        n_module_names,
+        base_uid,
+        end_offset,
+        fingerprint,
+    ) = _HEADER.unpack_from(buffer)
+    if magic != FORMAT_MAGIC:
+        raise SerializationError(f"not a run store (bad magic {magic!r})")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported run-store version {version} (supported: {FORMAT_VERSION})"
+        )
+    if page_size != PAGE_SIZE:
+        raise SerializationError(f"unsupported page size {page_size}")
+    return _Header(
+        n_segments=n_segments,
+        n_paths=n_paths,
+        n_items=n_items,
+        n_nodes=n_nodes,
+        n_node_uids=n_node_uids,
+        n_module_names=n_module_names,
+        base_uid=base_uid,
+        end_offset=end_offset,
+        dense=bool(flags & _FLAG_DENSE),
+        has_nodes=bool(flags & _FLAG_NODES),
+        fingerprint=fingerprint,
+    )
+
+
+# ---------------------------------------------------------------------------
+# writer
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CheckpointResult:
+    """What one :func:`checkpoint_run` call actually wrote."""
+
+    path: str
+    created: bool
+    delta_paths: int
+    delta_items: int
+    delta_nodes: int
+    bytes_written: int
+
+    @property
+    def wrote_segment(self) -> bool:
+        return self.bytes_written > 0
+
+
+def _column_bytes(seq, dtype_code: int, start: int, stop: int) -> bytes:
+    # Slices are bounded by the snapshotted counts, never open-ended: rows a
+    # concurrent ingest appends after the snapshot belong to the next delta.
+    delta = seq[start:stop]
+    if isinstance(delta, array) and delta.typecode == _TYPECODES[dtype_code]:
+        return delta.tobytes()
+    return array(_TYPECODES[dtype_code], delta).tobytes()
+
+
+def _blob_bytes(strings: list[str], what: str) -> bytes:
+    for value in strings:
+        if not value or "\n" in value:
+            # Empty entries are rejected too: a segment whose only entry is
+            # "" would serialise to zero bytes and decode to zero entries.
+            raise SerializationError(
+                f"{what} {value!r} must be non-empty and newline-free"
+            )
+    return "\n".join(strings).encode("utf-8")
+
+
+def checkpoint_run(
+    path,
+    store: LabelStore,
+    node_table: NodeTable | None = None,
+    *,
+    fingerprint: int = 0,
+) -> CheckpointResult:
+    """Write (or incrementally extend) the persistent form of a labelled run.
+
+    On a fresh ``path`` the whole run is written; on an existing run file the
+    header watermarks are compared against the live arenas and **only the
+    delta rows** appended since the last checkpoint are written, as one new
+    segment.  The store (and the node table, when given) must be the same
+    growing run the file was created from — shrinking counts, a changed
+    density mode, a changed dense base or a changed ``fingerprint`` are
+    rejected rather than guessed at.
+
+    ``fingerprint`` is an optional specification identity (any nonzero int,
+    e.g. a grammar hash): it is stored in the header on creation and
+    re-checked on every later checkpoint, and readers can use it to refuse
+    serving the file under a different specification
+    (:meth:`repro.engine.QueryEngine.attach` does).
+
+    Checkpointing a run that another thread is still ingesting is safe in
+    the snapshot sense: counts are snapshotted once (label/node rows first,
+    the path trie — which they reference — last) and every column is sliced
+    to its snapshot, so the segment is internally consistent and rows
+    appended mid-write simply land in the next delta.
+
+    Note that the persisted path trie is ``store.table`` in its entirety: a
+    query-engine shard interns into the engine's *shared* arena, so the file
+    carries sibling runs' paths too — ids must stay globally consistent for
+    the mapped store to serve the same answers.
+    """
+    if not isinstance(store, LabelStore):
+        raise SerializationError(
+            "checkpoint_run requires a columnar LabelStore (the object "
+            "representation has no columns to persist)"
+        )
+    if isinstance(store, MappedLabelStore):
+        raise SerializationError("mapped run stores are read-only; nothing to checkpoint")
+    file_path = os.fspath(path)
+    table = store.table
+
+    created = not os.path.exists(file_path)
+    if created:
+        header = _Header(
+            n_segments=0,
+            n_paths=0,
+            n_items=0,
+            n_nodes=0,
+            n_node_uids=0,
+            n_module_names=0,
+            base_uid=0,
+            end_offset=PAGE_SIZE,
+            dense=store.is_dense,
+            has_nodes=node_table is not None,
+            fingerprint=fingerprint,
+        )
+    else:
+        with open(file_path, "rb") as handle:
+            header = _unpack_header(handle.read(_HEADER.size))
+        if fingerprint and header.fingerprint and fingerprint != header.fingerprint:
+            raise SerializationError(
+                "run file was checkpointed under a different specification "
+                f"(fingerprint {header.fingerprint} != {fingerprint})"
+            )
+
+    # Snapshot order matters under concurrent ingest: labels and nodes
+    # reference path ids (and module names) interned *before* their rows are
+    # appended, so those intern counts are read after the row counts — every
+    # persisted row resolves within the persisted prefix.  Each family's
+    # count is the minimum over its columns, so a row whose appends are still
+    # in flight is left for the next delta rather than half-written.
+    n_items_now = min(len(column) for column in store.raw_columns())
+    if node_table is not None:
+        node_columns = node_table.raw_columns()
+        n_nodes_now = min(len(column) for column in node_columns)
+        n_uids_now = node_table.n_uids
+        # A module row appends its uid-intern reference just before the uid
+        # itself; drop trailing rows whose uid is not interned yet.
+        uid_ids = node_columns[3]
+        while n_nodes_now > header.n_nodes and uid_ids[n_nodes_now - 1] >= n_uids_now:
+            n_nodes_now -= 1
+        n_names_now = len(node_table.module_names)
+    else:
+        n_nodes_now = n_uids_now = n_names_now = 0
+    n_paths_now = min(len(column) for column in table.raw_columns())
+
+    if header.n_segments > 0:
+        if (node_table is not None) != header.has_nodes:
+            raise SerializationError(
+                "run file and checkpoint disagree on whether node rows are "
+                "persisted; pass the same node_table (or None) every time"
+            )
+        if header.n_items > 0 and store.is_dense != header.dense:
+            raise SerializationError(
+                "the store changed uid density since the last checkpoint; "
+                "write a fresh run file"
+            )
+        if header.n_items > 0 and store.is_dense and store.base_uid != header.base_uid:
+            raise SerializationError(
+                f"dense base uid changed ({header.base_uid} -> {store.base_uid}); "
+                "this is a different run"
+            )
+    for label, now, watermark in (
+        ("paths", n_paths_now, header.n_paths),
+        ("items", n_items_now, header.n_items),
+        ("nodes", n_nodes_now, header.n_nodes),
+    ):
+        if now < watermark:
+            raise SerializationError(
+                f"run has fewer {label} ({now}) than the file watermark "
+                f"({watermark}); this is not the persisted run"
+            )
+
+    delta_paths = n_paths_now - header.n_paths
+    delta_items = n_items_now - header.n_items
+    delta_nodes = n_nodes_now - header.n_nodes
+
+    # Assemble the delta sections: (id, dtype, row_start, n_rows, payload).
+    # The uid/name watermarks advance by what is actually written, which can
+    # trail the live intern counts when the row snapshot was clamped.
+    sections: list[tuple[int, int, int, int, bytes]] = []
+    n_uids_persisted = header.n_node_uids
+    n_names_persisted = header.n_module_names
+    if delta_paths:
+        parent, packed, c = table.raw_columns()
+        start = header.n_paths
+        sections.append(
+            (_SEC_PATH_PARENT, _DTYPE_I32, start, delta_paths, _column_bytes(parent, _DTYPE_I32, start, n_paths_now))
+        )
+        sections.append(
+            (_SEC_PATH_PACKED, _DTYPE_I64, start, delta_paths, _column_bytes(packed, _DTYPE_I64, start, n_paths_now))
+        )
+        sections.append(
+            (_SEC_PATH_C, _DTYPE_I32, start, delta_paths, _column_bytes(c, _DTYPE_I32, start, n_paths_now))
+        )
+    if delta_items:
+        ppath, pport, cpath, cport = store.raw_columns()
+        start = header.n_items
+        for sid, column in (
+            (_SEC_LAB_PPATH, ppath),
+            (_SEC_LAB_PPORT, pport),
+            (_SEC_LAB_CPATH, cpath),
+            (_SEC_LAB_CPORT, cport),
+        ):
+            sections.append(
+                (sid, _DTYPE_I32, start, delta_items, _column_bytes(column, _DTYPE_I32, start, n_items_now))
+            )
+        if not store.is_dense:
+            uid_delta = list(islice(store.uids(), start, n_items_now))
+            sections.append(
+                (
+                    _SEC_LAB_UIDS,
+                    _DTYPE_I64,
+                    start,
+                    delta_items,
+                    array("q", uid_delta).tobytes(),
+                )
+            )
+    if node_table is not None and delta_nodes:
+        node_parent, node_path, node_meta, node_uid_id = node_table.raw_columns()
+        start = header.n_nodes
+        sections.append(
+            (_SEC_NODE_PARENT, _DTYPE_I32, start, delta_nodes, _column_bytes(node_parent, _DTYPE_I32, start, n_nodes_now))
+        )
+        sections.append(
+            (_SEC_NODE_PATH, _DTYPE_I32, start, delta_nodes, _column_bytes(node_path, _DTYPE_I32, start, n_nodes_now))
+        )
+        sections.append(
+            (_SEC_NODE_META, _DTYPE_I64, start, delta_nodes, _column_bytes(node_meta, _DTYPE_I64, start, n_nodes_now))
+        )
+        sections.append(
+            (_SEC_NODE_UID_ID, _DTYPE_I32, start, delta_nodes, _column_bytes(node_uid_id, _DTYPE_I32, start, n_nodes_now))
+        )
+        uid_delta = node_table.uid_slice(header.n_node_uids)[
+            : n_uids_now - header.n_node_uids
+        ]
+        n_uids_persisted += len(uid_delta)
+        if uid_delta:
+            sections.append(
+                (
+                    _SEC_NODE_UID_BLOB,
+                    _DTYPE_BLOB,
+                    header.n_node_uids,
+                    len(uid_delta),
+                    _blob_bytes(uid_delta, "instance uid"),
+                )
+            )
+        name_delta = node_table.module_names[header.n_module_names : n_names_now]
+        n_names_persisted += len(name_delta)
+        if name_delta:
+            sections.append(
+                (
+                    _SEC_MODULE_NAME_BLOB,
+                    _DTYPE_BLOB,
+                    header.n_module_names,
+                    len(name_delta),
+                    _blob_bytes(name_delta, "module name"),
+                )
+            )
+
+    bytes_written = 0
+    end_offset = header.end_offset
+    if sections:
+        if _SEGMENT.size + len(sections) * _SECTION.size > PAGE_SIZE:
+            raise SerializationError("segment section table exceeds one page")
+        segment_offset = header.end_offset
+        data_offset = segment_offset + PAGE_SIZE
+        entries = []
+        payload_chunks: list[tuple[int, bytes]] = []
+        payload_end = data_offset
+        for sid, dtype_code, row_start, n_rows, payload in sections:
+            entries.append(
+                _SECTION.pack(sid, dtype_code, row_start, n_rows, data_offset, len(payload))
+            )
+            payload_chunks.append((data_offset, payload))
+            payload_end = data_offset + len(payload)
+            data_offset = _align(payload_end)
+        end_offset = data_offset
+        segment_header = _SEGMENT.pack(_SEGMENT_MAGIC, len(sections), end_offset)
+
+        mode = "r+b" if not created else "w+b"
+        with open(file_path, mode) as handle:
+            handle.seek(segment_offset)
+            handle.write(segment_header + b"".join(entries))
+            for offset, payload in payload_chunks:
+                handle.seek(offset)
+                handle.write(payload)
+            if end_offset > payload_end:
+                # Pad so the file ends on a page boundary (mmap-friendly, and
+                # the next segment header lands exactly at end_offset).  When
+                # the last payload already ends on a boundary there is nothing
+                # to pad — writing would clobber its final byte.
+                handle.seek(end_offset - 1)
+                handle.write(b"\0")
+            new_header = _Header(
+                n_segments=header.n_segments + 1,
+                n_paths=n_paths_now,
+                n_items=n_items_now,
+                n_nodes=n_nodes_now,
+                n_node_uids=n_uids_persisted,
+                n_module_names=n_names_persisted,
+                base_uid=store.base_uid if store.is_dense else 0,
+                end_offset=end_offset,
+                dense=store.is_dense,
+                has_nodes=node_table is not None,
+                fingerprint=header.fingerprint or fingerprint,
+            )
+            # Data first, header last, with an fsync barrier in between: the
+            # kernel must not be allowed to persist the advanced header
+            # before the segment pages it points at, or a system crash would
+            # leave a header referencing garbage.  (A process crash is
+            # already covered by the write ordering alone.)
+            handle.flush()
+            os.fsync(handle.fileno())
+            handle.seek(0)
+            handle.write(new_header.pack())
+            handle.flush()
+            os.fsync(handle.fileno())
+        bytes_written = PAGE_SIZE + sum(len(p) for _, _, _, _, p in sections)
+    elif created:
+        with open(file_path, "w+b") as handle:
+            handle.write(header.pack())
+            handle.seek(PAGE_SIZE - 1)
+            handle.write(b"\0")
+        bytes_written = _HEADER.size
+
+    return CheckpointResult(
+        path=file_path,
+        created=created,
+        delta_paths=delta_paths,
+        delta_items=delta_items,
+        delta_nodes=delta_nodes,
+        bytes_written=bytes_written,
+    )
+
+
+# ---------------------------------------------------------------------------
+# mapped (read-only) columns
+# ---------------------------------------------------------------------------
+
+
+class _ChunkedColumn:
+    """Several per-segment numpy views stitched into one indexable column.
+
+    Runs checkpointed more than once have one extent per segment; the chunked
+    indexer keeps them zero-copy (no concatenation) and resolves a row with
+    one bisect.  Most accesses in practice hit a single-extent column, which
+    skips this class entirely (the raw view is used).
+    """
+
+    __slots__ = ("_starts", "_chunks", "_length", "_flat")
+
+    def __init__(self, starts: list[int], chunks: list[np.ndarray]) -> None:
+        self._starts = starts
+        self._chunks = chunks
+        self._length = starts[-1] + len(chunks[-1])
+        self._flat: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self):
+        for chunk in self._chunks:
+            yield from chunk
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._length))]
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(index)
+        chunk_index = bisect_right(self._starts, index) - 1
+        return self._chunks[chunk_index][index - self._starts[chunk_index]]
+
+    def concatenated(self) -> np.ndarray:
+        """One contiguous array over all chunks (built once, then cached).
+
+        The copy is the price of ``columns()``-style whole-column access on a
+        multi-segment file; per-row reads stay zero-copy through
+        :meth:`__getitem__` and never trigger it.
+        """
+        if self._flat is None:
+            self._flat = np.concatenate(self._chunks)
+        return self._flat
+
+
+def _as_ndarray(column) -> np.ndarray:
+    return column.concatenated() if isinstance(column, _ChunkedColumn) else column
+
+
+class MappedPathTable(PathTable):
+    """A read-only :class:`PathTable` whose columns are mmap-backed views."""
+
+    __slots__ = ()
+
+    def __init__(self, parent, packed, c) -> None:
+        self._parent = parent
+        self._packed = packed
+        self._c = c
+        self._ids = {}
+        self._indexed = False
+        self._tuples = {ROOT_PATH: ()}
+        self._compacted = True
+
+    extend_production = _read_only
+    extend_recursion = _read_only
+    new_production_child = _read_only
+    new_recursion_child = _read_only
+    extend = _read_only
+    intern = _read_only
+
+    def compact(self) -> "MappedPathTable":
+        return self
+
+    def edge_fields(self, path_id: int) -> tuple[int, int, int, int]:
+        # Coerce the numpy scalars of the mapped columns: materialised edge
+        # labels must carry plain ints (the bit codec calls ``.bit_length``).
+        kind, a, b, c = super().edge_fields(path_id)
+        return (int(kind), int(a), int(b), int(c))
+
+    def columns(self) -> dict[str, np.ndarray]:
+        return {
+            "parent": _as_ndarray(self._parent),
+            "packed": _as_ndarray(self._packed),
+            "c": _as_ndarray(self._c),
+        }
+
+    def memory_bytes(self) -> int:
+        """Resident (heap) bytes — the columns live in the file mapping."""
+        return 0
+
+
+class MappedLabelStore(LabelStore):
+    """A read-only :class:`LabelStore` whose columns are mmap-backed views.
+
+    Sparse (non-dense) runs keep their uid column mapped too; the uid->row
+    index is built lazily on the first keyed access, so attaching decodes
+    nothing.
+    """
+
+    __slots__ = ("_sparse",)
+
+    def __init__(
+        self,
+        table: MappedPathTable,
+        producer_path,
+        producer_port,
+        consumer_path,
+        consumer_port,
+        *,
+        dense: bool,
+        base_uid: int,
+        uids=None,
+    ) -> None:
+        self._table = table
+        self._producer_path = producer_path
+        self._producer_port = producer_port
+        self._consumer_path = consumer_path
+        self._consumer_port = consumer_port
+        self._sparse = not dense
+        if dense:
+            self._uids = []
+            self._base = base_uid if len(producer_path) else None
+        else:
+            self._uids = uids if uids is not None else []
+            self._base = None
+        self._row_of = None
+        self._view = None
+        self._label_cache = {}
+        self._compacted = True
+
+    append = _read_only
+    extend_items = _read_only
+    append_label = _read_only
+    _go_sparse = _read_only
+
+    def _ensure_index(self) -> None:
+        # The base class reads ``_row_of is None`` as "dense"; a mapped
+        # sparse store defers building the dict until a keyed access needs it.
+        if self._sparse and self._row_of is None:
+            self._row_of = {int(uid): row for row, uid in enumerate(self._uids)}
+
+    def _row(self, uid: int) -> int:
+        self._ensure_index()
+        return super()._row(uid)
+
+    def __contains__(self, uid: object) -> bool:
+        self._ensure_index()
+        return super().__contains__(uid)
+
+    def uids(self):
+        if self._sparse:
+            return iter(self._uids)
+        return super().uids()
+
+    @property
+    def is_dense(self) -> bool:
+        return not self._sparse
+
+    def compact(self) -> "MappedLabelStore":
+        return self
+
+    def columns(self) -> dict[str, np.ndarray]:
+        return {
+            "producer_path_id": _as_ndarray(self._producer_path),
+            "producer_port": _as_ndarray(self._producer_port),
+            "consumer_path_id": _as_ndarray(self._consumer_path),
+            "consumer_port": _as_ndarray(self._consumer_port),
+        }
+
+    def memory_bytes(self) -> int:
+        """Resident (heap) bytes — the columns live in the file mapping."""
+        return 64 * len(self._row_of) if self._row_of is not None else 0
+
+
+class MappedNodeTable(NodeTable):
+    """A read-only :class:`NodeTable` whose columns are mmap-backed views.
+
+    ``child_count`` is recomputed from the parent column (vectorised, lazy);
+    the uid and module-name intern lists are decoded from their blobs only if
+    a consumer actually asks for node identities.
+    """
+
+    __slots__ = ("_uid_loader", "_name_loader", "_row_of_uid")
+
+    def __init__(self, parent, path_id, meta, uid_id, uid_loader, name_loader) -> None:
+        self._parent = parent
+        self._path_id = path_id
+        self._meta = meta
+        self._uid_id = uid_id
+        self._child_count = None
+        self._uids = None
+        self._module_ids = {}
+        self._module_names = None
+        self._compacted = True
+        self._uid_loader = uid_loader
+        self._name_loader = name_loader
+        self._row_of_uid: dict[str, int] | None = None
+
+    module_id = _read_only
+    append_module = _read_only
+    append_recursive = _read_only
+
+    def compact(self) -> "MappedNodeTable":
+        return self
+
+    # -- lazily derived state ----------------------------------------------------
+
+    def _counts(self) -> np.ndarray:
+        if self._child_count is None:
+            parents = _as_ndarray(self._parent)
+            self._child_count = np.bincount(
+                parents[parents >= 0], minlength=len(parents)
+            ).astype(np.int32)
+        return self._child_count
+
+    def _uid_list(self) -> list[str]:
+        if self._uids is None:
+            self._uids = self._uid_loader()
+        return self._uids
+
+    @property
+    def n_uids(self) -> int:
+        return len(self._uid_list())
+
+    @property
+    def module_names(self) -> list[str]:
+        if self._module_names is None:
+            self._module_names = self._name_loader()
+        return self._module_names
+
+    def module_name(self, row: int) -> str | None:
+        meta = self._meta[self._check(row)]
+        if meta & 1:
+            return None
+        return self.module_names[(meta >> 1) & 0xFFFF]
+
+    def uid(self, row: int) -> str | None:
+        uid_id = self._uid_id[self._check(row)]
+        return None if uid_id < 0 else self._uid_list()[uid_id]
+
+    def row_for_uid(self, instance_uid: str) -> int:
+        """The node row of a module instance (index built lazily, once)."""
+        if self._row_of_uid is None:
+            uids = self._uid_list()
+            self._row_of_uid = {
+                uids[uid_id]: row
+                for row, uid_id in enumerate(self._uid_id)
+                if uid_id >= 0
+            }
+        try:
+            return self._row_of_uid[instance_uid]
+        except KeyError:
+            raise SerializationError(
+                f"no persisted parse-tree node for instance {instance_uid!r}"
+            ) from None
+
+    def child_count(self, row: int) -> int:
+        return int(self._counts()[self._check(row)])
+
+    def max_fanout(self) -> int:
+        counts = self._counts()
+        return int(counts.max()) if len(counts) else 0
+
+    def uid_slice(self, start: int) -> list[str]:
+        return self._uid_list()[start:]
+
+    def columns(self) -> dict[str, np.ndarray]:
+        return {
+            "parent": _as_ndarray(self._parent),
+            "path_id": _as_ndarray(self._path_id),
+            "meta": _as_ndarray(self._meta),
+            "uid_id": _as_ndarray(self._uid_id),
+            "child_count": np.asarray(self._counts()),
+        }
+
+    def memory_bytes(self) -> int:
+        """Resident (heap) bytes — the columns live in the file mapping."""
+        total = 0
+        if self._child_count is not None:
+            total += self._child_count.nbytes
+        if self._uids is not None:
+            total += 8 * len(self._uids)
+        return total
+
+
+# ---------------------------------------------------------------------------
+# the mapped run store
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Extent:
+    dtype_code: int
+    row_start: int
+    n_rows: int
+    offset: int
+    nbytes: int
+
+
+class MappedRunStore:
+    """One labelled run served straight from its file mapping.
+
+    ``MappedRunStore(path)`` maps the file and exposes:
+
+    * :attr:`store` — a read-only :class:`MappedLabelStore` (drop-in for the
+      query engine's batch evaluation);
+    * :attr:`table` — the run's :class:`MappedPathTable` trie;
+    * :attr:`nodes` — the :class:`MappedNodeTable` (``None`` if the file was
+      checkpointed without node rows).
+
+    Nothing is decoded at open time beyond the header and the per-segment
+    section tables (a few pages); column pages fault in on first access.
+    """
+
+    def __init__(self, path) -> None:
+        self._path = os.fspath(path)
+        self._file = open(self._path, "rb")
+        try:
+            self._mm = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError as exc:
+            self._file.close()
+            raise SerializationError(f"cannot map empty run store {self._path!r}") from exc
+        try:
+            self._header = _unpack_header(self._mm[: _HEADER.size])
+            extents = self._parse_segments()
+            self._build(extents)
+        except Exception:
+            self.close()
+            raise
+
+    # -- construction ------------------------------------------------------------
+
+    def _parse_segments(self) -> dict[int, list[_Extent]]:
+        header = self._header
+        extents: dict[int, list[_Extent]] = {}
+        offset = PAGE_SIZE
+        size = len(self._mm)
+        for _ in range(header.n_segments):
+            if offset + _SEGMENT.size > size:
+                raise SerializationError("truncated run store: missing segment header")
+            magic, n_sections, segment_end = _SEGMENT.unpack_from(self._mm, offset)
+            if magic != _SEGMENT_MAGIC:
+                raise SerializationError(
+                    f"corrupt run store: bad segment magic at offset {offset}"
+                )
+            entry_offset = offset + _SEGMENT.size
+            if entry_offset + n_sections * _SECTION.size > size:
+                raise SerializationError("truncated run store: section table cut off")
+            for _ in range(n_sections):
+                sid, dtype_code, row_start, n_rows, data_offset, nbytes = (
+                    _SECTION.unpack_from(self._mm, entry_offset)
+                )
+                entry_offset += _SECTION.size
+                if data_offset + nbytes > size:
+                    raise SerializationError("truncated run store: section out of range")
+                extents.setdefault(sid, []).append(
+                    _Extent(dtype_code, row_start, n_rows, data_offset, nbytes)
+                )
+            if segment_end <= offset or segment_end > size:
+                raise SerializationError("corrupt run store: bad segment end")
+            offset = segment_end
+        if offset != self._header.end_offset:
+            raise SerializationError("corrupt run store: segment chain mismatch")
+        return extents
+
+    def _int_column(
+        self, extents: dict[int, list[_Extent]], sid: int, expected_rows: int, name: str
+    ):
+        parts = extents.get(sid, [])
+        total = sum(part.n_rows for part in parts)
+        if total != expected_rows:
+            raise SerializationError(
+                f"run store column {name!r} has {total} rows, header says "
+                f"{expected_rows}"
+            )
+        if not parts:
+            return np.empty(0, dtype=np.int32)
+        views = []
+        starts = []
+        cursor = 0
+        for part in parts:
+            if part.row_start != cursor:
+                raise SerializationError(
+                    f"run store column {name!r} has a gap at row {cursor}"
+                )
+            dtype = _NP_DTYPES.get(part.dtype_code)
+            if dtype is None or part.nbytes != part.n_rows * dtype.itemsize:
+                raise SerializationError(f"run store column {name!r} is malformed")
+            views.append(
+                np.frombuffer(self._mm, dtype=dtype, count=part.n_rows, offset=part.offset)
+            )
+            starts.append(cursor)
+            cursor += part.n_rows
+        if len(views) == 1:
+            return views[0]
+        return _ChunkedColumn(starts, views)
+
+    def _blob_loader(
+        self, extents: dict[int, list[_Extent]], sid: int, expected: int, name: str
+    ):
+        parts = extents.get(sid, [])
+        total = sum(part.n_rows for part in parts)
+        if total != expected:
+            raise SerializationError(
+                f"run store blob {name!r} has {total} entries, header says {expected}"
+            )
+        mm = self._mm
+
+        def load() -> list[str]:
+            values: list[str] = []
+            for part in parts:
+                raw = mm[part.offset : part.offset + part.nbytes]
+                chunk = raw.decode("utf-8").split("\n") if raw else []
+                if len(chunk) != part.n_rows:
+                    raise SerializationError(f"run store blob {name!r} is malformed")
+                values.extend(chunk)
+            return values
+
+        return load
+
+    def _build(self, extents: dict[int, list[_Extent]]) -> None:
+        header = self._header
+        self._table = MappedPathTable(
+            self._int_column(extents, _SEC_PATH_PARENT, header.n_paths, "path.parent"),
+            self._int_column(extents, _SEC_PATH_PACKED, header.n_paths, "path.packed"),
+            self._int_column(extents, _SEC_PATH_C, header.n_paths, "path.c"),
+        )
+        uid_column = None
+        if not header.dense:
+            uid_column = self._int_column(
+                extents, _SEC_LAB_UIDS, header.n_items, "label.uids"
+            )
+        self._store = MappedLabelStore(
+            self._table,
+            self._int_column(extents, _SEC_LAB_PPATH, header.n_items, "label.producer_path"),
+            self._int_column(extents, _SEC_LAB_PPORT, header.n_items, "label.producer_port"),
+            self._int_column(extents, _SEC_LAB_CPATH, header.n_items, "label.consumer_path"),
+            self._int_column(extents, _SEC_LAB_CPORT, header.n_items, "label.consumer_port"),
+            dense=header.dense,
+            base_uid=header.base_uid,
+            uids=uid_column,
+        )
+        self._nodes: MappedNodeTable | None = None
+        if header.has_nodes:
+            self._nodes = MappedNodeTable(
+                self._int_column(extents, _SEC_NODE_PARENT, header.n_nodes, "node.parent"),
+                self._int_column(extents, _SEC_NODE_PATH, header.n_nodes, "node.path_id"),
+                self._int_column(extents, _SEC_NODE_META, header.n_nodes, "node.meta"),
+                self._int_column(extents, _SEC_NODE_UID_ID, header.n_nodes, "node.uid_id"),
+                self._blob_loader(
+                    extents, _SEC_NODE_UID_BLOB, header.n_node_uids, "node.uids"
+                ),
+                self._blob_loader(
+                    extents,
+                    _SEC_MODULE_NAME_BLOB,
+                    header.n_module_names,
+                    "node.module_names",
+                ),
+            )
+
+    # -- the serving surface -----------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def store(self) -> MappedLabelStore:
+        return self._store
+
+    @property
+    def table(self) -> MappedPathTable:
+        return self._table
+
+    @property
+    def nodes(self) -> MappedNodeTable | None:
+        return self._nodes
+
+    @property
+    def n_paths(self) -> int:
+        return self._header.n_paths
+
+    @property
+    def n_items(self) -> int:
+        return self._header.n_items
+
+    @property
+    def n_nodes(self) -> int:
+        return self._header.n_nodes
+
+    @property
+    def n_segments(self) -> int:
+        return self._header.n_segments
+
+    @property
+    def fingerprint(self) -> int:
+        """The specification fingerprint recorded at checkpoint (0 = unchecked)."""
+        return self._header.fingerprint
+
+    def label(self, uid: int):
+        """Materialise the :class:`~repro.core.labels.DataLabel` of one item."""
+        return self._store.label(uid)
+
+    def row(self, uid: int) -> tuple[int, int, int, int]:
+        return self._store.row(uid)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def close(self) -> None:
+        """Drop the mapping.  Column views must no longer be used afterwards."""
+        try:
+            self._mm.close()
+        except (BufferError, ValueError):
+            # Numpy views still alive keep the pages mapped; the mmap object
+            # is closed when they are collected.
+            pass
+        finally:
+            self._file.close()
+
+    def __enter__(self) -> "MappedRunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MappedRunStore({self._path!r}, items={self.n_items}, "
+            f"paths={self.n_paths}, nodes={self.n_nodes}, "
+            f"segments={self.n_segments})"
+        )

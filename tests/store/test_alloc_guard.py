@@ -1,26 +1,27 @@
-"""Allocation-count guard: per-item label objects must not silently return.
+"""Allocation-count guard: per-item/per-node objects must not silently return.
 
 The columnar ingest path exists to kill the seed's per-item object churn:
 labeling a run must construct **zero** ``PortLabel``/``DataLabel``/edge-label
-value objects (they are lazy, materialised only for items a caller reads).
-Like ``tests/engine/test_perf_guard.py``, the guard counts constructor calls
-instead of timing anything, so it cannot flake — if someone reintroduces
-per-item object construction on the ingest path, the count goes from zero to
-O(n) and the assertion names the regression precisely.
+value objects *and* — since the node arena — zero ``ParseNode`` objects and
+zero path tuples (all of them are lazy, materialised only for what a caller
+reads).  Like ``tests/engine/test_perf_guard.py``, the guard counts
+constructor calls instead of timing anything, so it cannot flake — if someone
+reintroduces per-item or per-node construction on the ingest path, the count
+goes from zero to O(n) and the assertion names the regression precisely.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core import FVLScheme
+from repro.core import FVLScheme, ObjectParseNode, ParseNode
 from repro.core.labels import (
     DataLabel,
     PortLabel,
     ProductionEdgeLabel,
     RecursionEdgeLabel,
 )
-from repro.store import LabelStore
+from repro.store import LabelStore, NodeTable
 from repro.workloads import build_bioaid_specification, random_run
 
 
@@ -72,14 +73,41 @@ def test_columnar_labeling_constructs_no_label_objects(prepared, monkeypatch):
     assert counts["PortLabel"] == len(label.paths())
 
 
+def test_columnar_ingest_constructs_no_parse_nodes_or_path_tuples(prepared, monkeypatch):
+    """Tree construction is pure column appends: no flyweights, no tuples."""
+    scheme, derivation = prepared
+    counts = {"ParseNode": 0}
+    _counting(monkeypatch, ParseNode, counts)
+
+    labeler = scheme.label_run(derivation)
+
+    tree = labeler.tree
+    assert isinstance(tree.nodes, NodeTable)
+    assert tree.n_nodes >= len(derivation.run.instances)
+    assert counts["ParseNode"] == 0, (
+        f"ingest constructed {counts['ParseNode']} ParseNode flyweights"
+    )
+    # No path tuple was materialised either: the arena memo still holds only
+    # the root path.
+    assert len(tree.path_table._tuples) == 1
+
+    # Touching one instance materialises exactly its own chain of flyweights
+    # (the node plus the ancestors the walk touches), nothing run-sized.
+    uid = next(iter(derivation.run.instances))
+    node = tree.node_for(uid)
+    assert tree.node_for(uid) is node
+    assert 1 <= counts["ParseNode"] <= node.depth + 2
+
+
 def test_object_representation_still_constructs_objects(prepared, monkeypatch):
     """The guard's counter actually observes the object path (sanity check)."""
     scheme, derivation = prepared
-    counts = {"PortLabel": 0, "DataLabel": 0}
-    for cls in (PortLabel, DataLabel):
+    counts = {"PortLabel": 0, "DataLabel": 0, "ObjectParseNode": 0}
+    for cls in (PortLabel, DataLabel, ObjectParseNode):
         _counting(monkeypatch, cls, counts)
-    scheme.label_run(derivation, columnar=False)
+    labeler = scheme.label_run(derivation, columnar=False)
     assert counts["DataLabel"] == derivation.run.n_data_items
+    assert counts["ObjectParseNode"] == labeler.tree.n_nodes
 
 
 def test_labels_property_returns_cached_view_not_copy(prepared):

@@ -1,0 +1,275 @@
+"""Unit tests for the persistent run store and the engine's attach/checkpoint."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+import repro.engine.engine as engine_module
+from repro.core import FVLScheme, FVLVariant
+from repro.core.run_labeler import RunLabeler
+from repro.engine import DEFAULT_RUN, QueryEngine
+from repro.errors import LabelingError, SerializationError
+from repro.io import LabelCodec
+from repro.model.projection import ViewProjection
+from repro.store import (
+    FORMAT_MAGIC,
+    PAGE_SIZE,
+    LabelStore,
+    MappedLabelStore,
+    MappedRunStore,
+    PathTable,
+    checkpoint_run,
+)
+from repro.bench import sample_query_pairs
+from repro.workloads import build_bioaid_specification, random_run, random_view
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return build_bioaid_specification()
+
+
+@pytest.fixture(scope="module")
+def scheme(spec):
+    return FVLScheme(spec)
+
+
+@pytest.fixture()
+def labelled(scheme, spec):
+    derivation = random_run(spec, 300, seed=21)
+    labeler = scheme.label_run(derivation)
+    return derivation, labeler
+
+
+# -- writer validation -------------------------------------------------------
+
+
+def test_checkpoint_requires_columnar_store(labelled, tmp_path, scheme, spec):
+    derivation, _ = labelled
+    objects = scheme.label_run(derivation, columnar=False)
+    with pytest.raises(SerializationError):
+        checkpoint_run(tmp_path / "x.fvl", objects.store, None)
+
+
+def test_checkpoint_creates_and_appends_watermarked_segments(labelled, tmp_path):
+    derivation, labeler = labelled
+    run_file = tmp_path / "run.fvl"
+    first = checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+    assert first.created and first.wrote_segment
+    assert first.delta_items == len(labeler.store)
+    # No growth -> no new segment, file untouched.
+    size = run_file.stat().st_size
+    again = checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+    assert not again.created and not again.wrote_segment
+    assert run_file.stat().st_size == size
+    # Sections are page-aligned: the file is a whole number of pages.
+    assert size % PAGE_SIZE == 0
+
+
+def test_checkpoint_rejects_a_different_run(labelled, tmp_path, scheme, spec):
+    _, labeler = labelled
+    run_file = tmp_path / "run.fvl"
+    checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+    other = scheme.label_run(random_run(spec, 60, seed=5))
+    with pytest.raises(SerializationError, match="fewer"):
+        checkpoint_run(run_file, other.store, other.tree.nodes)
+
+
+def test_checkpoint_rejects_node_presence_flips(labelled, tmp_path):
+    _, labeler = labelled
+    run_file = tmp_path / "run.fvl"
+    checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+    with pytest.raises(SerializationError, match="node"):
+        checkpoint_run(run_file, labeler.store, None)
+
+
+def test_reader_rejects_bad_magic_and_version(labelled, tmp_path):
+    _, labeler = labelled
+    run_file = tmp_path / "run.fvl"
+    checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+    raw = bytearray(run_file.read_bytes())
+    bad_magic = tmp_path / "bad-magic.fvl"
+    bad_magic.write_bytes(b"NOTARUN!" + raw[8:])
+    with pytest.raises(SerializationError, match="magic"):
+        MappedRunStore(bad_magic)
+    bad_version = tmp_path / "bad-version.fvl"
+    corrupted = bytearray(raw)
+    corrupted[8:12] = struct.pack("<I", 99)
+    assert corrupted[:8] == FORMAT_MAGIC
+    bad_version.write_bytes(bytes(corrupted))
+    with pytest.raises(SerializationError, match="version"):
+        MappedRunStore(bad_version)
+    truncated = tmp_path / "truncated.fvl"
+    truncated.write_bytes(bytes(raw[: PAGE_SIZE + 16]))
+    with pytest.raises(SerializationError):
+        MappedRunStore(truncated)
+
+
+def test_mapped_store_is_read_only(labelled, tmp_path):
+    _, labeler = labelled
+    run_file = tmp_path / "run.fvl"
+    checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+    with MappedRunStore(run_file) as mapped:
+        assert isinstance(mapped.store, MappedLabelStore)
+        assert isinstance(mapped.store, LabelStore)  # engine fast path applies
+        with pytest.raises(SerializationError):
+            mapped.store.append(10**6, 1, 1, 2, 1)
+        with pytest.raises(SerializationError):
+            mapped.table.extend_production(0, 1, 1)
+        with pytest.raises(SerializationError):
+            mapped.nodes.append_recursive(0, 0, 1, 1)
+        with pytest.raises(SerializationError):
+            checkpoint_run(tmp_path / "copy.fvl", mapped.store, None)
+
+
+def test_mapped_store_round_trips_through_the_bulk_codec(labelled, tmp_path, scheme):
+    _, labeler = labelled
+    run_file = tmp_path / "run.fvl"
+    checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+    codec = LabelCodec(scheme.index)
+    expected = codec.encode_run(labeler.store)
+    with MappedRunStore(run_file) as mapped:
+        assert codec.encode_run(mapped.store) == expected
+
+
+def test_page_aligned_final_section_is_not_clobbered(tmp_path):
+    """A last section ending exactly on a page boundary keeps its final byte.
+
+    1024 dense rows make each i32 label column exactly one page; the pad
+    write used to overwrite the final byte of the last section (regression).
+    """
+    table = PathTable()
+    a = table.extend_production(0, 1, 1)
+    store = LabelStore(table)
+    marker = 1 << 24  # nonzero high byte: a clobber would zero it
+    for uid in range(1024):
+        store.append(uid, a, 1, a, marker if uid == 1023 else 1)
+    run_file = tmp_path / "aligned.fvl"
+    checkpoint_run(run_file, store, None)
+    with MappedRunStore(run_file) as mapped:
+        assert tuple(mapped.row(1023)) == (a, 1, a, marker)
+
+
+def test_sparse_stores_round_trip(tmp_path):
+    table = PathTable()
+    a = table.extend_production(0, 1, 1)
+    b = table.extend_production(0, 1, 2)
+    store = LabelStore(table)
+    store.append(5, a, 1, b, 2)
+    store.append(42, b, 1, a, 1)  # gap -> sparse
+    assert not store.is_dense
+    run_file = tmp_path / "sparse.fvl"
+    checkpoint_run(run_file, store, None)
+    with MappedRunStore(run_file) as mapped:
+        assert not mapped.store.is_dense
+        assert list(mapped.store.uids()) == [5, 42]
+        assert tuple(mapped.store.row(42)) == (b, 1, a, 1)
+        assert mapped.nodes is None
+
+
+# -- engine integration ------------------------------------------------------
+
+
+@pytest.fixture()
+def engine_setup(scheme, spec):
+    derivation = random_run(spec, 300, seed=21)
+    view = random_view(spec, 6, seed=9, mode="grey", name="persist-view")
+    items = sorted(ViewProjection(derivation.run, view).visible_items)
+    pairs = sample_query_pairs(items, 400, seed=13)
+    engine = QueryEngine(scheme)
+    engine.add_run(DEFAULT_RUN, derivation)
+    return engine, derivation, view, pairs
+
+
+def test_attached_shard_answers_bit_identical(engine_setup, tmp_path):
+    engine, _, view, pairs = engine_setup
+    expected = engine.depends_batch(pairs, view, variant=FVLVariant.DEFAULT)
+    run_file = tmp_path / "shard.fvl"
+    engine.checkpoint(run_file)
+    mapped = engine.attach(run_file, run_id="disk")
+    assert mapped.n_items == len(engine.run_labeler().store)
+    got = engine.depends_batch(pairs, view, run="disk", variant=FVLVariant.DEFAULT)
+    assert got == expected
+    # Space-efficient variant exercises the memoized decode path too.
+    expected_se = engine.depends_batch(pairs, view, variant=FVLVariant.SPACE_EFFICIENT)
+    got_se = engine.depends_batch(
+        pairs, view, run="disk", variant=FVLVariant.SPACE_EFFICIENT
+    )
+    assert got_se == expected_se
+    with pytest.raises(LabelingError):
+        engine.run_labeler("disk")
+    with pytest.raises(LabelingError):
+        engine.checkpoint(run_file, run_id="disk")
+    with pytest.raises(LabelingError):
+        engine.attach(run_file, run_id="disk")  # name taken
+
+
+def test_attach_rejects_a_different_specification(engine_setup, tmp_path):
+    from repro.workloads import build_running_example
+
+    engine, _, _, _ = engine_setup
+    run_file = tmp_path / "other-spec.fvl"
+    engine.checkpoint(run_file)
+    other = QueryEngine(FVLScheme(build_running_example()))
+    with pytest.raises(LabelingError, match="different"):
+        other.attach(run_file, run_id="disk")
+    # The same specification (even a fresh engine) attaches fine.
+    same = QueryEngine(engine.scheme)
+    assert same.attach(run_file, run_id="disk").fingerprint != 0
+
+
+def test_incremental_checkpoint_then_attach_is_lossless(scheme, spec, tmp_path):
+    derivation = random_run(spec, 300, seed=3)
+    events = derivation.events
+    half = len(events) // 2
+    labeler = RunLabeler(scheme.index)
+    for event in events[:half]:
+        labeler(event)
+    run_file = tmp_path / "grow.fvl"
+    checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+    for event in events[half:]:
+        labeler(event)
+    delta = checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+    assert delta.wrote_segment and delta.delta_items > 0
+
+    view = random_view(spec, 6, seed=9, mode="grey", name="grow-view")
+    items = sorted(ViewProjection(derivation.run, view).visible_items)
+    pairs = sample_query_pairs(items, 300, seed=1)
+
+    reference = QueryEngine(scheme)
+    reference.add_run(DEFAULT_RUN, derivation)
+    expected = reference.depends_batch(pairs, view)
+
+    served = QueryEngine(scheme)
+    served.attach(run_file, run_id=DEFAULT_RUN)
+    assert served.depends_batch(pairs, view) == expected
+
+
+def test_vectorised_grouping_matches_scalar_grouping(engine_setup, monkeypatch, tmp_path):
+    engine, _, view, pairs = engine_setup
+    expected = engine.depends_batch(pairs, view, variant=FVLVariant.DEFAULT)
+    monkeypatch.setattr(engine_module, "VECTOR_GROUP_THRESHOLD", 1)
+    fresh = QueryEngine(engine.scheme)
+    fresh.add_run(DEFAULT_RUN, engine._shards[DEFAULT_RUN].derivation)
+    # A live (uncompacted) store stays on the scalar path — the read path
+    # must not mutate a store that may still be ingesting.
+    store = fresh.run_labeler().store
+    assert not store.is_compacted
+    assert fresh.depends_batch(pairs, view, variant=FVLVariant.DEFAULT) == expected
+    assert not store.is_compacted
+    # Sealing the run enables the vectorised path; answers are identical.
+    store.compact()
+    assert fresh.depends_batch(pairs, view, variant=FVLVariant.DEFAULT) == expected
+    # Mapped shards are always sealed, so large batches vectorise there too.
+    run_file = tmp_path / "vector.fvl"
+    fresh.checkpoint(run_file)
+    fresh.attach(run_file, run_id="disk")
+    assert (
+        fresh.depends_batch(pairs, view, run="disk", variant=FVLVariant.DEFAULT)
+        == expected
+    )
+    # Unknown uids still raise the precise scalar error.
+    with pytest.raises(LabelingError):
+        fresh.depends_batch([(10**7, 1)], view)
