@@ -52,12 +52,17 @@ from repro.errors import (
     VisibilityError,
 )
 from repro.matrices import BoolMatrix
+from repro.service import (
+    CheckpointPolicy,
+    RunLifecycleManager,
+)
 from repro.store import (
     LabelStore,
     MappedRunStore,
     NodeTable,
     PathTable,
     checkpoint_run,
+    compact,
 )
 from repro.model import (
     DataEdge,
@@ -110,11 +115,15 @@ __all__ = [
     "NodeTable",
     "MappedRunStore",
     "checkpoint_run",
+    "compact",
     # engine
     "QueryEngine",
     "DependsQuery",
     "EngineStats",
     "CacheStats",
+    # service
+    "RunLifecycleManager",
+    "CheckpointPolicy",
     # errors
     "ReproError",
     "ValidationError",

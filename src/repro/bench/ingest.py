@@ -21,7 +21,14 @@ Figure 18 uses:
 * **checkpoint latency** — wall time of a full
   :func:`~repro.store.checkpoint_run` of the finished run, and of an
   incremental checkpoint that appends only the delta rows of the last ~10%
-  of the derivation.
+  of the derivation;
+* **lifecycle** — the run streamed in slices under a
+  :class:`~repro.service.RunLifecycleManager`: the median policy-driven
+  flush latency (``policy_flush_ms``, the per-interval durability cost a
+  hands-off deployment pays), the segment count the chain reaches, the
+  read amplification of the segmented file over its compacted rewrite
+  (``read_amp`` = segmented bytes / compacted bytes) and the
+  :func:`~repro.store.compact` wall time.
 
 ``python -m repro.bench.ingest --json BENCH_ingest.json`` writes the rows as
 JSON (the CI bench-smoke step uploads this artifact to seed the performance
@@ -47,6 +54,7 @@ __all__ = [
     "deep_object_bytes",
     "object_tree_bytes",
     "checkpoint_latency",
+    "lifecycle_metrics",
     "ingest_throughput",
     "write_ingest_json",
 ]
@@ -127,6 +135,53 @@ def checkpoint_latency(
     return full_seconds, delta_seconds
 
 
+def lifecycle_metrics(
+    scheme, derivation, *, intervals: int = 8
+) -> tuple[float, int, float, float]:
+    """``(policy_flush_ms, segments, compact_ms, read_amp)`` for one run.
+
+    The derivation streams into a bare labeler in ``intervals`` slices under
+    a :class:`~repro.service.RunLifecycleManager` whose event bound is 1, so
+    every ``poll_once()`` flushes exactly the pending delta — the measured
+    flush time is the per-interval durability cost of hands-off streaming.
+    The resulting segment chain is then rewritten with
+    :func:`~repro.store.compact`; ``read_amp`` is the segmented file's size
+    over the compacted one (the whole-column read amplification a mapped
+    reader pays before compaction).
+    """
+    from repro.engine import QueryEngine
+    from repro.service import CheckpointPolicy, RunLifecycleManager
+    from repro.store import run_file_info
+    from repro.store.compaction import compact
+
+    events = derivation.events
+    with tempfile.TemporaryDirectory(prefix="repro-lifecycle-") as tmp:
+        path = os.path.join(tmp, "managed.fvl")
+        manager = RunLifecycleManager(
+            QueryEngine(scheme),
+            policy=CheckpointPolicy(every_events=1, every_seconds=None),
+        )
+        labeler = RunLabeler(scheme.index)
+        manager.manage("bench", path, labeler=labeler)
+        flush_times = []
+        step = max(1, len(events) // intervals)
+        for lo in range(0, len(events), step):
+            for event in events[lo : lo + step]:
+                labeler(event)
+            start = time.perf_counter()
+            sweep = manager.poll_once()
+            if sweep.checkpoints:
+                flush_times.append(time.perf_counter() - start)
+        segments = run_file_info(path).n_segments
+        flush_times.sort()
+        policy_flush_s = flush_times[len(flush_times) // 2] if flush_times else 0.0
+        start = time.perf_counter()
+        result = compact(path)
+        compact_s = time.perf_counter() - start
+        read_amp = result.space_amplification
+    return policy_flush_s * 1e3, segments, compact_s * 1e3, read_amp
+
+
 def _best_time(fn, samples: int) -> float:
     best = float("inf")
     for _ in range(samples):
@@ -161,13 +216,20 @@ def ingest_throughput(
             "bulk_encode_KB",
             "checkpoint_full_ms",
             "checkpoint_delta_ms",
+            "policy_flush_ms",
+            "segments",
+            "compact_ms",
+            "read_amp",
         ],
         notes=(
             "BioAID-like workload; best of interleaved samples, label_run only "
             "(derivation prebuilt; object side builds ObjectParseNode objects, "
             "columnar side NodeTable rows); memory is the resident label/node "
             "state after ingest; checkpoint_delta appends the last ~10% of "
-            "events to an existing run file"
+            "events to an existing run file; policy_flush is the median "
+            "RunLifecycleManager sweep that flushes one due delta (run "
+            "streamed in 8 slices), and read_amp is the segmented file's "
+            "bytes over its compacted rewrite"
         ),
     )
     for size in run_sizes:
@@ -195,6 +257,9 @@ def ingest_throughput(
         tree_col_bytes = nodes.memory_bytes()
         _, bulk_bits = codec.encode_run(store)
         full_s, delta_s = checkpoint_latency(scheme, derivation)
+        policy_flush_ms, segments, compact_ms, read_amp = lifecycle_metrics(
+            scheme, derivation
+        )
 
         table.add_row(
             n_items,
@@ -210,6 +275,10 @@ def ingest_throughput(
             round(bulk_bits / 8.0 / 1024.0, 1),
             round(full_s * 1e3, 2),
             round(delta_s * 1e3, 2),
+            round(policy_flush_ms, 2),
+            segments,
+            round(compact_ms, 2),
+            round(read_amp, 2),
         )
     return table
 

@@ -36,7 +36,7 @@ from repro.core.preprocessing import GrammarIndex
 from repro.core.run_labeler import RunLabeler
 from repro.core.scheme import FVLScheme
 from repro.core.view_label import FVLVariant, ViewLabel, ViewLabeler
-from repro.core.visibility import is_visible
+from repro.core.visibility import is_visible, path_visibility, visible_batch, visible_mask
 
 __all__ = [
     "GrammarIndex",
@@ -64,5 +64,8 @@ __all__ = [
     "DecodeCache",
     "intermediate_matrix",
     "is_visible",
+    "path_visibility",
+    "visible_batch",
+    "visible_mask",
     "FVLScheme",
 ]

@@ -5,14 +5,25 @@ whether the data item is visible in the projected run ``R_U``: the item is
 visible iff every edge label occurring in its port-label paths refers to a
 production (or to recursion-cycle productions) retained by the view — that
 is, iff the view label's ``I`` function is defined for all of them.
+
+:func:`is_visible` is the original per-label-object predicate.  For runs
+held in a columnar :class:`~repro.store.LabelStore`, the same test runs over
+the packed columns with no label objects at all: visibility is a property of
+a *path*, paths are interned once per run, and children follow parents in id
+order — so :func:`path_visibility` folds the retained-production test over
+the whole trie in one forward pass, and :func:`visible_batch` /
+:func:`visible_mask` answer per-item queries as two flag lookups per row.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.labels import DataLabel, ProductionEdgeLabel, RecursionEdgeLabel
 from repro.errors import DecodingError
+from repro.store.path_table import _FIELD_MASK, KIND_PRODUCTION, KIND_ROOT
 
-__all__ = ["is_visible"]
+__all__ = ["is_visible", "path_visibility", "visible_batch", "visible_mask"]
 
 
 def is_visible(data_label: DataLabel, view_label) -> bool:
@@ -39,3 +50,188 @@ def is_visible(data_label: DataLabel, view_label) -> bool:
             else:  # pragma: no cover - defensive
                 raise DecodingError(f"unknown edge label {edge!r}")
     return True
+
+
+# ---------------------------------------------------------------------------
+# columnar visibility (no label objects)
+# ---------------------------------------------------------------------------
+
+
+def _recursion_retained(index, retained, s: int, t: int, i: int) -> bool:
+    """The recursion-edge half of the Section 5 test, on raw ``(s, t, i)``."""
+    length = index.cycle_length(s)
+    needed = min(max(i - 1, 0), length)
+    for offset in range(needed):
+        if index.cycle_edge(s, t + offset).production not in retained:
+            return False
+    return True
+
+
+def _edge_retained(table, path_id: int, view_label, rec_memo: dict) -> bool:
+    """Whether the *last* edge of one interned path is retained by the view."""
+    kind, a, b, c = table.edge_fields(path_id)
+    if kind == KIND_ROOT:
+        return True
+    if kind == KIND_PRODUCTION:
+        return a in view_label.retained_productions
+    key = (a, b, c)
+    ok = rec_memo.get(key)
+    if ok is None:
+        ok = rec_memo[key] = _recursion_retained(
+            view_label.index, view_label.retained_productions, a, b, c
+        )
+    return ok
+
+
+def _column_slice_array(column, start: int, stop: int, dtype) -> np.ndarray:
+    """A contiguous ndarray of ``column[start:stop]`` for any column kind.
+
+    Live tables keep plain lists (or packed ``array`` buffers) and mapped
+    single-extent tables numpy views; multi-segment mapped columns expose a
+    cached ``concatenated()`` flat array, which beats their per-index
+    chunk-bisect slicing by orders of magnitude for a whole-trie pass.
+    """
+    if isinstance(column, np.ndarray):
+        return column[start:stop]
+    concatenated = getattr(column, "concatenated", None)
+    if concatenated is not None:
+        return concatenated()[start:stop]
+    return np.asarray(column[start:stop], dtype=dtype)
+
+
+def path_visibility(table, view_label, *, prefix: "np.ndarray | None" = None) -> np.ndarray:
+    """Per-path-id visibility flags over a :class:`~repro.store.PathTable`.
+
+    ``flags[p]`` is True iff every edge on path ``p`` refers to productions
+    retained by ``view_label`` — i.e. iff a port whose label path is ``p``
+    belongs to a visible item.  The per-edge retained test is vectorised
+    straight off the packed trie columns (production edges, the vast
+    majority, are one mask-and-``isin`` pass; the bounded set of distinct
+    recursion edges is resolved scalar-ly with a memo), and a child's id is
+    always greater than its parent's, so the remaining AND-fold is one
+    forward pass.  Works on live, compacted and mapped tables alike and
+    never materialises an edge tuple.
+
+    ``prefix`` is an earlier result for the same ``(table, view_label)``
+    pair: the trie is append-only, so the old flags are reused verbatim and
+    only rows interned since are computed (the engine memoizes per decoded
+    view this way — repeated visibility queries cost O(new paths), not
+    O(trie)).  A prefix longer than the table is rejected as a misuse.
+    """
+    parent, packed, c = table.raw_columns()
+    # Appends are parent-first (parent, then packed, then c), so under a
+    # concurrent intern the columns can differ in length for an instant;
+    # clamp to the shortest so the fold only covers fully-appended rows —
+    # the torn tail simply lands in the next flags extension.
+    n = min(len(parent), len(packed), len(c))
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    start = 1
+    vis: list = [True]
+    if prefix is not None:
+        if len(prefix) > n:
+            raise DecodingError(
+                "path-visibility prefix is longer than the trie; it belongs "
+                "to a different table"
+            )
+        if len(prefix) == n:
+            return prefix
+        if len(prefix) > 1:
+            start = len(prefix)
+            vis = prefix.tolist()
+    if start >= n:
+        return np.asarray(vis, dtype=bool)
+
+    packed_arr = _column_slice_array(packed, start, n, np.int64)
+    # Production edges (kind bit 0): retained iff k is a retained production.
+    edge_ok = np.zeros(n - start, dtype=bool)
+    production = (packed_arr & 1) == KIND_PRODUCTION
+    retained = view_label.retained_productions
+    if retained:
+        k = (packed_arr >> 1) & _FIELD_MASK
+        edge_ok[production] = np.isin(
+            k[production], np.fromiter(retained, dtype=np.int64, count=len(retained))
+        )
+    # Recursion edges: few distinct (s, t, i) triples; scalar test, memoized.
+    recursion_rows = np.nonzero(~production)[0]
+    if recursion_rows.size:
+        c_arr = _column_slice_array(c, start, n, np.int64)
+        rec_memo: dict[tuple[int, int], bool] = {}
+        index = view_label.index
+        for offset in recursion_rows:
+            word = int(packed_arr[offset])
+            key = (word, int(c_arr[offset]))
+            ok = rec_memo.get(key)
+            if ok is None:
+                ok = rec_memo[key] = _recursion_retained(
+                    index, retained, (word >> 1) & _FIELD_MASK, word >> 17, key[1]
+                )
+            edge_ok[offset] = ok
+    # The fold itself is inherently sequential (child depends on parent),
+    # but over plain Python bools/ints it is a tight O(new rows) pass.
+    parent_ids = _column_slice_array(parent, start, n, np.int64).tolist()
+    for parent_id, ok in zip(parent_ids, edge_ok.tolist()):
+        vis.append(ok and vis[parent_id])
+    return np.asarray(vis, dtype=bool)
+
+
+def _path_flag(
+    path_id: int, flags: np.ndarray, table, view_label, late_memo: dict, rec_memo: dict
+) -> bool:
+    if path_id < 0:  # NO_PATH: a boundary label's absent side hides nothing
+        return True
+    if path_id < len(flags):
+        return bool(flags[path_id])
+    # The path was interned after the flags snapshot (concurrent ingest);
+    # resolve it scalar-ly, walking up to the snapshotted prefix.
+    ok = late_memo.get(path_id)
+    if ok is None:
+        ok = late_memo[path_id] = _path_flag(
+            table.parent(path_id), flags, table, view_label, late_memo, rec_memo
+        ) and _edge_retained(table, path_id, view_label, rec_memo)
+    return ok
+
+
+def visible_batch(store, view_label, uids, *, flags: "np.ndarray | None" = None) -> list[bool]:
+    """Visibility of the given items, answered from packed columns alone.
+
+    Reads each item's packed ``(producer_path_id, consumer_path_id)`` row
+    and consults the per-path flags of :func:`path_visibility` — no
+    :class:`~repro.core.labels.DataLabel` objects, no edge tuples.  Safe
+    against a store another thread is still appending to: nothing is
+    compacted or mutated, and rows referencing paths interned after the
+    flags snapshot fall back to a scalar walk.  ``flags`` short-circuits
+    the per-call trie fold with a (possibly stale-but-prefix) result of
+    :func:`path_visibility` for the same table and view.
+    """
+    if flags is None:
+        flags = path_visibility(store.table, view_label)
+    table = store.table
+    late_memo: dict[int, bool] = {}
+    rec_memo: dict[tuple[int, int, int], bool] = {}
+    results = []
+    for uid in uids:
+        producer_path, _, consumer_path, _ = store.row(uid)
+        results.append(
+            _path_flag(producer_path, flags, table, view_label, late_memo, rec_memo)
+            and _path_flag(consumer_path, flags, table, view_label, late_memo, rec_memo)
+        )
+    return results
+
+
+def visible_mask(store, view_label) -> np.ndarray:
+    """Visibility of *every* row of a sealed columnar store, vectorised.
+
+    One gather per label-path column over the :func:`path_visibility` flags;
+    ``mask[row]`` is True iff the item at that row is visible.  Requires a
+    sealed (compacted or mapped) store — :meth:`columns` would otherwise
+    compact a store a concurrent ingester may still be appending to; use
+    :func:`visible_batch` for live runs.
+    """
+    flags = path_visibility(store.table, view_label)
+    columns = store.columns()
+    producer = columns["producer_path_id"]
+    consumer = columns["consumer_path_id"]
+    return np.where(producer < 0, True, flags[np.maximum(producer, 0)]) & np.where(
+        consumer < 0, True, flags[np.maximum(consumer, 0)]
+    )

@@ -20,6 +20,7 @@ from repro.engine.engine import (
     DependsQuery,
     EngineStats,
     QueryEngine,
+    grammar_fingerprint,
 )
 
 __all__ = [
@@ -32,4 +33,5 @@ __all__ = [
     "DecodedMatrixFreeState",
     "MATRIX_FREE",
     "DEFAULT_RUN",
+    "grammar_fingerprint",
 ]

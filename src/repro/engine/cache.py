@@ -102,6 +102,11 @@ class LRUCache(Generic[V]):
         with self._lock:
             return list(self._entries)
 
+    def values(self) -> list[V]:
+        """A snapshot of the cached values (no recency effect)."""
+        with self._lock:
+            return list(self._entries.values())
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -132,6 +137,9 @@ class DecodedViewState:
     def __init__(self, label: ViewLabel, *, max_decode_entries: int | None = None) -> None:
         self._label = label
         self.decode_cache = DecodeCache(max_entries=max_decode_entries)
+        #: arena -> per-path-id visibility flags (append-only tries let the
+        #: engine extend a cached array instead of re-folding the trie).
+        self.visibility_flags: dict[int, object] = {}
         self._productions: dict[int, tuple[dict, dict, dict]] = {}
         self._chains: dict[tuple[str, int, int, int], BoolMatrix] = {}
         self._memoize = label.variant is FVLVariant.SPACE_EFFICIENT
@@ -240,6 +248,8 @@ class DecodedMatrixFreeState:
 
     def __init__(self, label: MatrixFreeViewLabel) -> None:
         self._label = label
+        #: arena -> per-path-id visibility flags (see DecodedViewState).
+        self.visibility_flags: dict[int, object] = {}
 
     @property
     def label(self) -> MatrixFreeViewLabel:

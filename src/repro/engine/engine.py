@@ -38,6 +38,7 @@ instead of per-pair dict probes.
 
 from __future__ import annotations
 
+import os
 import threading
 import zlib
 from concurrent.futures import ThreadPoolExecutor
@@ -49,6 +50,11 @@ from repro.core.decoder import intermediate_matrix, intermediate_matrix_for_ids
 from repro.core.run_labeler import RunLabeler
 from repro.core.scheme import FVLScheme
 from repro.core.view_label import FVLVariant
+from repro.core.visibility import (
+    is_visible as _object_is_visible,
+    path_visibility,
+    visible_batch,
+)
 from repro.engine.cache import (
     CacheStats,
     DecodedMatrixFreeState,
@@ -68,7 +74,14 @@ from repro.store import (
     checkpoint_run,
 )
 
-__all__ = ["MATRIX_FREE", "DEFAULT_RUN", "DependsQuery", "EngineStats", "QueryEngine"]
+__all__ = [
+    "MATRIX_FREE",
+    "DEFAULT_RUN",
+    "DependsQuery",
+    "EngineStats",
+    "QueryEngine",
+    "grammar_fingerprint",
+]
 
 #: Batch size from which :meth:`QueryEngine.depends_batch` groups pairs with
 #: numpy sort/unique over the path-id columns instead of a Python dict.  The
@@ -85,7 +98,7 @@ MATRIX_FREE = "matrix-free"
 DEFAULT_RUN = "default"
 
 
-def _grammar_fingerprint(index) -> int:
+def grammar_fingerprint(index) -> int:
     """A stable structural fingerprint of a grammar (nonzero 32-bit int).
 
     Written into run-file headers by :meth:`QueryEngine.checkpoint` and
@@ -226,7 +239,7 @@ class QueryEngine:
         if run_id in self._shards:
             raise LabelingError(f"run {run_id!r} is already registered with this engine")
         mapped = MappedRunStore(path)
-        expected = _grammar_fingerprint(self._scheme.index)
+        expected = grammar_fingerprint(self._scheme.index)
         if mapped.fingerprint and mapped.fingerprint != expected:
             mapped.close()
             raise LabelingError(
@@ -258,8 +271,100 @@ class QueryEngine:
             path,
             shard.labeler.store,
             nodes,
-            fingerprint=_grammar_fingerprint(self._scheme.index),
+            fingerprint=grammar_fingerprint(self._scheme.index),
         )
+
+    def reopen(self, run_id: str = DEFAULT_RUN) -> bool:
+        """Remap an attached shard onto a newer generation of its run file.
+
+        After :func:`repro.store.compact` swaps a merged rewrite over the
+        path, this shard keeps serving the superseded inode; ``reopen``
+        detects the bumped generation with a header peek and, if one is
+        there, maps the current file and swaps it in — without a restart and
+        **without invalidating decode-cache results**: compaction preserves
+        every row and path id bit-identically (and appends only ever extend
+        them), so the shard keeps its arena tag and every cached
+        ``(arena, id, id)`` matrix stays valid.  Returns ``True`` iff the
+        shard was remapped.  In-flight queries finish on the old mapping;
+        its pages are released once their views are collected.
+        """
+        shard = self._shard(run_id)
+        if shard.mapped is None:
+            raise LabelingError(
+                f"run {run_id!r} is a labelled shard; only attached mapped "
+                "shards can be reopened"
+            )
+        old = shard.mapped
+        if old.current_generation() == old.generation:
+            return False
+        fresh = MappedRunStore(old.path)
+        expected = grammar_fingerprint(self._scheme.index)
+        if fresh.fingerprint and fresh.fingerprint != expected:
+            fresh.close()
+            raise LabelingError(
+                f"run file {old.path!r} was rewritten under a different "
+                "specification; refusing to remap"
+            )
+        if (
+            fresh.n_items < old.n_items
+            or fresh.n_paths < old.n_paths
+            or fresh.n_nodes < old.n_nodes
+        ):
+            fresh.close()
+            raise LabelingError(
+                f"run file {old.path!r} shrank across generations; this is "
+                "not a compaction of the attached run"
+            )
+        shard.mapped = fresh
+        old.close()
+        return True
+
+    def reopen_all(self, path=None) -> list[str]:
+        """Reopen every attached shard whose file gained a generation.
+
+        ``path`` restricts the sweep to shards mapping that file (the
+        lifecycle manager passes the path it just compacted); spellings are
+        resolved with ``os.path.samefile`` so a shard attached under a
+        relative or symlinked alias of the compacted path is still remapped.
+        Returns the run ids that were actually remapped.
+        """
+        target = os.fspath(path) if path is not None else None
+        reopened = []
+        for run_id, shard in list(self._shards.items()):
+            if shard.mapped is None:
+                continue
+            if target is not None and not self._same_file(shard.mapped.path, target):
+                continue
+            if self.reopen(run_id):
+                reopened.append(run_id)
+        return reopened
+
+    @staticmethod
+    def _same_file(left: str, right: str) -> bool:
+        if left == right:
+            return True
+        try:
+            return os.path.samefile(left, right)
+        except OSError:
+            return False
+
+    def detach(self, run_id: str) -> None:
+        """Unregister a shard and release what it pinned (arena hygiene).
+
+        An attached shard closes its file mapping and has its private-trie
+        entries purged from every decoded view's pair-matrix cache — the
+        file brought its own path-id arena, so those entries can never be
+        probed again and would otherwise accumulate across run churn.
+        Labelled shards are only unregistered: their paths live in the
+        engine's *shared* arena where sibling runs may reference the same
+        interned ids, which is exactly why churny workloads should serve
+        runs through ``checkpoint``/``attach`` and detach them when done.
+        """
+        shard = self._shard(run_id)
+        del self._shards[run_id]
+        if shard.mapped is not None:
+            self._purge_decode_entries(shard.arena)
+            shard.mapped.close()
 
     def add_view(self, view: WorkflowView) -> WorkflowView:
         """Register a view so queries can refer to it by name.
@@ -371,6 +476,49 @@ class QueryEngine:
                 results[pos] = answer
         return results
 
+    def is_visible(
+        self,
+        uid: int,
+        view: "WorkflowView | str",
+        *,
+        run: str = DEFAULT_RUN,
+        variant: "FVLVariant | str | None" = None,
+    ) -> bool:
+        """Single-item convenience wrapper over :meth:`is_visible_batch`."""
+        return self.is_visible_batch([uid], view, run=run, variant=variant)[0]
+
+    def is_visible_batch(
+        self,
+        uids,
+        view: "WorkflowView | str",
+        *,
+        run: str = DEFAULT_RUN,
+        variant: "FVLVariant | str | None" = None,
+    ) -> list[bool]:
+        """Visibility (Section 5) of many items in one view of one run.
+
+        Store-backed shards (live, compacted and attached mapped runs alike)
+        are answered from the packed label columns: the retained-production
+        test is folded **once per decoded view** over the path trie (the
+        flags are memoized per arena and merely extended when the trie has
+        grown) and each item costs two flag lookups — no
+        :class:`~repro.core.labels.DataLabel` objects.  Only
+        object-represented runs fall back to materialising labels.
+        """
+        uids = list(uids)
+        shard = self._shard(run)
+        state = self._decoded_state(view, variant)
+        view_label = state.label
+        store = shard.store
+        if isinstance(store, LabelStore):
+            memo = state.visibility_flags
+            flags = path_visibility(
+                store.table, view_label, prefix=memo.get(shard.arena)
+            )
+            memo[shard.arena] = flags
+            return visible_batch(store, view_label, uids, flags=flags)
+        return [_object_is_visible(shard.label(uid), view_label) for uid in uids]
+
     # -- observability ----------------------------------------------------------------
 
     @property
@@ -384,6 +532,25 @@ class QueryEngine:
             )
 
     # -- internals --------------------------------------------------------------------------
+
+    def _purge_decode_entries(self, arena: int) -> None:
+        """Drop the pair-matrix cache entries of one private (attached) arena.
+
+        Arena 0 is the engine's shared trie — its ids stay meaningful across
+        shard churn, so only private arenas are purged.  Path-segment chain
+        memos are keyed by materialised edge labels (arena-independent) and
+        stay.
+        """
+        if arena == 0:
+            return
+        for state in self._states.values():
+            getattr(state, "visibility_flags", {}).pop(arena, None)
+            cache = getattr(state, "decode_cache", None)
+            if cache is None:
+                continue
+            matrices = cache.pair_matrices
+            for key in [k for k in matrices if len(k) == 3 and k[0] == arena]:
+                del matrices[key]
 
     def _shard(self, run_id: str) -> _RunShard:
         try:
@@ -558,14 +725,18 @@ class QueryEngine:
     ) -> list[bool] | None:
         """Vectorised grouping for large batches over a dense, sealed store.
 
-        The four label-column gathers, the boundary classification and the
+        The label-column gathers, the boundary classification and the
         group-by over ``(producer_path_id, consumer_path_id)`` run as numpy
         array operations (fancy indexing + one argsort), replacing ~10^4+
         per-pair dict probes; matrices are then assembled once per distinct
         path-id pair exactly as in the scalar path.  The caller guarantees
-        the store is already compacted, so ``columns()`` is a read-only view
-        grab.  Returns ``None`` when a uid falls outside the dense row range
-        so the scalar path can raise its precise per-item error.
+        the store is already compacted, so the gather is a read-only access.
+        Columns are read through :meth:`LabelStore.gather_rows`, which mapped
+        multi-segment shards override with a fixed-size chunked gather — the
+        batch pages in only the rows it touches instead of materialising
+        whole mapped columns.  Returns ``None`` when a uid falls outside the
+        dense row range so the scalar path can raise its precise per-item
+        error.
         """
         n_rows = len(store)
         base = store.base_uid
@@ -576,18 +747,12 @@ class QueryEngine:
         rows2 = pair_array[:, 1] - base
         if ((rows1 < 0) | (rows1 >= n_rows) | (rows2 < 0) | (rows2 >= n_rows)).any():
             return None
-        columns = store.columns()
-        producer_path = columns["producer_path_id"]
-        consumer_path = columns["consumer_path_id"]
-        p1 = producer_path[rows1]
-        c1 = consumer_path[rows1]
-        p2 = producer_path[rows2]
-        c2 = consumer_path[rows2]
-        x_ports = columns["producer_port"][rows1]
-        y_ports = columns["consumer_port"][rows2]
-        # Drop the view references so the store's buffers unpin once the
-        # gathered copies above are taken.
-        del columns, producer_path, consumer_path
+        p1, x_ports, c1 = store.gather_rows(
+            rows1, ("producer_path_id", "producer_port", "consumer_path_id")
+        )
+        p2, c2, y_ports = store.gather_rows(
+            rows2, ("producer_path_id", "consumer_path_id", "consumer_port")
+        )
 
         results = [False] * len(pairs)
         active = (c1 >= 0) & (p2 >= 0)

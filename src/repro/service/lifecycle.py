@@ -1,0 +1,496 @@
+"""Background checkpointing, segment compaction and hot reopen for runs.
+
+:class:`RunLifecycleManager` owns the *when* of run persistence.  Each
+managed run pairs a live :class:`~repro.core.run_labeler.RunLabeler` (its
+streaming ingest) with a run-file path and a :class:`CheckpointPolicy`; a
+maintenance thread then sweeps the registry on a small interval and
+
+* **flushes** every run whose unpersisted delta crossed the policy's event
+  bound, or that has any pending delta once the time bound elapsed — all due
+  runs of one sweep go through :func:`~repro.store.checkpoint_batch`, so
+  their fsync barriers are grouped instead of interleaved;
+* **compacts** a run file whose segment chain reached
+  ``compact_after_segments`` (:func:`repro.store.compact`: merge, verify,
+  atomic swap, GC), holding the run's file lock so no checkpoint interleaves
+  with the rewrite;
+* **reopens** the engine's attached shards that map a just-compacted path
+  (:meth:`~repro.engine.QueryEngine.reopen_all`), remapping live readers
+  onto the merged generation without a restart.
+
+Checkpointing a run another thread is still appending to is safe — the
+writer snapshots bounded, internally consistent row counts (PR 3) and rows
+that land mid-write simply join the next delta.  Every sweep is also
+available synchronously (:meth:`RunLifecycleManager.poll_once`) so tests and
+benchmarks can drive the policy deterministically with an injected clock.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.engine.engine import QueryEngine, grammar_fingerprint
+from repro.errors import LabelingError
+from repro.store import (
+    CheckpointResult,
+    checkpoint_batch,
+    checkpoint_run,
+    run_file_info,
+)
+from repro.store.compaction import CompactionResult, compact
+
+__all__ = ["CheckpointPolicy", "LifecycleStats", "SweepResult", "RunLifecycleManager"]
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When a managed run is flushed — and when its file is rewritten.
+
+    A run comes due for a checkpoint when it has at least ``every_events``
+    unpersisted items, or when ``every_seconds`` elapsed since its last
+    flush and *any* delta is pending — whichever fires first.  Either bound
+    may be ``None`` (disabled), but not both.  ``compact_after_segments``
+    additionally rewrites the run file into one extent per column whenever
+    its segment chain reaches that length (``None`` disables background
+    compaction; it can still be requested via
+    :meth:`RunLifecycleManager.compact_run`).
+    """
+
+    every_events: int | None = 1024
+    every_seconds: float | None = 30.0
+    compact_after_segments: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.every_events is None and self.every_seconds is None:
+            raise ValueError(
+                "a checkpoint policy needs an event bound, a time bound, or both"
+            )
+        if self.every_events is not None and self.every_events < 1:
+            raise ValueError("every_events must be at least 1")
+        if self.every_seconds is not None and self.every_seconds <= 0:
+            raise ValueError("every_seconds must be positive")
+        if self.compact_after_segments is not None and self.compact_after_segments < 2:
+            raise ValueError("compact_after_segments must be at least 2")
+
+
+@dataclass(frozen=True)
+class LifecycleStats:
+    """Counters over the manager's lifetime (exposed for observability)."""
+
+    managed_runs: int
+    sweeps: int
+    checkpoints: int
+    items_flushed: int
+    compactions: int
+    reopens: int
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """What one maintenance sweep (:meth:`poll_once`) actually did."""
+
+    checkpoints: list[CheckpointResult]
+    compactions: list[CompactionResult]
+    reopened: list[str]
+
+    @property
+    def flushed_items(self) -> int:
+        return sum(result.delta_items for result in self.checkpoints)
+
+
+@dataclass
+class _ManagedRun:
+    """Registry entry: one streaming run, its file, its policy, its watermarks."""
+
+    run_id: str
+    path: str
+    labeler: object
+    node_table: object
+    policy: CheckpointPolicy
+    #: Serialises segment appends against compaction for this file.
+    file_lock: threading.Lock = field(default_factory=threading.Lock)
+    flushed_items: int = 0
+    flushed_paths: int = 0
+    flushed_nodes: int = 0
+    last_flush: float = 0.0
+    n_segments: int = 0
+
+    def pending_items(self) -> int:
+        return len(self.labeler.store) - self.flushed_items
+
+    def has_pending(self) -> bool:
+        """Whether *any* rows await persistence — items, paths or nodes.
+
+        An expansion whose production adds no internal data edges appends
+        parse-tree/trie rows but zero label items; gating every flush on
+        items alone would leave such a tail unpersisted forever.
+        """
+        if self.pending_items() > 0:
+            return True
+        if len(self.labeler.store.table) > self.flushed_paths:
+            return True
+        return (
+            self.node_table is not None and len(self.node_table) > self.flushed_nodes
+        )
+
+
+class RunLifecycleManager:
+    """Hands-off durability and store health for streaming ingests.
+
+    ::
+
+        engine = QueryEngine(scheme)
+        labeler = engine.add_run("run-1", derivation)
+        with RunLifecycleManager(engine, policy=CheckpointPolicy(512, 5.0)) as mgr:
+            mgr.manage("run-1", "/data/run-1.fvl")
+            ...  # stream events; durability needs no checkpoint() calls
+
+    The manager never blocks ingest: checkpoints read bounded snapshots of
+    the append-only arenas, and compaction rewrites a private temp that is
+    atomically swapped in.  ``poll_once()`` is the whole policy engine; the
+    background thread just calls it on an interval and records (rather than
+    raises) failures so one bad sweep cannot kill the service.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        *,
+        policy: CheckpointPolicy | None = None,
+        poll_interval: float = 0.05,
+        clock=time.monotonic,
+    ) -> None:
+        self._engine = engine
+        self._policy = policy or CheckpointPolicy()
+        self._poll_interval = poll_interval
+        self._clock = clock
+        self._runs: dict[str, _ManagedRun] = {}
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._sweeps = 0
+        self._checkpoints = 0
+        self._items_flushed = 0
+        self._compactions = 0
+        self._reopens = 0
+        #: The last exception a background sweep swallowed (None = healthy).
+        self.last_error: Exception | None = None
+
+    # -- registration ------------------------------------------------------------
+
+    def manage(
+        self,
+        run_id: str,
+        path,
+        *,
+        labeler=None,
+        policy: CheckpointPolicy | None = None,
+    ) -> None:
+        """Put one streaming run under background lifecycle management.
+
+        ``run_id`` normally names a labelled shard of the engine (its
+        labeler is looked up there); pass ``labeler`` explicitly to manage a
+        bare :class:`~repro.core.run_labeler.RunLabeler` that is not
+        registered as a shard.  If ``path`` already exists its header
+        watermarks seed the pending-delta accounting, so managing a resumed
+        run does not re-flush what is already durable.
+        """
+        if labeler is None:
+            labeler = self._engine.run_labeler(run_id)
+        path = os.fspath(path)
+        flushed_items = flushed_paths = flushed_nodes = n_segments = 0
+        if os.path.exists(path):
+            info = run_file_info(path)
+            flushed_items, flushed_paths = info.n_items, info.n_paths
+            flushed_nodes, n_segments = info.n_nodes, info.n_segments
+        managed = _ManagedRun(
+            run_id=run_id,
+            path=path,
+            labeler=labeler,
+            node_table=getattr(labeler.tree, "nodes", None),
+            policy=policy or self._policy,
+            flushed_items=flushed_items,
+            flushed_paths=flushed_paths,
+            flushed_nodes=flushed_nodes,
+            last_flush=self._clock(),
+            n_segments=n_segments,
+        )
+        with self._lock:
+            if run_id in self._runs:
+                raise LabelingError(f"run {run_id!r} is already managed")
+            key = os.path.realpath(path)
+            for other in self._runs.values():
+                if os.path.realpath(other.path) == key:
+                    raise LabelingError(
+                        f"run file {path!r} is already managed for run "
+                        f"{other.run_id!r}; each run needs its own file"
+                    )
+            self._runs[run_id] = managed
+
+    def unmanage(self, run_id: str, *, flush: bool = True) -> None:
+        """Stop managing a run (flushing its final delta first by default).
+
+        The final flush happens while the run is still registered: if it
+        fails (e.g. a transiently full disk) the run stays managed, the
+        error propagates, and the pending delta remains retryable instead
+        of silently dropping out of lifecycle management.
+        """
+        with self._lock:
+            try:
+                managed = self._runs[run_id]
+            except KeyError:
+                raise LabelingError(f"run {run_id!r} is not managed") from None
+        if flush and managed.has_pending():
+            self._flush_runs([managed])
+        with self._lock:
+            if self._runs.get(run_id) is managed:
+                del self._runs[run_id]
+
+    @property
+    def managed_runs(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._runs)
+
+    # -- the background thread ---------------------------------------------------
+
+    def start(self) -> None:
+        """Start the maintenance thread (idempotent start is an error)."""
+        if self._thread is not None:
+            raise RuntimeError("lifecycle manager is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="run-lifecycle", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, *, flush: bool = True) -> None:
+        """Stop the thread; by default flush every pending delta on the way out."""
+        thread = self._thread
+        if thread is not None:
+            self._stop.set()
+            thread.join()
+            self._thread = None
+        if flush:
+            self.flush()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def __enter__(self) -> "RunLifecycleManager":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._poll_interval):
+            try:
+                self.poll_once()
+            except Exception as exc:  # keep the service alive; surface via stats
+                self.last_error = exc
+            else:
+                # A healthy sweep clears a stale error: ``last_error`` means
+                # "the most recent sweep failed", not "ever failed".
+                self.last_error = None
+
+    # -- the policy engine -------------------------------------------------------
+
+    def poll_once(self) -> SweepResult:
+        """One maintenance sweep: flush due runs, compact long chains, remap readers.
+
+        This is exactly what the background thread runs per interval;
+        calling it directly (tests, benchmarks, single-threaded deployments)
+        gives the same behaviour deterministically.
+        """
+        now = self._clock()
+        with self._lock:
+            runs = list(self._runs.values())
+            self._sweeps += 1
+        checkpoints: list[CheckpointResult] = []
+        flush_error: Exception | None = None
+        try:
+            checkpoints = self._flush_runs([m for m in runs if self._due(m, now)])
+        except Exception as exc:
+            # One unflushable run must not starve the compaction/reopen half
+            # of the sweep (healthy runs were already flushed by the per-run
+            # fallback); finish the sweep, then surface the failure.
+            flush_error = exc
+        compactions: list[CompactionResult] = []
+        reopened: list[str] = []
+        for managed in runs:
+            threshold = managed.policy.compact_after_segments
+            if threshold is None or managed.n_segments < threshold:
+                continue
+            result = self._compact_managed(managed)
+            if result.compacted:
+                compactions.append(result)
+                reopened.extend(self._engine.reopen_all(managed.path))
+        if reopened:
+            with self._lock:
+                self._reopens += len(reopened)
+        if flush_error is not None:
+            raise flush_error
+        return SweepResult(checkpoints, compactions, reopened)
+
+    def flush(self, run_id: str | None = None) -> list[CheckpointResult]:
+        """Checkpoint pending deltas now (one run, or every managed run)."""
+        with self._lock:
+            if run_id is None:
+                targets = list(self._runs.values())
+            else:
+                try:
+                    targets = [self._runs[run_id]]
+                except KeyError:
+                    raise LabelingError(f"run {run_id!r} is not managed") from None
+        return self._flush_runs([m for m in targets if m.has_pending()])
+
+    def compact_run(self, run_id: str) -> CompactionResult:
+        """Flush, compact and remap one managed run on demand."""
+        with self._lock:
+            try:
+                managed = self._runs[run_id]
+            except KeyError:
+                raise LabelingError(f"run {run_id!r} is not managed") from None
+        self.flush(run_id)
+        result = self._compact_managed(managed)
+        if result.compacted:
+            reopened = self._engine.reopen_all(managed.path)
+            with self._lock:
+                self._reopens += len(reopened)
+        return result
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def stats(self) -> LifecycleStats:
+        with self._lock:
+            return LifecycleStats(
+                managed_runs=len(self._runs),
+                sweeps=self._sweeps,
+                checkpoints=self._checkpoints,
+                items_flushed=self._items_flushed,
+                compactions=self._compactions,
+                reopens=self._reopens,
+            )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _due(self, managed: _ManagedRun, now: float) -> bool:
+        if not managed.has_pending():
+            return False
+        policy = managed.policy
+        if (
+            policy.every_events is not None
+            and managed.pending_items() >= policy.every_events
+        ):
+            return True
+        return (
+            policy.every_seconds is not None
+            and now - managed.last_flush >= policy.every_seconds
+        )
+
+    def _flush_runs(self, due: list[_ManagedRun]) -> list[CheckpointResult]:
+        if not due:
+            return []
+        fingerprint = grammar_fingerprint(self._engine.scheme.index)
+        # File locks are taken in registry order (every caller builds `due`
+        # from the same dict iteration), so concurrent flush/compact calls
+        # cannot deadlock.
+        for managed in due:
+            managed.file_lock.acquire()
+        try:
+            try:
+                results = checkpoint_batch(
+                    [(m.path, m.labeler.store, m.node_table) for m in due],
+                    fingerprint=fingerprint,
+                )
+            except Exception:
+                if len(due) == 1:
+                    raise
+                # The batch fails as a unit, so one bad run (unwritable
+                # path, foreign file at its path, ...) must not starve its
+                # siblings: retry per run, keep the healthy flushes,
+                # re-raise the first failure once the rest are durable.
+                return self._flush_individually(due, fingerprint)
+            # Record while the file locks are still held: a racing flush of
+            # the same run must observe the advanced watermark, or its
+            # header resync followed by our late "+= delta" would inflate
+            # the counter past the truth and silently skip later flushes.
+            for managed, result in zip(due, results):
+                self._record_flush(managed, result)
+            return results
+        finally:
+            for managed in due:
+                managed.file_lock.release()
+
+    def _flush_individually(
+        self, due: list[_ManagedRun], fingerprint: int
+    ) -> list[CheckpointResult]:
+        """Per-run fallback after a failed batch (locks are held by the caller)."""
+        results: list[CheckpointResult] = []
+        first_error: Exception | None = None
+        for managed in due:
+            try:
+                result = checkpoint_run(
+                    managed.path,
+                    managed.labeler.store,
+                    managed.node_table,
+                    fingerprint=fingerprint,
+                )
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
+            self._record_flush(managed, result)
+            results.append(result)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def _record_flush(self, managed: _ManagedRun, result: CheckpointResult) -> None:
+        now = self._clock()
+        info = None
+        if not result.wrote_segment and managed.has_pending():
+            # A due run that wrote nothing yet still looks pending means our
+            # in-memory watermarks trail the file header (e.g. an earlier
+            # batch committed this file but failed on a sibling before
+            # reporting); resync from the header so the run does not come
+            # due forever.
+            info = run_file_info(managed.path)
+        with self._lock:
+            managed.flushed_items += result.delta_items
+            managed.flushed_paths += result.delta_paths
+            managed.flushed_nodes += result.delta_nodes
+            managed.last_flush = now
+            if result.wrote_segment:
+                managed.n_segments += 1
+                self._checkpoints += 1
+            elif info is not None:
+                managed.flushed_items = max(managed.flushed_items, info.n_items)
+                managed.flushed_paths = max(managed.flushed_paths, info.n_paths)
+                managed.flushed_nodes = max(managed.flushed_nodes, info.n_nodes)
+            self._items_flushed += result.delta_items
+
+    def _compact_managed(self, managed: _ManagedRun) -> CompactionResult:
+        with managed.file_lock:
+            result = compact(managed.path)
+            if result.compacted:
+                # Re-read the chain length while still holding the file
+                # lock: a flush on another thread must not have its count
+                # clobbered by a stale "= 1" written after it appended.
+                n_segments = run_file_info(managed.path).n_segments
+                with self._lock:
+                    managed.n_segments = n_segments
+                    self._compactions += 1
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return (
+                f"RunLifecycleManager({len(self._runs)} managed runs, "
+                f"running={self._thread is not None})"
+            )

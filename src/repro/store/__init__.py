@@ -6,8 +6,12 @@ tree's nodes are integer rows in a :class:`NodeTable`, and a run's data
 labels become four integer columns in a :class:`LabelStore` instead of
 per-item value objects.  :mod:`repro.store.persist` gives the fully columnar
 run a page-aligned at-rest form: :func:`checkpoint_run` appends delta rows
-behind ``(n_paths, n_items, n_nodes)`` watermarks and :class:`MappedRunStore`
-serves the file through ``mmap`` with no decode pass.  See the architecture
+behind ``(n_paths, n_items, n_nodes)`` watermarks (``checkpoint_batch``
+groups the fsync barriers across runs) and :class:`MappedRunStore` serves
+the file through ``mmap`` with no decode pass.
+:mod:`repro.store.compaction` rewrites a segmented file into one extent per
+column under a bumped generation and swaps it in atomically — the store-side
+half of the run lifecycle (:mod:`repro.service`).  See the architecture
 section of the README for how the store sits between the run labeler and the
 codec/engine.
 """
@@ -31,6 +35,10 @@ from repro.store.path_table import (
     ROOT_PATH,
     PathTable,
 )
+from repro.store.compaction import (
+    CompactionResult,
+    compact,
+)
 from repro.store.persist import (
     FORMAT_MAGIC,
     FORMAT_VERSION,
@@ -40,7 +48,10 @@ from repro.store.persist import (
     MappedNodeTable,
     MappedPathTable,
     MappedRunStore,
+    RunFileInfo,
+    checkpoint_batch,
     checkpoint_run,
+    run_file_info,
 )
 
 __all__ = [
@@ -58,7 +69,12 @@ __all__ = [
     "ObjectLabelStore",
     "NO_PATH",
     "checkpoint_run",
+    "checkpoint_batch",
     "CheckpointResult",
+    "RunFileInfo",
+    "run_file_info",
+    "compact",
+    "CompactionResult",
     "MappedRunStore",
     "MappedLabelStore",
     "MappedPathTable",

@@ -348,6 +348,27 @@ class LabelStore:
             "consumer_port": np.frombuffer(self._consumer_port, dtype=np.int32),
         }
 
+    #: Column names accepted by :meth:`gather_rows`, in row order.
+    GATHER_FIELDS = (
+        "producer_path_id",
+        "producer_port",
+        "consumer_path_id",
+        "consumer_port",
+    )
+
+    def gather_rows(self, rows: np.ndarray, fields: tuple = GATHER_FIELDS):
+        """The requested label columns gathered at ``rows``, as copies.
+
+        ``rows`` are store row indices (``uid - base_uid`` for dense
+        stores); the returned tuple lines up with ``fields``.  The engine's
+        vectorised batch path uses this instead of :meth:`columns` — and
+        asks only for the columns it needs — so mapped multi-segment stores
+        can bound their per-batch page-in (their subclass gathers extent by
+        extent and skips unrequested columns entirely).
+        """
+        columns = self.columns()
+        return tuple(columns[field][rows] for field in fields)
+
     def memory_bytes(self) -> int:
         """Payload bytes of the current columnar representation (index included).
 

@@ -49,7 +49,10 @@ __all__ = [
     "FORMAT_VERSION",
     "PAGE_SIZE",
     "CheckpointResult",
+    "RunFileInfo",
     "checkpoint_run",
+    "checkpoint_batch",
+    "run_file_info",
     "MappedRunStore",
     "MappedLabelStore",
     "MappedPathTable",
@@ -57,12 +60,18 @@ __all__ = [
 ]
 
 FORMAT_MAGIC = b"FVLRUN01"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Oldest readable header layout.  Version 1 lacked the trailing
+#: ``generation`` field; the header page has always been zero-padded, so a
+#: v1 header simply reads back generation 0 and is upgraded in place by the
+#: next checkpoint.
+MIN_FORMAT_VERSION = 1
 PAGE_SIZE = 4096
 
 #: header: magic, version, page_size, flags, n_segments, n_paths, n_items,
-#: n_nodes, n_node_uids, n_module_names, base_uid, end_offset, fingerprint
-_HEADER = struct.Struct("<8sIIIQQQQQQqQQ")
+#: n_nodes, n_node_uids, n_module_names, base_uid, end_offset, fingerprint,
+#: generation
+_HEADER = struct.Struct("<8sIIIQQQQQQqQQQ")
 _SEGMENT = struct.Struct("<4sIQ")  # magic, n_sections, segment_end
 _SECTION = struct.Struct("<IIQQQQ")  # id, dtype, row_start, n_rows, offset, nbytes
 _SEGMENT_MAGIC = b"SEG1"
@@ -122,6 +131,11 @@ class _Header:
     #: passes a structural grammar fingerprint so a run file can never be
     #: attached to a different specification and silently decode garbage.
     fingerprint: int = 0
+    #: Rewrite generation of the file.  Incremental checkpoints never change
+    #: it; :func:`repro.store.compaction.compact` bumps it when it swaps the
+    #: merged single-extent rewrite over the path, which is how live mapped
+    #: readers detect that they should remap onto the compacted file.
+    generation: int = 0
 
     def pack(self) -> bytes:
         flags = (_FLAG_DENSE if self.dense else 0) | (
@@ -141,6 +155,7 @@ class _Header:
             self.base_uid,
             self.end_offset,
             self.fingerprint,
+            self.generation,
         )
 
 
@@ -161,12 +176,14 @@ def _unpack_header(buffer: bytes) -> _Header:
         base_uid,
         end_offset,
         fingerprint,
+        generation,
     ) = _HEADER.unpack_from(buffer)
     if magic != FORMAT_MAGIC:
         raise SerializationError(f"not a run store (bad magic {magic!r})")
-    if version != FORMAT_VERSION:
+    if not MIN_FORMAT_VERSION <= version <= FORMAT_VERSION:
         raise SerializationError(
-            f"unsupported run-store version {version} (supported: {FORMAT_VERSION})"
+            f"unsupported run-store version {version} "
+            f"(supported: {MIN_FORMAT_VERSION}..{FORMAT_VERSION})"
         )
     if page_size != PAGE_SIZE:
         raise SerializationError(f"unsupported page size {page_size}")
@@ -182,6 +199,7 @@ def _unpack_header(buffer: bytes) -> _Header:
         dense=bool(flags & _FLAG_DENSE),
         has_nodes=bool(flags & _FLAG_NODES),
         fingerprint=fingerprint,
+        generation=generation,
     )
 
 
@@ -226,40 +244,37 @@ def _blob_bytes(strings: list[str], what: str) -> bytes:
     return "\n".join(strings).encode("utf-8")
 
 
-def checkpoint_run(
+@dataclass
+class _PendingCheckpoint:
+    """One planned checkpoint: validated delta sections, not yet on disk."""
+
+    file_path: str
+    created: bool
+    header: _Header
+    sections: list[tuple[int, int, int, int, bytes]]
+    n_paths: int
+    n_items: int
+    n_nodes: int
+    n_uids: int
+    n_names: int
+    delta_paths: int
+    delta_items: int
+    delta_nodes: int
+    #: New-header identity fields, snapshotted at plan time (an empty file
+    #: may legitimately change density/base before its first rows land).
+    dense: bool
+    base_uid: int
+    has_nodes: bool
+    fingerprint: int
+
+
+def _plan_checkpoint(
     path,
     store: LabelStore,
-    node_table: NodeTable | None = None,
-    *,
-    fingerprint: int = 0,
-) -> CheckpointResult:
-    """Write (or incrementally extend) the persistent form of a labelled run.
-
-    On a fresh ``path`` the whole run is written; on an existing run file the
-    header watermarks are compared against the live arenas and **only the
-    delta rows** appended since the last checkpoint are written, as one new
-    segment.  The store (and the node table, when given) must be the same
-    growing run the file was created from — shrinking counts, a changed
-    density mode, a changed dense base or a changed ``fingerprint`` are
-    rejected rather than guessed at.
-
-    ``fingerprint`` is an optional specification identity (any nonzero int,
-    e.g. a grammar hash): it is stored in the header on creation and
-    re-checked on every later checkpoint, and readers can use it to refuse
-    serving the file under a different specification
-    (:meth:`repro.engine.QueryEngine.attach` does).
-
-    Checkpointing a run that another thread is still ingesting is safe in
-    the snapshot sense: counts are snapshotted once (label/node rows first,
-    the path trie — which they reference — last) and every column is sliced
-    to its snapshot, so the segment is internally consistent and rows
-    appended mid-write simply land in the next delta.
-
-    Note that the persisted path trie is ``store.table`` in its entirety: a
-    query-engine shard interns into the engine's *shared* arena, so the file
-    carries sibling runs' paths too — ids must stay globally consistent for
-    the mapped store to serve the same answers.
-    """
+    node_table: NodeTable | None,
+    fingerprint: int,
+) -> _PendingCheckpoint:
+    """Snapshot, validate and assemble one run's delta sections (no writes)."""
     if not isinstance(store, LabelStore):
         raise SerializationError(
             "checkpoint_run requires a columnar LabelStore (the object "
@@ -429,79 +444,288 @@ def checkpoint_run(
                 )
             )
 
-    bytes_written = 0
-    end_offset = header.end_offset
-    if sections:
-        if _SEGMENT.size + len(sections) * _SECTION.size > PAGE_SIZE:
-            raise SerializationError("segment section table exceeds one page")
-        segment_offset = header.end_offset
-        data_offset = segment_offset + PAGE_SIZE
-        entries = []
-        payload_chunks: list[tuple[int, bytes]] = []
-        payload_end = data_offset
-        for sid, dtype_code, row_start, n_rows, payload in sections:
-            entries.append(
-                _SECTION.pack(sid, dtype_code, row_start, n_rows, data_offset, len(payload))
-            )
-            payload_chunks.append((data_offset, payload))
-            payload_end = data_offset + len(payload)
-            data_offset = _align(payload_end)
-        end_offset = data_offset
-        segment_header = _SEGMENT.pack(_SEGMENT_MAGIC, len(sections), end_offset)
-
-        mode = "r+b" if not created else "w+b"
-        with open(file_path, mode) as handle:
-            handle.seek(segment_offset)
-            handle.write(segment_header + b"".join(entries))
-            for offset, payload in payload_chunks:
-                handle.seek(offset)
-                handle.write(payload)
-            if end_offset > payload_end:
-                # Pad so the file ends on a page boundary (mmap-friendly, and
-                # the next segment header lands exactly at end_offset).  When
-                # the last payload already ends on a boundary there is nothing
-                # to pad — writing would clobber its final byte.
-                handle.seek(end_offset - 1)
-                handle.write(b"\0")
-            new_header = _Header(
-                n_segments=header.n_segments + 1,
-                n_paths=n_paths_now,
-                n_items=n_items_now,
-                n_nodes=n_nodes_now,
-                n_node_uids=n_uids_persisted,
-                n_module_names=n_names_persisted,
-                base_uid=store.base_uid if store.is_dense else 0,
-                end_offset=end_offset,
-                dense=store.is_dense,
-                has_nodes=node_table is not None,
-                fingerprint=header.fingerprint or fingerprint,
-            )
-            # Data first, header last, with an fsync barrier in between: the
-            # kernel must not be allowed to persist the advanced header
-            # before the segment pages it points at, or a system crash would
-            # leave a header referencing garbage.  (A process crash is
-            # already covered by the write ordering alone.)
-            handle.flush()
-            os.fsync(handle.fileno())
-            handle.seek(0)
-            handle.write(new_header.pack())
-            handle.flush()
-            os.fsync(handle.fileno())
-        bytes_written = PAGE_SIZE + sum(len(p) for _, _, _, _, p in sections)
-    elif created:
-        with open(file_path, "w+b") as handle:
-            handle.write(header.pack())
-            handle.seek(PAGE_SIZE - 1)
-            handle.write(b"\0")
-        bytes_written = _HEADER.size
-
-    return CheckpointResult(
-        path=file_path,
+    if sections and _SEGMENT.size + len(sections) * _SECTION.size > PAGE_SIZE:
+        raise SerializationError("segment section table exceeds one page")
+    return _PendingCheckpoint(
+        file_path=file_path,
         created=created,
+        header=header,
+        sections=sections,
+        n_paths=n_paths_now,
+        n_items=n_items_now,
+        n_nodes=n_nodes_now,
+        n_uids=n_uids_persisted,
+        n_names=n_names_persisted,
         delta_paths=delta_paths,
         delta_items=delta_items,
         delta_nodes=delta_nodes,
-        bytes_written=bytes_written,
+        dense=store.is_dense,
+        base_uid=store.base_uid if store.is_dense else 0,
+        has_nodes=node_table is not None,
+        fingerprint=header.fingerprint or fingerprint,
+    )
+
+
+def _write_segment_at(handle, segment_offset: int, sections) -> int:
+    """Write one segment (table page, payload extents, page pad) at an offset.
+
+    The single encoder of the segment layout — incremental checkpoints
+    append with it and compaction rewrites with it, so the two writers can
+    never drift apart.  Returns the segment's end offset (page-aligned).
+    """
+    if _SEGMENT.size + len(sections) * _SECTION.size > PAGE_SIZE:
+        raise SerializationError("segment section table exceeds one page")
+    data_offset = segment_offset + PAGE_SIZE
+    entries = []
+    payload_chunks: list[tuple[int, bytes]] = []
+    payload_end = data_offset
+    for sid, dtype_code, row_start, n_rows, payload in sections:
+        entries.append(
+            _SECTION.pack(sid, dtype_code, row_start, n_rows, data_offset, len(payload))
+        )
+        payload_chunks.append((data_offset, payload))
+        payload_end = data_offset + len(payload)
+        data_offset = _align(payload_end)
+    end_offset = data_offset
+    handle.seek(segment_offset)
+    handle.write(_SEGMENT.pack(_SEGMENT_MAGIC, len(sections), end_offset))
+    handle.write(b"".join(entries))
+    for offset, payload in payload_chunks:
+        handle.seek(offset)
+        handle.write(payload)
+    if end_offset > payload_end:
+        # Pad so the file ends on a page boundary (mmap-friendly, and the
+        # next segment header lands exactly at end_offset).  When the last
+        # payload already ends on a boundary there is nothing to pad —
+        # writing would clobber its final byte.
+        handle.seek(end_offset - 1)
+        handle.write(b"\0")
+    return end_offset
+
+
+def _write_segment_data(handle, pending: _PendingCheckpoint) -> tuple[_Header, int]:
+    """Write one planned segment's table, payloads and pad (flushed, no fsync)."""
+    header = pending.header
+    end_offset = _write_segment_at(handle, header.end_offset, pending.sections)
+    handle.flush()
+    new_header = _Header(
+        n_segments=header.n_segments + 1,
+        n_paths=pending.n_paths,
+        n_items=pending.n_items,
+        n_nodes=pending.n_nodes,
+        n_node_uids=pending.n_uids,
+        n_module_names=pending.n_names,
+        base_uid=pending.base_uid,
+        end_offset=end_offset,
+        dense=pending.dense,
+        has_nodes=pending.has_nodes,
+        fingerprint=pending.fingerprint,
+        generation=header.generation,
+    )
+    bytes_written = PAGE_SIZE + sum(len(p) for _, _, _, _, p in pending.sections)
+    return new_header, bytes_written
+
+
+class _StagedCheckpoint:
+    """Mutable per-job commit state (handle, new header, rollback tracking)."""
+
+    __slots__ = ("pending", "handle", "new_header", "bytes_written", "header_written")
+
+    def __init__(self, pending: _PendingCheckpoint) -> None:
+        self.pending = pending
+        self.handle = None
+        self.new_header: _Header | None = None
+        self.bytes_written = 0
+        self.header_written = False
+
+
+def _commit_checkpoints(pendings: list[_PendingCheckpoint]) -> list[CheckpointResult]:
+    """Write the planned segments with batched fsync barriers.
+
+    Per file the crash-ordering invariant is unchanged — its advanced header
+    is written only after its segment data has been fsynced — but the
+    barriers are grouped across the batch (all files opened, all data
+    writes, all data fsyncs, all header writes, all header fsyncs) so
+    flushing N runs costs one ordered sweep instead of N interleaved
+    write/sync/write/sync cycles.
+
+    Failure containment: every file is opened before any byte is written
+    (an unopenable path fails the batch with nothing on disk), and if a
+    later phase fails, files this call *created* that never received their
+    header are unlinked — a headerless run file would otherwise poison
+    every future checkpoint of that run.  Pre-existing files keep their old
+    header, i.e. their previous watermark, exactly as after a crash.
+    """
+    staged = [_StagedCheckpoint(pending) for pending in pendings]
+    try:
+        # Phase 0: open (or create) every file up front.
+        for entry in staged:
+            if entry.pending.sections:
+                entry.handle = open(
+                    entry.pending.file_path,
+                    "w+b" if entry.pending.created else "r+b",
+                )
+        # Phase 1: segment data (and empty-file headers), flushed.
+        for entry in staged:
+            pending = entry.pending
+            if entry.handle is None:
+                if pending.created:
+                    with open(pending.file_path, "w+b") as handle:
+                        handle.write(pending.header.pack())
+                        handle.seek(PAGE_SIZE - 1)
+                        handle.write(b"\0")
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    entry.bytes_written = _HEADER.size
+                    entry.header_written = True
+                continue
+            entry.new_header, entry.bytes_written = _write_segment_data(
+                entry.handle, pending
+            )
+        # Phase 2-4: data fsyncs, headers, header fsyncs.
+        for entry in staged:
+            if entry.handle is not None:
+                os.fsync(entry.handle.fileno())
+        for entry in staged:
+            if entry.handle is not None:
+                entry.handle.seek(0)
+                entry.handle.write(entry.new_header.pack())
+                entry.handle.flush()
+                entry.header_written = True
+        for entry in staged:
+            if entry.handle is not None:
+                os.fsync(entry.handle.fileno())
+    except BaseException:
+        for entry in staged:
+            if entry.handle is not None:
+                entry.handle.close()
+                entry.handle = None
+            if entry.pending.created and not entry.header_written:
+                try:
+                    os.remove(entry.pending.file_path)
+                except OSError:
+                    pass
+        raise
+    finally:
+        for entry in staged:
+            if entry.handle is not None:
+                entry.handle.close()
+    return [
+        CheckpointResult(
+            path=entry.pending.file_path,
+            created=entry.pending.created,
+            delta_paths=entry.pending.delta_paths,
+            delta_items=entry.pending.delta_items,
+            delta_nodes=entry.pending.delta_nodes,
+            bytes_written=entry.bytes_written,
+        )
+        for entry in staged
+    ]
+
+
+def checkpoint_run(
+    path,
+    store: LabelStore,
+    node_table: NodeTable | None = None,
+    *,
+    fingerprint: int = 0,
+) -> CheckpointResult:
+    """Write (or incrementally extend) the persistent form of a labelled run.
+
+    On a fresh ``path`` the whole run is written; on an existing run file the
+    header watermarks are compared against the live arenas and **only the
+    delta rows** appended since the last checkpoint are written, as one new
+    segment.  The store (and the node table, when given) must be the same
+    growing run the file was created from — shrinking counts, a changed
+    density mode, a changed dense base or a changed ``fingerprint`` are
+    rejected rather than guessed at.
+
+    ``fingerprint`` is an optional specification identity (any nonzero int,
+    e.g. a grammar hash): it is stored in the header on creation and
+    re-checked on every later checkpoint, and readers can use it to refuse
+    serving the file under a different specification
+    (:meth:`repro.engine.QueryEngine.attach` does).
+
+    Checkpointing a run that another thread is still ingesting is safe in
+    the snapshot sense: counts are snapshotted once (label/node rows first,
+    the path trie — which they reference — last) and every column is sliced
+    to its snapshot, so the segment is internally consistent and rows
+    appended mid-write simply land in the next delta.
+
+    Note that the persisted path trie is ``store.table`` in its entirety: a
+    query-engine shard interns into the engine's *shared* arena, so the file
+    carries sibling runs' paths too — ids must stay globally consistent for
+    the mapped store to serve the same answers.
+    """
+    return _commit_checkpoints(
+        [_plan_checkpoint(path, store, node_table, fingerprint)]
+    )[0]
+
+
+def checkpoint_batch(jobs, *, fingerprint: int = 0) -> list[CheckpointResult]:
+    """Checkpoint several runs with batched fsync barriers.
+
+    ``jobs`` is an iterable of ``(path, store, node_table)`` triples, one per
+    run (``node_table`` may be ``None``).  Every job is planned and validated
+    before any file is touched, so a bad job fails the whole batch cleanly;
+    the writes then proceed in four grouped phases (segment data, data
+    fsyncs, headers, header fsyncs) instead of per-run barriers — this is
+    what :class:`repro.service.RunLifecycleManager` uses when several managed
+    runs come due in the same sweep.  Results line up with ``jobs``.
+
+    Two jobs naming the same file are rejected: both would plan against the
+    same header and the second's segment would overwrite the first's.
+    """
+    pendings = [
+        _plan_checkpoint(path, store, node_table, fingerprint)
+        for path, store, node_table in jobs
+    ]
+    seen: dict[str, None] = {}
+    for pending in pendings:
+        key = os.path.realpath(pending.file_path)
+        if key in seen:
+            raise SerializationError(
+                f"two batch jobs target the same run file {pending.file_path!r}; "
+                "each run needs its own file"
+            )
+        seen[key] = None
+    return _commit_checkpoints(pendings)
+
+
+@dataclass(frozen=True)
+class RunFileInfo:
+    """The header of a run file, peeked without mapping its columns."""
+
+    path: str
+    n_paths: int
+    n_items: int
+    n_nodes: int
+    n_segments: int
+    generation: int
+    fingerprint: int
+    size_bytes: int
+
+
+def run_file_info(path) -> RunFileInfo:
+    """Read a run file's header watermarks (one small read, no mmap).
+
+    The lifecycle manager uses this to resume watermark accounting over an
+    existing file and to decide when a segment chain is worth compacting;
+    mapped readers use it (via :meth:`MappedRunStore.current_generation`) to
+    detect that a compacted generation has been swapped in under their path.
+    """
+    file_path = os.fspath(path)
+    with open(file_path, "rb") as handle:
+        header = _unpack_header(handle.read(_HEADER.size))
+    return RunFileInfo(
+        path=file_path,
+        n_paths=header.n_paths,
+        n_items=header.n_items,
+        n_nodes=header.n_nodes,
+        n_segments=header.n_segments,
+        generation=header.generation,
+        fingerprint=header.fingerprint,
+        size_bytes=os.path.getsize(file_path),
     )
 
 
@@ -519,13 +743,14 @@ class _ChunkedColumn:
     skips this class entirely (the raw view is used).
     """
 
-    __slots__ = ("_starts", "_chunks", "_length", "_flat")
+    __slots__ = ("_starts", "_chunks", "_length", "_flat", "_starts_array")
 
     def __init__(self, starts: list[int], chunks: list[np.ndarray]) -> None:
         self._starts = starts
         self._chunks = chunks
         self._length = starts[-1] + len(chunks[-1])
         self._flat: np.ndarray | None = None
+        self._starts_array = np.asarray(starts, dtype=np.int64)
 
     def __len__(self) -> int:
         return self._length
@@ -555,9 +780,45 @@ class _ChunkedColumn:
             self._flat = np.concatenate(self._chunks)
         return self._flat
 
+    def gather(self, rows: np.ndarray, chunk: int = 0) -> np.ndarray:
+        """``column[rows]`` without materialising the whole column.
+
+        Rows are resolved per extent with one vectorised ``searchsorted``, so
+        only the pages the requested rows live on fault in — unlike
+        :meth:`concatenated`, which copies every segment's extent into heap
+        memory.  ``chunk`` (0 = whole batch) processes the row array in
+        fixed-size slabs to bound the transient index/mask allocations.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        out = np.empty(rows.size, dtype=self._chunks[0].dtype)
+        if rows.size == 0:
+            return out
+        step = rows.size if chunk <= 0 else chunk
+        for lo in range(0, rows.size, step):
+            slab = rows[lo : lo + step]
+            view = out[lo : lo + slab.size]
+            chunk_ids = np.searchsorted(self._starts_array, slab, side="right") - 1
+            for ci in np.unique(chunk_ids):
+                mask = chunk_ids == ci
+                view[mask] = self._chunks[ci][slab[mask] - self._starts[ci]]
+        return out
+
 
 def _as_ndarray(column) -> np.ndarray:
     return column.concatenated() if isinstance(column, _ChunkedColumn) else column
+
+
+#: Slab size (rows) for chunked gathers over mapped columns — bounds the
+#: transient allocations of one `gather_rows` batch without changing which
+#: file pages fault in.
+GATHER_CHUNK_ROWS = 65536
+
+
+def _gather(column, rows: np.ndarray) -> np.ndarray:
+    """Gather ``column[rows]`` as a copy, never concatenating multi-segment columns."""
+    if isinstance(column, _ChunkedColumn):
+        return column.gather(rows, chunk=GATHER_CHUNK_ROWS)
+    return column[rows]
 
 
 class MappedPathTable(PathTable):
@@ -679,6 +940,23 @@ class MappedLabelStore(LabelStore):
             "consumer_path_id": _as_ndarray(self._consumer_path),
             "consumer_port": _as_ndarray(self._consumer_port),
         }
+
+    def gather_rows(self, rows: np.ndarray, fields: tuple = LabelStore.GATHER_FIELDS):
+        """Chunked gather over the mapped extents (no whole-column reads).
+
+        Overrides the in-memory fancy-index gather: a multi-segment mapped
+        column would otherwise be concatenated into heap memory just to
+        serve one batch, paging the entire run in.  Here each requested
+        extent is indexed in place, so the per-batch page-in is bounded by
+        the rows (and columns) actually asked for.
+        """
+        columns = {
+            "producer_path_id": self._producer_path,
+            "producer_port": self._producer_port,
+            "consumer_path_id": self._consumer_path,
+            "consumer_port": self._consumer_port,
+        }
+        return tuple(_gather(columns[field], rows) for field in fields)
 
     def memory_bytes(self) -> int:
         """Resident (heap) bytes — the columns live in the file mapping."""
@@ -835,8 +1113,8 @@ class MappedRunStore:
             raise SerializationError(f"cannot map empty run store {self._path!r}") from exc
         try:
             self._header = _unpack_header(self._mm[: _HEADER.size])
-            extents = self._parse_segments()
-            self._build(extents)
+            self._extents = self._parse_segments()
+            self._build(self._extents)
         except Exception:
             self.close()
             raise
@@ -1009,6 +1287,30 @@ class MappedRunStore:
     def fingerprint(self) -> int:
         """The specification fingerprint recorded at checkpoint (0 = unchecked)."""
         return self._header.fingerprint
+
+    @property
+    def generation(self) -> int:
+        """The rewrite generation this mapping was opened at."""
+        return self._header.generation
+
+    def current_generation(self) -> int:
+        """The generation of the file *currently* at ``path`` on disk.
+
+        After :func:`repro.store.compaction.compact` atomically swaps a
+        merged rewrite over the path, this store keeps serving the old inode
+        unchanged; a value greater than :attr:`generation` tells the owner
+        (e.g. :meth:`repro.engine.QueryEngine.reopen`) that remapping onto
+        the compacted file is worthwhile.
+        """
+        return run_file_info(self._path).generation
+
+    def extents_per_column(self) -> dict[int, int]:
+        """Segment manifest summary: section id -> number of data extents.
+
+        A freshly compacted file has exactly one extent per column; each
+        incremental checkpoint adds one per column it touched.
+        """
+        return {sid: len(parts) for sid, parts in self._extents.items()}
 
     def label(self, uid: int):
         """Materialise the :class:`~repro.core.labels.DataLabel` of one item."""

@@ -85,6 +85,38 @@ def test_checkpoint_rejects_node_presence_flips(labelled, tmp_path):
         checkpoint_run(run_file, labeler.store, None)
 
 
+def test_checkpoint_batch_rejects_duplicate_paths(labelled, tmp_path, scheme, spec):
+    _, labeler = labelled
+    other = scheme.label_run(random_run(spec, 60, seed=6))
+    shared = tmp_path / "shared.fvl"
+    with pytest.raises(SerializationError, match="own file"):
+        from repro.store import checkpoint_batch
+
+        checkpoint_batch(
+            [
+                (shared, labeler.store, labeler.tree.nodes),
+                (shared, other.store, other.tree.nodes),
+            ]
+        )
+    assert not shared.exists()
+
+
+def test_reader_accepts_version_1_headers_as_generation_zero(labelled, tmp_path):
+    """v1 headers (no generation field) read back as generation 0."""
+    import struct as struct_module
+
+    _, labeler = labelled
+    run_file = tmp_path / "v1.fvl"
+    checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+    raw = bytearray(run_file.read_bytes())
+    raw[8:12] = struct_module.pack("<I", 1)  # rewrite the version word
+    v1_file = tmp_path / "as-v1.fvl"
+    v1_file.write_bytes(bytes(raw))
+    with MappedRunStore(v1_file) as mapped:
+        assert mapped.generation == 0
+        assert mapped.n_items == len(labeler.store)
+
+
 def test_reader_rejects_bad_magic_and_version(labelled, tmp_path):
     _, labeler = labelled
     run_file = tmp_path / "run.fvl"
