@@ -22,6 +22,7 @@ from repro.bench.ingest import (
     write_ingest_json,
 )
 from repro.bench.measure import ResultTable, Timer, time_call
+from repro.bench.serving import serving_throughput, warm_start_latency, write_serving_json
 from repro.bench.reporting import format_table, format_tables, write_all_csv, write_csv
 from repro.bench.workloads import PreparedWorkload, prepare_bioaid, sample_query_pairs
 
@@ -50,6 +51,9 @@ __all__ = [
     "table1_factors",
     "ingest_throughput",
     "write_ingest_json",
+    "serving_throughput",
+    "warm_start_latency",
+    "write_serving_json",
     "object_tree_bytes",
     "checkpoint_latency",
     "deep_object_bytes",

@@ -1,0 +1,303 @@
+"""Serving experiment: coalesced-batch throughput and persistent warm starts.
+
+Not part of the paper's Section 6 — this extension experiment quantifies the
+concurrent serving layer (``src/repro/serve``) on the BioAID-like workload:
+
+* **throughput** — aggregate queries/second when ``n_clients`` concurrent
+  client threads each issue single ``depends`` requests against one mapped
+  run file, two ways:
+
+  - *per-query loop*: every request is evaluated individually with the
+    paper's single-pair decoding predicate (materialise the two
+    :class:`DataLabel` rows, call ``scheme.depends``) — what a server
+    without coalescing does per request, and exactly the per-query cliff
+    Figure 26 measures;
+  - *coalesced*: the same concurrently-arriving singletons submitted to a
+    :class:`~repro.serve.ProvenanceServer`, whose micro-batching scheduler
+    groups them into vectorised ``depends_batch`` calls.  Clients keep a
+    small pipeline of in-flight futures (``window``), the realistic shape
+    of a request stream under concurrency.
+
+* **warm starts** — latency for a *fresh* process to answer its first batch
+  over an attached run file, with and without the persistent hot-matrix
+  cache (``serve/matrix_cache.py``): the cache skips the cold decode of the
+  hottest ``(path, path)`` pair matrices.
+
+``python -m repro.bench.serving --json BENCH_serving.json`` writes both
+tables as JSON (the CI bench-smoke step uploads this artifact to extend the
+performance trajectory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+
+from repro.bench.measure import ResultTable
+from repro.bench.workloads import PreparedWorkload, prepare_bioaid, sample_query_pairs
+from repro.core import FVLVariant
+from repro.engine import DEFAULT_RUN, QueryEngine
+from repro.model.projection import ViewProjection
+from repro.serve import BatchPolicy, ProvenanceServer, matrix_cache_path
+from repro.workloads import random_view
+
+__all__ = [
+    "serving_throughput",
+    "warm_start_latency",
+    "write_serving_json",
+]
+
+DEFAULT_N_CLIENTS = 16
+DEFAULT_N_QUERIES = 4000
+DEFAULT_WINDOW = 256
+
+_VARIANTS = (FVLVariant.SPACE_EFFICIENT, FVLVariant.DEFAULT, FVLVariant.QUERY_EFFICIENT)
+
+
+def _run_clients(n_clients: int, client) -> float:
+    """Start ``n_clients`` threads running ``client(index)``; return wall seconds."""
+    threads = [
+        threading.Thread(target=client, args=(index,)) for index in range(n_clients)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start
+
+
+def _serving_setup(workload, run_size, n_queries, seed):
+    workload = workload or prepare_bioaid()
+    derivation = workload.run(run_size, 0)
+    view = random_view(
+        workload.specification, 8, seed=seed, mode="grey", name="serving-view"
+    )
+    items = sorted(ViewProjection(derivation.run, view).visible_items)
+    pairs = sample_query_pairs(items, n_queries, seed=seed)
+    return workload, derivation, view, pairs
+
+
+def serving_throughput(
+    workload: PreparedWorkload | None = None,
+    run_size: int = 2000,
+    n_queries: int = DEFAULT_N_QUERIES,
+    n_clients: int = DEFAULT_N_CLIENTS,
+    window: int = DEFAULT_WINDOW,
+    seed: int = 17,
+) -> ResultTable:
+    """Aggregate q/s of concurrent singleton clients: per-query loop vs coalesced."""
+    workload, derivation, view, pairs = _serving_setup(
+        workload, run_size, n_queries, seed
+    )
+    scheme = workload.scheme
+    table = ResultTable(
+        f"Serving - coalesced vs per-query throughput ({n_clients} client threads)",
+        [
+            "variant",
+            "per_query_qps",
+            "coalesced_qps",
+            "speedup",
+            "engine_calls",
+            "largest_batch",
+            "mean_batch",
+        ],
+        notes=(
+            f"BioAID-like run of ~{run_size} items served from a mapped file; "
+            f"{n_clients} threads issue single depends() requests "
+            f"(pipeline window {window}); per-query loop evaluates each "
+            "request with the single-pair predicate on materialised labels, "
+            "coalesced submits the same singletons to a ProvenanceServer; "
+            "steady state (one untimed warmup round per arm)"
+        ),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-serving-") as tmp:
+        run_file = os.path.join(tmp, "serving.fvl")
+        builder = QueryEngine(scheme)
+        builder.add_run(DEFAULT_RUN, derivation)
+        builder.checkpoint(run_file)
+
+        for variant in _VARIANTS:
+            # -- per-query loop: single-pair predicate per request ------------
+            loop_engine = QueryEngine(scheme)
+            store = loop_engine.attach(run_file)
+            view_label = scheme.label_view(view, variant)
+            # The single-pair arm times a slice: its per-query cost is flat
+            # (no cross-call caches) and the space-efficient variant would
+            # otherwise dominate the experiment's runtime.
+            loop_pairs = pairs[: max(n_clients, len(pairs) // 4)]
+            share = max(1, len(loop_pairs) // n_clients)
+
+            def loop_client(index: int) -> None:
+                for d1, d2 in loop_pairs[index * share : (index + 1) * share]:
+                    scheme.depends(store.label(d1), store.label(d2), view_label)
+
+            loop_seconds = _run_clients(n_clients, loop_client)
+            loop_queries = share * n_clients
+            per_query_qps = loop_queries / loop_seconds
+
+            # -- coalesced: the same singletons through the server ------------
+            serve_engine = QueryEngine(scheme)
+            server = ProvenanceServer(
+                serve_engine,
+                policy=BatchPolicy(max_batch=32768, max_linger_us=200, max_queue=1 << 17),
+                workers=2,
+            )
+            server.attach(run_file, warm=False)
+            serve_share = max(1, len(pairs) // n_clients)
+
+            def serve_client(index: int) -> None:
+                mine = pairs[index * serve_share : (index + 1) * serve_share]
+                for lo in range(0, len(mine), window):
+                    futures = [
+                        server.submit(d1, d2, view, variant=variant)
+                        for d1, d2 in mine[lo : lo + window]
+                    ]
+                    for future in futures:
+                        future.result()
+
+            with server:
+                _run_clients(n_clients, serve_client)  # warmup: fill decode caches
+                calls_before = server.stats.engine_calls
+                serve_seconds = _run_clients(n_clients, serve_client)
+            stats = server.stats
+            serve_queries = serve_share * n_clients
+            coalesced_qps = serve_queries / serve_seconds
+            timed_calls = stats.engine_calls - calls_before
+            table.add_row(
+                variant.value,
+                round(per_query_qps, 1),
+                round(coalesced_qps, 1),
+                round(coalesced_qps / per_query_qps, 2),
+                timed_calls,
+                stats.largest_batch,
+                round(serve_queries / timed_calls, 1) if timed_calls else 0.0,
+            )
+    return table
+
+
+def warm_start_latency(
+    workload: PreparedWorkload | None = None,
+    run_size: int = 2000,
+    n_queries: int = DEFAULT_N_QUERIES,
+    seed: int = 18,
+) -> ResultTable:
+    """First-batch latency of a fresh process, cold vs matrix-cache warmed."""
+    workload, derivation, view, pairs = _serving_setup(
+        workload, run_size, n_queries, seed
+    )
+    scheme = workload.scheme
+    table = ResultTable(
+        "Serving - warm-start latency (persistent hot-matrix cache)",
+        [
+            "variant",
+            "entries",
+            "cache_KB",
+            "cold_first_batch_ms",
+            "warm_first_batch_ms",
+            "speedup",
+            "warm_attach_ms",
+        ],
+        notes=(
+            f"fresh engine attaching a ~{run_size}-item run file and answering "
+            f"its first {len(pairs)}-pair depends_batch; warm loads the "
+            "persistent (arena, path, path) matrix cache a previous process "
+            "saved beside the file (warm_attach_ms includes that load)"
+        ),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-warmstart-") as tmp:
+        run_file = os.path.join(tmp, "warm.fvl")
+        builder = QueryEngine(scheme)
+        builder.add_run(DEFAULT_RUN, derivation)
+        builder.checkpoint(run_file)
+
+        for variant in _VARIANTS:
+            # A "previous process" serves the batch warm and persists its cache.
+            leader = QueryEngine(scheme)
+            leader.attach(run_file)
+            leader.depends_batch(pairs, view, variant=variant)
+            leader_server = ProvenanceServer(leader)
+            entries = leader_server.save_matrix_cache()
+            cache_bytes = os.path.getsize(matrix_cache_path(run_file))
+
+            cold = QueryEngine(scheme)
+            cold.add_view(view)
+            start = time.perf_counter()
+            cold.attach(run_file)
+            cold.depends_batch(pairs, view, variant=variant)
+            cold_seconds = time.perf_counter() - start
+
+            warm = QueryEngine(scheme)
+            warm.add_view(view)
+            warm_server = ProvenanceServer(warm)
+            start = time.perf_counter()
+            _, warmed = warm_server.attach(run_file)
+            attach_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            warm.depends_batch(pairs, view, variant=variant)
+            warm_seconds = attach_seconds + (time.perf_counter() - start)
+            assert warmed > 0, "warm start loaded no matrices"
+
+            table.add_row(
+                variant.value,
+                entries,
+                round(cache_bytes / 1024.0, 1),
+                round(cold_seconds * 1e3, 2),
+                round(warm_seconds * 1e3, 2),
+                round(cold_seconds / warm_seconds, 2) if warm_seconds else float("inf"),
+                round(attach_seconds * 1e3, 2),
+            )
+            os.unlink(matrix_cache_path(run_file))
+    return table
+
+
+def write_serving_json(tables: "list[ResultTable]", path: str) -> None:
+    """Write the serving experiment tables (plus metadata) as a JSON artifact."""
+    payload = {
+        "experiment": "serving",
+        "tables": [
+            {"title": table.title, "notes": table.notes, "rows": table.as_dicts()}
+            for table in tables
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    import argparse
+
+    from repro.bench.reporting import format_table
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--run-size", type=int, default=2000)
+    parser.add_argument("--queries", type=int, default=DEFAULT_N_QUERIES)
+    parser.add_argument("--clients", type=int, default=DEFAULT_N_CLIENTS)
+    parser.add_argument("--window", type=int, default=DEFAULT_WINDOW)
+    parser.add_argument("--json", metavar="PATH", help="write the tables as JSON")
+    args = parser.parse_args(argv)
+
+    workload = prepare_bioaid()
+    throughput = serving_throughput(
+        workload,
+        run_size=args.run_size,
+        n_queries=args.queries,
+        n_clients=args.clients,
+        window=args.window,
+    )
+    warm = warm_start_latency(workload, run_size=args.run_size, n_queries=args.queries)
+    print(format_table(throughput))
+    print()
+    print(format_table(warm))
+    if args.json:
+        write_serving_json([throughput, warm], args.json)
+        print(f"JSON written: {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,16 +59,32 @@ class DecodeCache:
     single-shot callers pass ``None`` and pay the original cost.
     """
 
-    __slots__ = ("inputs_segments", "outputs_segments", "pair_matrices", "max_entries")
+    __slots__ = (
+        "inputs_segments",
+        "outputs_segments",
+        "pair_matrices",
+        "pair_hits",
+        "max_entries",
+    )
 
     def __init__(self, max_entries: int | None = None) -> None:
         self.inputs_segments: dict[tuple, BoolMatrix] = {}
         self.outputs_segments: dict[tuple, BoolMatrix] = {}
         self.pair_matrices: dict[tuple, BoolMatrix | None] = {}
+        #: Query-count accounting per cached pair-matrix key, fed by the
+        #: engine's batch grouping.  Bounded by ``pair_matrices`` (only keys
+        #: with a cached matrix are counted); the persistent hot-matrix cache
+        #: (:mod:`repro.serve.matrix_cache`) ranks entries by it.
+        self.pair_hits: dict[tuple, int] = {}
         #: Total entry budget across the three tables; ``None`` means
         #: unbounded.  Once full, further results are computed but not
         #: stored, so memory stays bounded for adversarial query streams.
         self.max_entries = max_entries
+
+    def note_pair_use(self, key: tuple, count: int) -> None:
+        """Record that ``count`` queries were answered via ``key``'s matrix."""
+        if key in self.pair_matrices:
+            self.pair_hits[key] = self.pair_hits.get(key, 0) + count
 
     def has_room(self, extra: int = 0) -> bool:
         """Whether the budget admits another entry.

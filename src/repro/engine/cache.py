@@ -107,6 +107,11 @@ class LRUCache(Generic[V]):
         with self._lock:
             return list(self._entries.values())
 
+    def items(self) -> list[tuple[Hashable, V]]:
+        """A snapshot of ``(key, value)`` pairs, LRU order (no recency effect)."""
+        with self._lock:
+            return list(self._entries.items())
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

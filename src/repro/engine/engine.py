@@ -61,7 +61,7 @@ from repro.engine.cache import (
     DecodedViewState,
     LRUCache,
 )
-from repro.errors import DecodingError, LabelingError, ViewError
+from repro.errors import DecodingError, LabelingError, SerializationError, ViewError
 from repro.model.derivation import Derivation
 from repro.model.grammar import WorkflowGrammar
 from repro.model.specification import WorkflowSpecification
@@ -72,6 +72,7 @@ from repro.store import (
     MappedRunStore,
     PathTable,
     checkpoint_run,
+    run_file_info,
 )
 
 __all__ = [
@@ -192,6 +193,9 @@ class QueryEngine:
         self._max_workers = max_workers
         self._decode_cache_entries = decode_cache_entries
         self._lock = threading.Lock()
+        #: Serialises shard remaps (reopen/maybe_reopen from concurrent
+        #: server workers) so exactly one fresh mapping wins and none leak.
+        self._reopen_lock = threading.Lock()
         self._batches = 0
         #: Next decode-cache namespace tag for attached (own-trie) shards;
         #: labelled shards all share the engine arena under tag 0.
@@ -237,7 +241,14 @@ class QueryEngine:
         :meth:`add_run`.
         """
         if run_id in self._shards:
-            raise LabelingError(f"run {run_id!r} is already registered with this engine")
+            # Guard before the file is mapped: silently replacing the live
+            # shard would leak its mmap and serve half the callers a
+            # different run.  Re-attach requires an explicit detach first.
+            raise LabelingError(
+                f"run {run_id!r} is already registered with this engine; "
+                "detach(run_id) it first to attach a different file under "
+                "this id"
+            )
         mapped = MappedRunStore(path)
         expected = grammar_fingerprint(self._scheme.index)
         if mapped.fingerprint and mapped.fingerprint != expected:
@@ -294,30 +305,67 @@ class QueryEngine:
                 f"run {run_id!r} is a labelled shard; only attached mapped "
                 "shards can be reopened"
             )
-        old = shard.mapped
-        if old.current_generation() == old.generation:
+        # One remap at a time: two concurrent probes (e.g. two server
+        # workers) racing here would both map the fresh file, and the
+        # loser's mapping would leak when the winner's swap lands first.
+        with self._reopen_lock:
+            old = shard.mapped
+            if old.current_generation() == old.generation:
+                return False
+            fresh = MappedRunStore(old.path)
+            expected = grammar_fingerprint(self._scheme.index)
+            if fresh.fingerprint and fresh.fingerprint != expected:
+                fresh.close()
+                raise LabelingError(
+                    f"run file {old.path!r} was rewritten under a different "
+                    "specification; refusing to remap"
+                )
+            if (
+                fresh.n_items < old.n_items
+                or fresh.n_paths < old.n_paths
+                or fresh.n_nodes < old.n_nodes
+            ):
+                fresh.close()
+                raise LabelingError(
+                    f"run file {old.path!r} shrank across generations; this is "
+                    "not a compaction of the attached run"
+                )
+            shard.mapped = fresh
+            old.close()
+            return True
+
+    def maybe_reopen(self, run_id: str = DEFAULT_RUN) -> bool:
+        """Probe an attached shard's file header and remap if it moved on.
+
+        The cheap half of :meth:`reopen` for *follower* processes whose
+        lifecycle manager lives elsewhere: one :func:`~repro.store.run_file_info`
+        header peek decides whether a compacted generation was swapped in
+        under the path, and only then is the file remapped.  Returns ``True``
+        iff the shard was remapped; labelled (non-mapped) shards and probes
+        that race a mid-swap or deleted file return ``False`` instead of
+        raising — the next probe simply tries again.
+        :class:`~repro.serve.ProvenanceServer` calls this on a
+        query-count/time backoff so readers follow compactions without any
+        in-process manager.
+        """
+        shard = self._shard(run_id)
+        if shard.mapped is None:
             return False
-        fresh = MappedRunStore(old.path)
-        expected = grammar_fingerprint(self._scheme.index)
-        if fresh.fingerprint and fresh.fingerprint != expected:
-            fresh.close()
-            raise LabelingError(
-                f"run file {old.path!r} was rewritten under a different "
-                "specification; refusing to remap"
-            )
-        if (
-            fresh.n_items < old.n_items
-            or fresh.n_paths < old.n_paths
-            or fresh.n_nodes < old.n_nodes
-        ):
-            fresh.close()
-            raise LabelingError(
-                f"run file {old.path!r} shrank across generations; this is "
-                "not a compaction of the attached run"
-            )
-        shard.mapped = fresh
-        old.close()
-        return True
+        try:
+            info = run_file_info(shard.mapped.path)
+        except (OSError, SerializationError):
+            return False
+        if info.generation == shard.mapped.generation:
+            return False
+        try:
+            return self.reopen(run_id)
+        except (OSError, SerializationError):
+            # The file vanished or tore between the probe and the remap
+            # (e.g. a compaction swap in flight); the old mapping still
+            # serves and the next probe retries.  reopen's LabelingError
+            # (foreign spec, shrunk file) stays loud — that is corruption,
+            # not a race.
+            return False
 
     def reopen_all(self, path=None) -> list[str]:
         """Reopen every attached shard whose file gained a generation.
@@ -388,6 +436,10 @@ class QueryEngine:
         raise ViewError(
             f"a different view named {view.name!r} is already registered"
         )
+
+    def view(self, name: str) -> WorkflowView:
+        """The registered :class:`WorkflowView` of that name (else ViewError)."""
+        return self._resolve_view(name)
 
     def run_labeler(self, run_id: str = DEFAULT_RUN) -> RunLabeler:
         labeler = self._shard(run_id).labeler
@@ -519,6 +571,40 @@ class QueryEngine:
             return visible_batch(store, view_label, uids, flags=flags)
         return [_object_is_visible(shard.label(uid), view_label) for uid in uids]
 
+    # -- the serving surface (repro.serve) ---------------------------------------
+
+    def shard_arena(self, run_id: str = DEFAULT_RUN) -> int:
+        """The decode-cache arena tag of one shard (0 = the shared trie)."""
+        return self._shard(run_id).arena
+
+    def mapped_store(self, run_id: str = DEFAULT_RUN) -> "MappedRunStore | None":
+        """The :class:`MappedRunStore` behind an attached shard (else ``None``)."""
+        return self._shard(run_id).mapped
+
+    def decoded_state(
+        self,
+        view: "WorkflowView | str",
+        variant: "FVLVariant | str | None" = None,
+    ) -> "DecodedViewState | DecodedMatrixFreeState":
+        """The (LRU-interned) decoded state of one ``(view, variant)`` pair.
+
+        Public so the serving layer can warm a state's decode cache (the
+        persistent hot-matrix cache seeds ``pair_matrices`` through this)
+        without issuing a query first.
+        """
+        return self._decoded_state(view, variant)
+
+    def decoded_states(
+        self,
+    ) -> dict[tuple[str, str], "DecodedViewState | DecodedMatrixFreeState"]:
+        """A snapshot of the currently interned decoded view states.
+
+        Keys are ``(view_name, variant_key)``; iteration order is LRU (least
+        recent first).  Snapshot semantics: concurrent queries may intern or
+        evict states while the caller walks it.
+        """
+        return dict(self._states.items())
+
     # -- observability ----------------------------------------------------------------
 
     @property
@@ -551,6 +637,7 @@ class QueryEngine:
             matrices = cache.pair_matrices
             for key in [k for k in matrices if len(k) == 3 and k[0] == arena]:
                 del matrices[key]
+                cache.pair_hits.pop(key, None)
 
     def _shard(self, run_id: str) -> _RunShard:
         try:
@@ -710,6 +797,7 @@ class QueryEngine:
                 matrix = intermediate_matrix_for_ids(
                     table, key[1], key[2], state, cache, arena=arena
                 )
+            cache.note_pair_use(key, len(members))
             if matrix is None:
                 continue
             for pos, x, y in members:
@@ -778,6 +866,9 @@ class QueryEngine:
             first = members[0]
             matrix = intermediate_matrix_for_ids(
                 table, p1[first], c2[first], state, cache, arena=arena
+            )
+            cache.note_pair_use(
+                (arena, int(p1[first]), int(c2[first])), len(members)
             )
             if matrix is None:
                 continue

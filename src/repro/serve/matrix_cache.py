@@ -1,0 +1,324 @@
+"""Persistent hot-pair matrix cache: warm starts for fresh serving processes.
+
+The engine's per-view :class:`~repro.core.decoder.DecodeCache` turns repeated
+``(producer path, consumer path)`` reachability questions into dictionary
+lookups — but the cache is process-private, so every fresh process (a
+restarted server, a follower attaching a leader's run file) pays the cold
+decode for exactly the matrices the previous process already assembled.
+
+This module persists the hottest decoded pair matrices *alongside the run
+file* (``<run-file>.hotmx``):
+
+* :func:`save_hot_matrices` ranks the cached ``(arena, path-id, path-id)``
+  entries of a shard by the engine's per-key query accounting
+  (:attr:`DecodeCache.pair_hits`), keeps the ``max_entries`` hottest whose
+  path ids fall inside the file's persisted watermark, and writes them in a
+  small versioned binary format (bit-packed matrices, atomic replace);
+* :func:`load_hot_matrices` seeds a fresh engine's decode caches from the
+  file on attach, so the first queries of a new process hit warm matrices
+  instead of re-deriving them.
+
+Safety: the cache file is tagged with the grammar fingerprint, the run
+file's generation and its ``n_paths`` watermark.  Path ids are immutable
+once interned (the trie is append-only and compaction preserves rows
+bit-identically), so entries stay valid across later checkpoints and
+compactions of the *same* run; a cache from a different specification, from
+a *newer* generation than the file at the path, or referencing unknown path
+ids is rejected loudly.  Views are matched by name **and** a structural
+fingerprint — a same-named view with different visible composites or
+perceived dependencies never receives foreign matrices.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+import numpy as np
+
+from repro.core import FVLVariant
+from repro.engine.engine import MATRIX_FREE, DEFAULT_RUN, QueryEngine, grammar_fingerprint
+from repro.errors import LabelingError, SerializationError
+from repro.matrices import BoolMatrix
+from repro.model.views import WorkflowView
+from repro.store import run_file_info
+
+__all__ = [
+    "CACHE_MAGIC",
+    "CACHE_VERSION",
+    "DEFAULT_HOT_ENTRIES",
+    "matrix_cache_path",
+    "view_fingerprint",
+    "save_hot_matrices",
+    "load_hot_matrices",
+]
+
+CACHE_MAGIC = b"FVLHOTMX"
+CACHE_VERSION = 1
+
+#: Default bound on persisted matrices.  The matrices are tiny (port-count
+#: squared bits, ~25 bytes each on the BioAID workload), so this is a recall
+#: knob, not a disk-space one — and recall is what warm starts live on: a
+#: budget below the shard's hot working set leaves the follower re-deriving
+#: the uncovered pairs and erases most of the benefit.
+DEFAULT_HOT_ENTRIES = 4096
+
+_FILE_HEADER = struct.Struct("<8sIQQQI")  # magic, version, fingerprint, generation, n_paths, n_states
+_STATE_HEADER = struct.Struct("<HHQI")  # name_len, variant_len, view_fp, n_entries
+_ENTRY = struct.Struct("<qqii")  # path_id1, path_id2, rows, cols (-1,-1 = None)
+
+
+def matrix_cache_path(run_file) -> str:
+    """Where the hot-matrix cache of a run file lives (beside it)."""
+    return os.fspath(run_file) + ".hotmx"
+
+
+def view_fingerprint(view: WorkflowView) -> int:
+    """A stable structural fingerprint of a view (nonzero 32-bit int).
+
+    Built from the visible composites and the perceived dependency pairs in
+    canonical order — not from Python's salted ``hash`` — so two processes
+    agree on it.  The name is deliberately excluded: the cache already keys
+    sections by name, and the fingerprint guards against *different* views
+    sharing one.
+    """
+    parts = [",".join(sorted(view.visible_composites))]
+    dependencies = view.dependencies.as_dict()
+    for name in sorted(dependencies):
+        pairs = ";".join(f"{i}>{o}" for i, o in sorted(dependencies[name]))
+        parts.append(f"{name}:{pairs}")
+    return zlib.crc32("|".join(parts).encode("utf-8")) or 1
+
+
+def _pack_matrix(matrix: "BoolMatrix | None") -> tuple[int, int, bytes]:
+    if matrix is None:
+        return -1, -1, b""
+    data = matrix.data
+    return data.shape[0], data.shape[1], np.packbits(data, axis=None).tobytes()
+
+
+def _unpack_matrix(rows: int, cols: int, payload: bytes) -> "BoolMatrix | None":
+    if rows < 0:
+        return None
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8), count=rows * cols)
+    return BoolMatrix(bits.reshape(rows, cols).astype(bool))
+
+
+def _pair_states(engine: QueryEngine):
+    """The decoded states that carry a pair-matrix cache (skip matrix-free)."""
+    for (view_name, variant_key), state in engine.decoded_states().items():
+        cache = getattr(state, "decode_cache", None)
+        if cache is None or variant_key == MATRIX_FREE:
+            continue
+        yield view_name, variant_key, state, cache
+
+
+def save_hot_matrices(
+    engine: QueryEngine,
+    run_id: str = DEFAULT_RUN,
+    *,
+    run_file=None,
+    cache_path=None,
+    max_entries: int = DEFAULT_HOT_ENTRIES,
+) -> int:
+    """Persist the shard's hottest decoded pair matrices beside its run file.
+
+    ``run_id`` may name an attached shard (its mapped file is the default
+    ``run_file``) or a labelled shard that has been checkpointed — labelled
+    shards intern into the engine's shared arena, which is exactly the trie
+    :func:`~repro.store.checkpoint_run` persists, so their cached matrices
+    use the same path ids the file carries.  Only entries whose path ids lie
+    inside the file's persisted ``n_paths`` watermark are written.  Returns
+    the number of entries persisted (a cache file is written even for zero —
+    an honest "nothing was hot").
+    """
+    if max_entries < 1:
+        raise ValueError("max_entries must be at least 1")
+    mapped = engine.mapped_store(run_id)
+    if run_file is None:
+        if mapped is None:
+            raise LabelingError(
+                f"run {run_id!r} is a labelled shard; pass run_file= (its "
+                "checkpoint target) to locate the matrix cache"
+            )
+        run_file = mapped.path
+    run_file = os.fspath(run_file)
+    info = run_file_info(run_file)
+    arena = engine.shard_arena(run_id)
+
+    candidates: list[tuple[int, str, str, object, tuple]] = []
+    for view_name, variant_key, state, cache in _pair_states(engine):
+        # Atomic snapshot (dict.copy runs without releasing the GIL):
+        # workers may intern new matrices while a live server saves.
+        for key, matrix in cache.pair_matrices.copy().items():
+            if len(key) != 3 or key[0] != arena:
+                continue
+            if key[1] >= info.n_paths or key[2] >= info.n_paths:
+                continue  # interned after the last checkpoint; not in the file
+            hits = cache.pair_hits.get(key, 0)
+            candidates.append((hits, view_name, variant_key, matrix, key))
+    candidates.sort(key=lambda entry: entry[0], reverse=True)
+    hottest = candidates[:max_entries]
+
+    sections: dict[tuple[str, str], list[tuple[tuple, object]]] = {}
+    for _, view_name, variant_key, matrix, key in hottest:
+        sections.setdefault((view_name, variant_key), []).append((key, matrix))
+
+    chunks = [
+        _FILE_HEADER.pack(
+            CACHE_MAGIC,
+            CACHE_VERSION,
+            grammar_fingerprint(engine.scheme.index),
+            info.generation,
+            info.n_paths,
+            len(sections),
+        )
+    ]
+    for (view_name, variant_key), entries in sections.items():
+        name_bytes = view_name.encode("utf-8")
+        variant_bytes = variant_key.encode("utf-8")
+        chunks.append(
+            _STATE_HEADER.pack(
+                len(name_bytes),
+                len(variant_bytes),
+                view_fingerprint(engine.view(view_name)),
+                len(entries),
+            )
+        )
+        chunks.append(name_bytes)
+        chunks.append(variant_bytes)
+        for (arena_tag, id1, id2), matrix in entries:
+            rows, cols, payload = _pack_matrix(matrix)
+            chunks.append(_ENTRY.pack(id1, id2, rows, cols))
+            chunks.append(payload)
+
+    target = matrix_cache_path(run_file) if cache_path is None else os.fspath(cache_path)
+    tmp = f"{target}.tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(b"".join(chunks))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    return len(hottest)
+
+
+class _Reader:
+    __slots__ = ("buffer", "offset", "path")
+
+    def __init__(self, buffer: bytes, path: str) -> None:
+        self.buffer = buffer
+        self.offset = 0
+        self.path = path
+
+    def take(self, n: int) -> bytes:
+        end = self.offset + n
+        if end > len(self.buffer):
+            raise SerializationError(f"truncated matrix cache {self.path!r}")
+        chunk = self.buffer[self.offset : end]
+        self.offset = end
+        return chunk
+
+    def unpack(self, spec: struct.Struct):
+        return spec.unpack(self.take(spec.size))
+
+
+def load_hot_matrices(
+    engine: QueryEngine,
+    run_id: str = DEFAULT_RUN,
+    *,
+    cache_path=None,
+) -> int:
+    """Seed an attached shard's decode caches from its persistent matrix cache.
+
+    Missing cache file -> ``0`` (warm starts are best-effort); a cache from a
+    different specification, a newer generation than the mapped file, or with
+    ids beyond the file's trie is rejected with
+    :class:`~repro.errors.SerializationError`.  Sections for views the engine
+    has not registered (or whose structure diverged — see
+    :func:`view_fingerprint`) are skipped, not guessed at.  Entries never
+    clobber matrices the engine already decoded.  Returns the number of
+    entries seeded.
+    """
+    mapped = engine.mapped_store(run_id)
+    if mapped is None:
+        raise LabelingError(
+            f"run {run_id!r} is not an attached mapped shard; the matrix "
+            "cache warms processes that attach a persisted run"
+        )
+    target = matrix_cache_path(mapped.path) if cache_path is None else os.fspath(cache_path)
+    try:
+        with open(target, "rb") as handle:
+            reader = _Reader(handle.read(), target)
+    except FileNotFoundError:
+        return 0
+    try:
+        return _load_from(reader, engine, run_id, mapped)
+    except SerializationError:
+        raise
+    except (ValueError, UnicodeDecodeError, OverflowError, struct.error) as exc:
+        # Corrupt payloads surface in many shapes (bad UTF-8 in a section
+        # name, negative matrix dims reaching numpy, ...); callers are
+        # promised one: SerializationError, which the server's warm attach
+        # swallows into a cold start.
+        raise SerializationError(f"corrupt matrix cache {target!r}: {exc}") from exc
+
+
+def _load_from(reader: _Reader, engine: QueryEngine, run_id: str, mapped) -> int:
+    magic, version, fingerprint, generation, n_paths, n_states = reader.unpack(
+        _FILE_HEADER
+    )
+    if magic != CACHE_MAGIC:
+        raise SerializationError(f"not a matrix cache (bad magic {magic!r})")
+    if version != CACHE_VERSION:
+        raise SerializationError(f"unsupported matrix-cache version {version}")
+    engine_fp = grammar_fingerprint(engine.scheme.index)
+    if fingerprint and fingerprint != engine_fp:
+        raise SerializationError(
+            "matrix cache was saved under a different specification; its "
+            "matrices would answer the wrong grammar"
+        )
+    if generation > mapped.generation:
+        raise SerializationError(
+            f"matrix cache generation {generation} is newer than the mapped "
+            f"run file (generation {mapped.generation}); this mapping is not "
+            "the file the cache was saved against"
+        )
+    if n_paths > mapped.n_paths:
+        raise SerializationError(
+            "matrix cache references paths beyond the mapped file's trie; "
+            "this is not a cache of the attached run"
+        )
+
+    arena = engine.shard_arena(run_id)
+    registered = set(engine.view_names)
+    known_variants = {variant.value for variant in FVLVariant}
+    seeded = 0
+    for _ in range(n_states):
+        name_len, variant_len, view_fp, n_entries = reader.unpack(_STATE_HEADER)
+        view_name = reader.take(name_len).decode("utf-8")
+        variant_key = reader.take(variant_len).decode("utf-8")
+        usable = (
+            view_name in registered
+            and variant_key in known_variants
+            and view_fingerprint(engine.view(view_name)) == view_fp
+        )
+        cache = None
+        if usable:
+            state = engine.decoded_state(view_name, variant_key)
+            cache = getattr(state, "decode_cache", None)
+        for _ in range(n_entries):
+            id1, id2, rows, cols = reader.unpack(_ENTRY)
+            payload = reader.take((rows * cols + 7) // 8) if rows >= 0 else b""
+            if cache is None:
+                continue
+            if id1 >= mapped.n_paths or id2 >= mapped.n_paths:
+                raise SerializationError(
+                    "matrix cache entry references an unknown path id"
+                )
+            key = (arena, int(id1), int(id2))
+            if key in cache.pair_matrices or not cache.has_room():
+                continue
+            cache.pair_matrices[key] = _unpack_matrix(rows, cols, payload)
+            seeded += 1
+    return seeded

@@ -1,0 +1,535 @@
+"""The query-coalescing provenance server: many clients, batched evaluation.
+
+:class:`~repro.engine.QueryEngine` answers *batches* within a small constant
+factor of the fully materialised variants — but a fleet of concurrent
+clients naturally issues *singletons*, each paying the engine's per-call
+overhead (state interning, shard bookkeeping, the engine lock) and, under
+contention, serialising on it.  :class:`ProvenanceServer` turns the batch
+path into the default under concurrency with a micro-batching scheduler:
+
+* clients :meth:`~ProvenanceServer.submit` ``depends`` / ``is_visible``
+  requests and get :class:`concurrent.futures.Future` answers;
+* requests land in one bounded queue; a worker takes the first request,
+  **lingers** up to ``max_linger_us`` for concurrently-arriving requests to
+  pile on (capped at ``max_batch``), then groups the batch per
+  ``(kind, run, view, variant)`` and answers each group with a single
+  vectorised ``depends_batch`` / ``is_visible_batch`` call;
+* after serving a run, the server probes that run's file header on a
+  query-count/time backoff (:class:`ReopenPolicy` ->
+  :meth:`QueryEngine.maybe_reopen`), so a *follower* process remaps onto a
+  compacted generation without any in-process lifecycle manager;
+* :meth:`~ProvenanceServer.attach` also loads the run's persistent
+  hot-matrix cache (:mod:`repro.serve.matrix_cache`), so a fresh process
+  answers its first queries from warm matrices.
+
+The server adds no locking around the engine beyond what the engine already
+does — correctness under concurrent queries is the engine's contract; the
+server's job is turning N concurrent singletons into N/``batch`` engine
+calls.  ``drain_once()`` exposes one scheduling step synchronously so tests
+and single-threaded callers get deterministic behaviour with no threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+
+from repro.engine.engine import DEFAULT_RUN, QueryEngine
+from repro.errors import LabelingError, SerializationError
+from repro.serve.matrix_cache import load_hot_matrices, save_hot_matrices
+
+__all__ = ["BatchPolicy", "ReopenPolicy", "ServerStats", "ProvenanceServer"]
+
+_DEPENDS = "depends"
+_VISIBLE = "visible"
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """How aggressively concurrent singletons are coalesced.
+
+    ``max_batch`` bounds one scheduling step's batch; ``max_linger_us`` is
+    how long (microseconds) a worker holds the *first* request of a batch
+    waiting for company — the latency price of coalescing, paid only when
+    the queue is shallower than ``max_batch``; ``max_queue`` bounds the
+    request queue (submitters block once it is full — backpressure, not
+    unbounded memory).
+    """
+
+    max_batch: int = 1024
+    max_linger_us: int = 200
+    max_queue: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.max_linger_us < 0:
+            raise ValueError("max_linger_us must not be negative")
+        if self.max_queue < self.max_batch:
+            raise ValueError("max_queue must be at least max_batch")
+
+
+@dataclass(frozen=True)
+class ReopenPolicy:
+    """When the server probes a served run's header for a newer generation.
+
+    A probe is one :func:`~repro.store.run_file_info` header read — cheap,
+    but not free per query, hence the backoff: a run is probed after
+    ``after_queries`` answers or once ``after_seconds`` passed since the
+    last probe, whichever comes first, and only on the heels of actual
+    queries (idle runs are not polled).
+    """
+
+    after_queries: int = 512
+    after_seconds: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.after_queries < 1:
+            raise ValueError("after_queries must be at least 1")
+        if self.after_seconds <= 0:
+            raise ValueError("after_seconds must be positive")
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Counters over the server's lifetime (exposed for observability)."""
+
+    submitted: int
+    answered: int
+    batches: int  # scheduling steps taken
+    engine_calls: int  # vectorised engine calls made (groups served)
+    coalesced: int  # requests answered in a group of more than one
+    largest_batch: int
+    queue_peak: int
+    probes: int
+    reopens: int
+
+
+class _Request:
+    __slots__ = ("kind", "key", "d1", "d2", "view", "run", "variant", "future")
+
+    def __init__(self, kind, key, d1, d2, view, run, variant) -> None:
+        self.kind = kind
+        self.key = key
+        self.d1 = d1
+        self.d2 = d2
+        self.view = view
+        self.run = run
+        self.variant = variant
+        self.future: Future = Future()
+
+
+def _safe_set_result(future: Future, value) -> None:
+    try:
+        future.set_result(value)
+    except InvalidStateError:  # pragma: no cover - caller cancelled
+        pass
+
+
+def _safe_set_exception(future: Future, exc: BaseException) -> None:
+    try:
+        future.set_exception(exc)
+    except InvalidStateError:  # pragma: no cover - caller cancelled
+        pass
+
+
+class ProvenanceServer:
+    """Micro-batching front-end over one :class:`QueryEngine`.
+
+    ::
+
+        engine = QueryEngine(scheme)
+        with ProvenanceServer(engine, workers=2) as server:
+            server.attach("/data/run.fvl", "run-1")      # + warm matrices
+            future = server.submit(d1, d2, view, run="run-1")
+            ...
+            assert future.result()
+
+    Start the server (or use it as a context manager) for background
+    workers; without ``start()`` it degrades to a deterministic inline mode
+    where :meth:`depends` / :meth:`is_visible` drain the queue on the
+    caller's thread.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        *,
+        policy: BatchPolicy | None = None,
+        reopen: ReopenPolicy | None = None,
+        workers: int = 1,
+        clock=time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self._engine = engine
+        self._policy = policy or BatchPolicy()
+        self._reopen_policy = reopen or ReopenPolicy()
+        self._n_workers = workers
+        self._clock = clock
+        self._queue: deque[_Request] = deque()
+        self._cond = threading.Condition()
+        self._threads: list[threading.Thread] = []
+        self._stopping = False
+        #: run -> [queries since last probe, last probe time]
+        self._probe_state: dict[str, list] = {}
+        self._stats_lock = threading.Lock()
+        self._submitted = 0
+        self._answered = 0
+        self._batches = 0
+        self._engine_calls = 0
+        self._coalesced = 0
+        self._largest_batch = 0
+        self._queue_peak = 0
+        self._probes = 0
+        self._reopens = 0
+        #: The last warm-start failure :meth:`attach` swallowed (None = ok).
+        self.last_warm_error: Exception | None = None
+        #: The last unexpected scheduling or probe failure a worker survived
+        #: (pending futures of that batch receive the exception; the worker
+        #: keeps serving).  A remap refused for corruption (foreign spec,
+        #: shrunk file) lands here — monitor it in threaded deployments.
+        self.last_error: Exception | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def engine(self) -> QueryEngine:
+        return self._engine
+
+    @property
+    def running(self) -> bool:
+        return bool(self._threads)
+
+    def start(self) -> "ProvenanceServer":
+        if self._threads:
+            raise RuntimeError("server is already running")
+        with self._cond:
+            self._stopping = False
+        for index in range(self._n_workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"provenance-serve-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        """Stop the workers after they drain every queued request."""
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        # A server stopped before (or without) start() may still hold
+        # requests; fail them rather than leaving callers waiting forever.
+        with self._cond:
+            leftovers = list(self._queue)
+            self._queue.clear()
+        for request in leftovers:
+            _safe_set_exception(
+                request.future, RuntimeError("provenance server was stopped")
+            )
+
+    def __enter__(self) -> "ProvenanceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- registration ------------------------------------------------------------
+
+    def attach(self, path, run_id: str = DEFAULT_RUN, *, warm: bool = True):
+        """Attach a persisted run and (by default) load its hot-matrix cache.
+
+        Returns ``(mapped_store, warmed_entries)``.  A *corrupt* matrix
+        cache is recorded on :attr:`last_warm_error` and the attach proceeds
+        cold — a stale side file must not take serving down; a *missing* one
+        simply warms nothing.
+        """
+        mapped = self._engine.attach(path, run_id)
+        warmed = 0
+        if warm:
+            try:
+                warmed = load_hot_matrices(self._engine, run_id)
+                self.last_warm_error = None
+            except SerializationError as exc:
+                self.last_warm_error = exc
+        return mapped, warmed
+
+    def save_matrix_cache(self, run_id: str = DEFAULT_RUN, **kwargs) -> int:
+        """Persist the shard's hottest matrices (see :func:`save_hot_matrices`)."""
+        return save_hot_matrices(self._engine, run_id, **kwargs)
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(
+        self,
+        d1: int,
+        d2: int,
+        view,
+        *,
+        run: str = DEFAULT_RUN,
+        variant=None,
+    ) -> Future:
+        """Enqueue one ``depends`` query; the Future resolves to its answer."""
+        view_name = view if isinstance(view, str) else view.name
+        variant_key = getattr(variant, "value", variant)
+        return self._enqueue(
+            _Request(
+                _DEPENDS,
+                (_DEPENDS, run, view_name, variant_key),
+                d1,
+                d2,
+                view,
+                run,
+                variant,
+            )
+        )
+
+    def submit_visible(
+        self,
+        uid: int,
+        view,
+        *,
+        run: str = DEFAULT_RUN,
+        variant=None,
+    ) -> Future:
+        """Enqueue one ``is_visible`` query; the Future resolves to its answer."""
+        view_name = view if isinstance(view, str) else view.name
+        variant_key = getattr(variant, "value", variant)
+        return self._enqueue(
+            _Request(
+                _VISIBLE,
+                (_VISIBLE, run, view_name, variant_key),
+                uid,
+                None,
+                view,
+                run,
+                variant,
+            )
+        )
+
+    def depends(
+        self,
+        d1: int,
+        d2: int,
+        view,
+        *,
+        run: str = DEFAULT_RUN,
+        variant=None,
+    ) -> bool:
+        """Blocking convenience: submit and wait (inline drain when no workers)."""
+        future = self.submit(d1, d2, view, run=run, variant=variant)
+        return self._resolve(future)
+
+    def is_visible(
+        self,
+        uid: int,
+        view,
+        *,
+        run: str = DEFAULT_RUN,
+        variant=None,
+    ) -> bool:
+        future = self.submit_visible(uid, view, run=run, variant=variant)
+        return self._resolve(future)
+
+    def drain_once(self) -> int:
+        """Take one scheduling step on the caller's thread (no linger).
+
+        Pops up to ``max_batch`` queued requests, serves them as grouped
+        engine calls and returns how many were answered — the deterministic,
+        threadless way to run the scheduler (tests, single-threaded tools).
+        """
+        with self._cond:
+            count = min(len(self._queue), self._policy.max_batch)
+            batch = [self._queue.popleft() for _ in range(count)]
+            if count:
+                self._cond.notify_all()
+        if batch:
+            self._process(batch)
+        return len(batch)
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def stats(self) -> ServerStats:
+        with self._stats_lock:
+            return ServerStats(
+                submitted=self._submitted,
+                answered=self._answered,
+                batches=self._batches,
+                engine_calls=self._engine_calls,
+                coalesced=self._coalesced,
+                largest_batch=self._largest_batch,
+                queue_peak=self._queue_peak,
+                probes=self._probes,
+                reopens=self._reopens,
+            )
+
+    @property
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _enqueue(self, request: _Request) -> Future:
+        with self._cond:
+            if self._stopping:
+                raise RuntimeError("provenance server is stopped")
+            while len(self._queue) >= self._policy.max_queue:
+                if not self._threads:
+                    raise RuntimeError(
+                        "request queue is full and no workers are running; "
+                        "start() the server or drain_once() between submissions"
+                    )
+                self._cond.wait(0.05)
+                if self._stopping:
+                    raise RuntimeError("provenance server is stopped")
+            self._queue.append(request)
+            depth = len(self._queue)
+            self._cond.notify_all()
+        with self._stats_lock:
+            self._submitted += 1
+            if depth > self._queue_peak:
+                self._queue_peak = depth
+        return request.future
+
+    def _resolve(self, future: Future) -> bool:
+        if not self._threads:
+            while not future.done():
+                if self.drain_once() == 0:
+                    # Empty queue but unresolved: a concurrent inline caller
+                    # popped the request into its in-flight batch — wait for
+                    # that drain (or a stop()) to settle the future.
+                    try:
+                        return future.result(timeout=0.05)
+                    except FuturesTimeoutError:
+                        continue
+        return future.result()
+
+    def _worker(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                return
+            try:
+                self._process(batch)
+            except Exception as exc:
+                # A fault outside the per-group guards (e.g. a probe hitting
+                # a corrupt file) must not kill the worker: a dead worker
+                # with live submitters is a silent deadlock.  Fail this
+                # batch's still-pending futures and keep serving.
+                self.last_error = exc
+                for request in batch:
+                    _safe_set_exception(request.future, exc)
+
+    def _collect_batch(self) -> "list[_Request] | None":
+        policy = self._policy
+        with self._cond:
+            while True:
+                while not self._queue and not self._stopping:
+                    self._cond.wait()
+                if not self._queue:
+                    return None  # stopping, and the queue is drained
+                if (
+                    policy.max_linger_us > 0
+                    and len(self._queue) < policy.max_batch
+                    and not self._stopping
+                ):
+                    # Hold the first request briefly: under concurrency the
+                    # linger converts a stream of singletons into one batch.
+                    deadline = time.monotonic() + policy.max_linger_us / 1e6
+                    while len(self._queue) < policy.max_batch and not self._stopping:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(remaining)
+                if not self._queue:
+                    continue  # another worker took everything while we lingered
+                count = min(len(self._queue), policy.max_batch)
+                batch = [self._queue.popleft() for _ in range(count)]
+                self._cond.notify_all()  # wake blocked submitters
+                return batch
+
+    def _process(self, batch: "list[_Request]") -> None:
+        groups: dict[tuple, list[_Request]] = {}
+        for request in batch:
+            groups.setdefault(request.key, []).append(request)
+        served_runs: dict[str, int] = {}
+        for key, members in groups.items():
+            kind, run = key[0], key[1]
+            view = members[0].view
+            variant = members[0].variant
+            try:
+                if kind == _DEPENDS:
+                    answers = self._engine.depends_batch(
+                        [(m.d1, m.d2) for m in members], view, run=run, variant=variant
+                    )
+                else:
+                    answers = self._engine.is_visible_batch(
+                        [m.d1 for m in members], view, run=run, variant=variant
+                    )
+            except Exception as exc:
+                for member in members:
+                    _safe_set_exception(member.future, exc)
+                continue
+            for member, answer in zip(members, answers):
+                _safe_set_result(member.future, answer)
+            served_runs[run] = served_runs.get(run, 0) + len(members)
+        with self._stats_lock:
+            self._batches += 1
+            self._engine_calls += len(groups)
+            self._answered += len(batch)
+            self._coalesced += sum(
+                len(members) for members in groups.values() if len(members) > 1
+            )
+            if len(batch) > self._largest_batch:
+                self._largest_batch = len(batch)
+        for run, count in served_runs.items():
+            self._note_served(run, count)
+
+    def _note_served(self, run: str, count: int) -> None:
+        """Advance the run's probe backoff; probe + remap when a bound fires."""
+        now = self._clock()
+        policy = self._reopen_policy
+        with self._stats_lock:
+            state = self._probe_state.get(run)
+            if state is None:
+                state = self._probe_state[run] = [0, now]
+            state[0] += count
+            if (
+                state[0] < policy.after_queries
+                and now - state[1] < policy.after_seconds
+            ):
+                return
+            state[0] = 0
+            state[1] = now
+            self._probes += 1
+        try:
+            reopened = self._engine.maybe_reopen(run)
+        except LabelingError as exc:
+            if run in self._engine.run_ids:
+                # A registered run failing to remap is a real fault (foreign
+                # specification, shrunk file) — record it for operators and
+                # re-raise: inline callers see it directly, worker threads
+                # keep serving the old mapping with the fault pinned on
+                # :attr:`last_error` (the batch's answers already resolved).
+                self.last_error = exc
+                raise
+            return  # benign: the run was detached between batch and probe
+        if reopened:
+            with self._stats_lock:
+                self._reopens += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProvenanceServer(workers={len(self._threads)}, "
+            f"pending={self.pending}, running={self.running})"
+        )

@@ -32,7 +32,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.engine.engine import QueryEngine, grammar_fingerprint
-from repro.errors import LabelingError
+from repro.errors import LabelingError, SerializationError
 from repro.store import (
     CheckpointResult,
     checkpoint_batch,
@@ -40,6 +40,7 @@ from repro.store import (
     run_file_info,
 )
 from repro.store.compaction import CompactionResult, compact
+from repro.store.lockfile import DEFAULT_STALE_AFTER, FileLease, LeaseHeldError
 
 __all__ = ["CheckpointPolicy", "LifecycleStats", "SweepResult", "RunLifecycleManager"]
 
@@ -61,6 +62,15 @@ class CheckpointPolicy:
     every_events: int | None = 1024
     every_seconds: float | None = 30.0
     compact_after_segments: int | None = None
+    #: Compact when the *measured* read amplification of the run file —
+    #: segmented bytes per compacted byte, i.e. the dead section-table chain
+    #: plus per-extent page padding
+    #: (:attr:`repro.store.RunFileInfo.read_amplification`) — reaches this
+    #: ratio.  Unlike the raw segment-count trigger this tracks what a
+    #: rewrite actually reclaims: many large segments barely amplify and are
+    #: left alone, while a chain of tiny flushes compacts early.  ``None``
+    #: disables the amplification trigger; either trigger firing compacts.
+    compact_amplification: float | None = None
 
     def __post_init__(self) -> None:
         if self.every_events is None and self.every_seconds is None:
@@ -73,6 +83,11 @@ class CheckpointPolicy:
             raise ValueError("every_seconds must be positive")
         if self.compact_after_segments is not None and self.compact_after_segments < 2:
             raise ValueError("compact_after_segments must be at least 2")
+        if self.compact_amplification is not None and self.compact_amplification <= 1.0:
+            raise ValueError(
+                "compact_amplification must exceed 1.0 (a compacted file has "
+                "amplification exactly 1.0)"
+            )
 
 
 @dataclass(frozen=True)
@@ -111,6 +126,13 @@ class _ManagedRun:
     policy: CheckpointPolicy
     #: Serialises segment appends against compaction for this file.
     file_lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Cross-process writer lease on the run file (``None`` when disabled).
+    #: Normally held from ``manage()`` on; acquisition is deferred (and
+    #: retried per flush) when the file's directory does not exist yet.
+    lease: FileLease | None = None
+    #: Chain length of the last amplification scan that said "not due" —
+    #: sweeps skip re-scanning an unchanged chain (one page read per segment).
+    amp_clean_segments: int = 0
     flushed_items: int = 0
     flushed_paths: int = 0
     flushed_nodes: int = 0
@@ -161,11 +183,19 @@ class RunLifecycleManager:
         policy: CheckpointPolicy | None = None,
         poll_interval: float = 0.05,
         clock=time.monotonic,
+        use_leases: bool = True,
+        lease_stale_after: float = DEFAULT_STALE_AFTER,
     ) -> None:
         self._engine = engine
         self._policy = policy or CheckpointPolicy()
         self._poll_interval = poll_interval
         self._clock = clock
+        #: Cross-process safety: every managed run file is claimed with a
+        #: :class:`~repro.store.FileLease` so a manager in another process
+        #: cannot append to or compact the same file.  ``use_leases=False``
+        #: opts out (e.g. filesystems without usable advisory locking).
+        self._use_leases = use_leases
+        self._lease_stale_after = lease_stale_after
         self._runs: dict[str, _ManagedRun] = {}
         self._lock = threading.Lock()
         self._thread: threading.Thread | None = None
@@ -200,34 +230,55 @@ class RunLifecycleManager:
         if labeler is None:
             labeler = self._engine.run_labeler(run_id)
         path = os.fspath(path)
-        flushed_items = flushed_paths = flushed_nodes = n_segments = 0
-        if os.path.exists(path):
-            info = run_file_info(path)
-            flushed_items, flushed_paths = info.n_items, info.n_paths
-            flushed_nodes, n_segments = info.n_nodes, info.n_segments
-        managed = _ManagedRun(
-            run_id=run_id,
-            path=path,
-            labeler=labeler,
-            node_table=getattr(labeler.tree, "nodes", None),
-            policy=policy or self._policy,
-            flushed_items=flushed_items,
-            flushed_paths=flushed_paths,
-            flushed_nodes=flushed_nodes,
-            last_flush=self._clock(),
-            n_segments=n_segments,
-        )
-        with self._lock:
-            if run_id in self._runs:
-                raise LabelingError(f"run {run_id!r} is already managed")
-            key = os.path.realpath(path)
-            for other in self._runs.values():
-                if os.path.realpath(other.path) == key:
-                    raise LabelingError(
-                        f"run file {path!r} is already managed for run "
-                        f"{other.run_id!r}; each run needs its own file"
-                    )
-            self._runs[run_id] = managed
+        lease: FileLease | None = None
+        if self._use_leases:
+            lease = FileLease(path, stale_after=self._lease_stale_after)
+            try:
+                lease.acquire()
+            except LeaseHeldError:
+                # Another *process* is this file's writer: refuse loudly.
+                raise
+            except FileNotFoundError:
+                # The file's directory does not exist yet; the first flush
+                # creates it (or fails with its own error) and every flush
+                # retries the acquisition until it sticks.  Other OSErrors
+                # (e.g. a lock file we may not create) stay loud — writing
+                # anyway would silently drop the cross-process guarantee.
+                pass
+        try:
+            flushed_items = flushed_paths = flushed_nodes = n_segments = 0
+            if os.path.exists(path):
+                info = run_file_info(path)
+                flushed_items, flushed_paths = info.n_items, info.n_paths
+                flushed_nodes, n_segments = info.n_nodes, info.n_segments
+            managed = _ManagedRun(
+                run_id=run_id,
+                path=path,
+                labeler=labeler,
+                node_table=getattr(labeler.tree, "nodes", None),
+                policy=policy or self._policy,
+                lease=lease,
+                flushed_items=flushed_items,
+                flushed_paths=flushed_paths,
+                flushed_nodes=flushed_nodes,
+                last_flush=self._clock(),
+                n_segments=n_segments,
+            )
+            with self._lock:
+                if run_id in self._runs:
+                    raise LabelingError(f"run {run_id!r} is already managed")
+                key = os.path.realpath(path)
+                for other in self._runs.values():
+                    if os.path.realpath(other.path) == key:
+                        raise LabelingError(
+                            f"run file {path!r} is already managed for run "
+                            f"{other.run_id!r}; each run needs its own file"
+                        )
+                self._runs[run_id] = managed
+        except Exception:
+            if lease is not None:
+                lease.release()
+            raise
 
     def unmanage(self, run_id: str, *, flush: bool = True) -> None:
         """Stop managing a run (flushing its final delta first by default).
@@ -247,6 +298,8 @@ class RunLifecycleManager:
         with self._lock:
             if self._runs.get(run_id) is managed:
                 del self._runs[run_id]
+        if managed.lease is not None:
+            managed.lease.release()
 
     @property
     def managed_runs(self) -> tuple[str, ...]:
@@ -310,6 +363,12 @@ class RunLifecycleManager:
         with self._lock:
             runs = list(self._runs.values())
             self._sweeps += 1
+        for managed in runs:
+            # Refresh writer-lease heartbeats every sweep (a no-op under
+            # flock, where the kernel tracks liveness; the O_EXCL fallback
+            # needs them so contenders do not take a live lease over).
+            if managed.lease is not None and managed.lease.held:
+                managed.lease.heartbeat()
         checkpoints: list[CheckpointResult] = []
         flush_error: Exception | None = None
         try:
@@ -322,8 +381,7 @@ class RunLifecycleManager:
         compactions: list[CompactionResult] = []
         reopened: list[str] = []
         for managed in runs:
-            threshold = managed.policy.compact_after_segments
-            if threshold is None or managed.n_segments < threshold:
+            if not self._compaction_due(managed):
                 continue
             result = self._compact_managed(managed)
             if result.compacted:
@@ -379,6 +437,52 @@ class RunLifecycleManager:
 
     # -- internals ---------------------------------------------------------------
 
+    def _compaction_due(self, managed: _ManagedRun) -> bool:
+        """Whether either compaction trigger (segments, amplification) fires."""
+        if managed.n_segments < 2:
+            return False  # nothing to merge
+        policy = managed.policy
+        if (
+            policy.compact_after_segments is not None
+            and managed.n_segments >= policy.compact_after_segments
+        ):
+            return True
+        if policy.compact_amplification is None:
+            return False
+        if managed.n_segments == managed.amp_clean_segments:
+            return False  # chain unchanged since the last "not due" scan
+        try:
+            info = run_file_info(managed.path, estimate_amplification=True)
+        except (OSError, SerializationError):
+            # Mid-swap or not-yet-created file: skip this sweep's estimate.
+            return False
+        amplification = info.read_amplification
+        if (
+            amplification is not None
+            and amplification >= policy.compact_amplification
+        ):
+            return True
+        managed.amp_clean_segments = managed.n_segments
+        return False
+
+    def _ensure_lease(self, managed: _ManagedRun) -> None:
+        """Retry a deferred lease acquisition before writing to the file.
+
+        Raises :class:`~repro.store.LeaseHeldError` when another process
+        turns out to be the file's writer; ``FileNotFoundError`` (the
+        directory still does not exist) is left for the checkpoint itself
+        to report, while any other acquisition failure stays loud.
+        """
+        lease = managed.lease
+        if lease is None or lease.held:
+            return
+        try:
+            lease.acquire()
+        except LeaseHeldError:
+            raise
+        except FileNotFoundError:
+            pass  # directory still missing; the checkpoint reports it
+
     def _due(self, managed: _ManagedRun, now: float) -> bool:
         if not managed.has_pending():
             return False
@@ -403,25 +507,45 @@ class RunLifecycleManager:
         for managed in due:
             managed.file_lock.acquire()
         try:
-            try:
-                results = checkpoint_batch(
-                    [(m.path, m.labeler.store, m.node_table) for m in due],
-                    fingerprint=fingerprint,
-                )
-            except Exception:
-                if len(due) == 1:
-                    raise
-                # The batch fails as a unit, so one bad run (unwritable
-                # path, foreign file at its path, ...) must not starve its
-                # siblings: retry per run, keep the healthy flushes,
-                # re-raise the first failure once the rest are durable.
-                return self._flush_individually(due, fingerprint)
-            # Record while the file locks are still held: a racing flush of
-            # the same run must observe the advanced watermark, or its
-            # header resync followed by our late "+= delta" would inflate
-            # the counter past the truth and silently skip later flushes.
-            for managed, result in zip(due, results):
-                self._record_flush(managed, result)
+            # A run whose writer lease belongs to another process must not be
+            # flushed (its file is someone else's to append to), but it must
+            # not starve its siblings either: flush the leased runs, then
+            # surface the conflict.
+            lease_error: Exception | None = None
+            flushable: list[_ManagedRun] = []
+            for managed in due:
+                try:
+                    self._ensure_lease(managed)
+                except LeaseHeldError as exc:
+                    if lease_error is None:
+                        lease_error = exc
+                else:
+                    flushable.append(managed)
+            results: list[CheckpointResult] = []
+            if flushable:
+                try:
+                    results = checkpoint_batch(
+                        [(m.path, m.labeler.store, m.node_table) for m in flushable],
+                        fingerprint=fingerprint,
+                    )
+                except Exception:
+                    if len(flushable) == 1 and lease_error is None:
+                        raise
+                    # The batch fails as a unit, so one bad run (unwritable
+                    # path, foreign file at its path, ...) must not starve
+                    # its siblings: retry per run, keep the healthy flushes,
+                    # re-raise the first failure once the rest are durable.
+                    results = self._flush_individually(flushable, fingerprint)
+                else:
+                    # Record while the file locks are still held: a racing
+                    # flush of the same run must observe the advanced
+                    # watermark, or its header resync followed by our late
+                    # "+= delta" would inflate the counter past the truth
+                    # and silently skip later flushes.
+                    for managed, result in zip(flushable, results):
+                        self._record_flush(managed, result)
+            if lease_error is not None:
+                raise lease_error
             return results
         finally:
             for managed in due:
@@ -477,7 +601,9 @@ class RunLifecycleManager:
 
     def _compact_managed(self, managed: _ManagedRun) -> CompactionResult:
         with managed.file_lock:
-            result = compact(managed.path)
+            self._ensure_lease(managed)
+            lease = managed.lease if managed.lease is not None and managed.lease.held else None
+            result = compact(managed.path, lease=lease, use_lease=self._use_leases)
             if result.compacted:
                 # Re-read the chain length while still holding the file
                 # lock: a flush on another thread must not have its count

@@ -39,6 +39,12 @@ from repro.store.compaction import (
     CompactionResult,
     compact,
 )
+from repro.store.lockfile import (
+    DEFAULT_STALE_AFTER,
+    FileLease,
+    LeaseHeldError,
+    LeaseInfo,
+)
 from repro.store.persist import (
     FORMAT_MAGIC,
     FORMAT_VERSION,
@@ -75,6 +81,10 @@ __all__ = [
     "run_file_info",
     "compact",
     "CompactionResult",
+    "FileLease",
+    "LeaseHeldError",
+    "LeaseInfo",
+    "DEFAULT_STALE_AFTER",
     "MappedRunStore",
     "MappedLabelStore",
     "MappedPathTable",

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SerializationError
+from repro.store.lockfile import FileLease
 from repro.store.persist import (
     _DTYPE_BLOB,
     PAGE_SIZE,
@@ -187,15 +188,46 @@ def _verify_against_source(source: MappedRunStore, merged: MappedRunStore) -> No
         )
 
 
-def compact(path) -> CompactionResult:
+def compact(
+    path, *, lease: FileLease | None = None, use_lease: bool = True
+) -> CompactionResult:
     """Rewrite a segmented run file into one extent per column, atomically.
 
     See the module docstring for the full contract.  Returns a
     :class:`CompactionResult`; when the file already has at most one segment
     nothing is rewritten (``compacted=False``) but stale compaction
     temporaries are still GC'd.
+
+    The rewrite runs under the file's cross-process writer lease
+    (:class:`~repro.store.lockfile.FileLease`): with ``lease=None`` one is
+    acquired for the duration — raising
+    :class:`~repro.store.lockfile.LeaseHeldError` if another *process* is
+    the writer — while a caller that already holds the lease (the lifecycle
+    manager) passes it in and keeps it.  In-process lease sharing means a
+    bare ``compact(path)`` still works alongside a manager of the same
+    process; serialising those two is the manager's per-file threading lock.
+    ``use_lease=False`` skips the lease entirely (for filesystems without
+    usable advisory locking — the caller then owns cross-process safety);
+    it is ignored when an explicit ``lease`` is passed.
     """
     file_path = os.fspath(path)
+    if lease is None and not use_lease:
+        return _compact_locked(file_path)
+    if lease is not None:
+        if not lease.held:
+            raise SerializationError(
+                "compact() was passed a writer lease that is not held"
+            )
+        if os.path.realpath(lease.path) != os.path.realpath(file_path):
+            raise SerializationError(
+                f"writer lease guards {lease.path!r}, not {file_path!r}"
+            )
+        return _compact_locked(file_path)
+    with FileLease(file_path):
+        return _compact_locked(file_path)
+
+
+def _compact_locked(file_path: str) -> CompactionResult:
     removed = _gc_stale_temps(file_path)
     source = MappedRunStore(file_path)
     try:

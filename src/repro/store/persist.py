@@ -704,19 +704,89 @@ class RunFileInfo:
     generation: int
     fingerprint: int
     size_bytes: int
+    #: Estimated size of the file's single-segment (compacted) rewrite —
+    #: header page, one section-table page, page-aligned merged extents.
+    #: ``None`` unless :func:`run_file_info` was asked to scan the segment
+    #: chain (``estimate_amplification=True``).
+    compacted_bytes_estimate: int | None = None
+
+    @property
+    def read_amplification(self) -> float | None:
+        """Measured amplification: current bytes per compacted byte.
+
+        Counts what compaction would actually reclaim — the per-segment
+        section-table pages and per-extent page padding of the chain ("dead
+        chain + padding").  ``None`` when the chain was not scanned; ``1.0``
+        for an already-compacted (or empty) file.
+        """
+        if self.compacted_bytes_estimate is None:
+            return None
+        if self.compacted_bytes_estimate <= 0:
+            return 1.0
+        return max(1.0, self.size_bytes / self.compacted_bytes_estimate)
 
 
-def run_file_info(path) -> RunFileInfo:
+def _estimate_compacted_bytes(column_nbytes: dict[int, int]) -> int:
+    """Size of a one-segment rewrite of columns totalling ``column_nbytes``.
+
+    Mirrors :func:`_write_segment_at`'s layout (one header page, one
+    section-table page, each merged extent padded to a page).  Blob columns
+    gain a few join separators when merged; the estimate ignores them — it
+    guides a compaction *policy*, not an allocator.
+    """
+    total = 2 * PAGE_SIZE  # file header page + the single section-table page
+    for nbytes in column_nbytes.values():
+        total += _align(nbytes)
+    return total
+
+
+def run_file_info(path, *, estimate_amplification: bool = False) -> RunFileInfo:
     """Read a run file's header watermarks (one small read, no mmap).
 
     The lifecycle manager uses this to resume watermark accounting over an
     existing file and to decide when a segment chain is worth compacting;
     mapped readers use it (via :meth:`MappedRunStore.current_generation`) to
     detect that a compacted generation has been swapped in under their path.
+
+    With ``estimate_amplification=True`` the per-segment section tables are
+    also read (one extra page read per segment) and the result carries a
+    :attr:`RunFileInfo.compacted_bytes_estimate`, from which
+    :attr:`RunFileInfo.read_amplification` measures how many bytes of dead
+    chain and padding a compaction would reclaim.
     """
     file_path = os.fspath(path)
+    compacted_estimate = None
     with open(file_path, "rb") as handle:
         header = _unpack_header(handle.read(_HEADER.size))
+        if estimate_amplification:
+            column_nbytes: dict[int, int] = {}
+            offset = PAGE_SIZE
+            for _ in range(header.n_segments):
+                handle.seek(offset)
+                page = handle.read(_SEGMENT.size)
+                if len(page) < _SEGMENT.size:
+                    raise SerializationError(
+                        "truncated run store: missing segment header"
+                    )
+                magic, n_sections, segment_end = _SEGMENT.unpack(page)
+                if magic != _SEGMENT_MAGIC:
+                    raise SerializationError(
+                        f"corrupt run store: bad segment magic at offset {offset}"
+                    )
+                table = handle.read(n_sections * _SECTION.size)
+                if len(table) < n_sections * _SECTION.size:
+                    raise SerializationError(
+                        "truncated run store: section table cut off"
+                    )
+                for index in range(n_sections):
+                    sid, _, _, _, _, nbytes = _SECTION.unpack_from(
+                        table, index * _SECTION.size
+                    )
+                    column_nbytes[sid] = column_nbytes.get(sid, 0) + nbytes
+                if segment_end <= offset:
+                    raise SerializationError("corrupt run store: bad segment end")
+                offset = segment_end
+            compacted_estimate = _estimate_compacted_bytes(column_nbytes)
     return RunFileInfo(
         path=file_path,
         n_paths=header.n_paths,
@@ -726,6 +796,7 @@ def run_file_info(path) -> RunFileInfo:
         generation=header.generation,
         fingerprint=header.fingerprint,
         size_bytes=os.path.getsize(file_path),
+        compacted_bytes_estimate=compacted_estimate,
     )
 
 
@@ -1311,6 +1382,22 @@ class MappedRunStore:
         incremental checkpoint adds one per column it touched.
         """
         return {sid: len(parts) for sid, parts in self._extents.items()}
+
+    def read_amplification(self) -> float:
+        """Bytes this mapping serves per byte its compacted rewrite would.
+
+        Computed from the already-parsed section tables (no extra I/O): the
+        difference is the chain's per-segment section-table pages plus the
+        per-extent page padding that merging the extents reclaims.  ``1.0``
+        for a freshly compacted file.
+        """
+        column_nbytes: dict[int, int] = {}
+        for sid, parts in self._extents.items():
+            column_nbytes[sid] = sum(part.nbytes for part in parts)
+        estimate = _estimate_compacted_bytes(column_nbytes)
+        if estimate <= 0:
+            return 1.0
+        return max(1.0, self._header.end_offset / estimate)
 
     def label(self, uid: int):
         """Materialise the :class:`~repro.core.labels.DataLabel` of one item."""

@@ -102,6 +102,22 @@ def test_detach_releases_the_mapping(served, tmp_path):
     )
 
 
+def test_attach_under_a_registered_run_id_is_rejected_not_replaced(served):
+    """Regression: re-attaching a live run id must not leak the old mapping."""
+    engine, _, view, pairs, run_file = served
+    engine.attach(run_file, run_id="dup")
+    live = engine._shards["dup"]
+    expected = engine.depends_batch(pairs, view, run="dup")
+    with pytest.raises(LabelingError, match="already registered.*detach"):
+        engine.attach(run_file, run_id="dup")
+    # The live shard was neither replaced nor closed — same mapping, same
+    # arena, still serving — and no second mapping of the file leaked.
+    assert engine._shards["dup"] is live
+    assert not live.mapped._file.closed
+    assert engine.depends_batch(pairs, view, run="dup") == expected
+    engine.detach("dup")
+
+
 # -- reopen --------------------------------------------------------------------
 
 

@@ -1,0 +1,313 @@
+"""Tests for the persistent hot-matrix cache (serve/matrix_cache.py)."""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.core import FVLScheme, FVLVariant
+from repro.core.run_labeler import RunLabeler
+from repro.engine import DEFAULT_RUN, QueryEngine
+from repro.errors import LabelingError, SerializationError
+from repro.model.projection import ViewProjection
+from repro.serve import ProvenanceServer, load_hot_matrices, matrix_cache_path, save_hot_matrices
+from repro.serve.matrix_cache import (
+    _FILE_HEADER,
+    _STATE_HEADER,
+    CACHE_MAGIC,
+    CACHE_VERSION,
+    view_fingerprint,
+)
+from repro.store import checkpoint_run, compact
+from repro.bench import sample_query_pairs
+from repro.workloads import build_bioaid_specification, random_run, random_view
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return build_bioaid_specification()
+
+
+@pytest.fixture(scope="module")
+def scheme(spec):
+    return FVLScheme(spec)
+
+
+@pytest.fixture(scope="module")
+def workload(spec):
+    derivation = random_run(spec, 250, seed=31)
+    view = random_view(spec, 6, seed=32, mode="grey", name="hot-view")
+    items = sorted(ViewProjection(derivation.run, view).visible_items)
+    pairs = sample_query_pairs(items, 300, seed=33)
+    return derivation, view, pairs
+
+
+@pytest.fixture()
+def saved(scheme, workload, tmp_path):
+    """A 2-segment run file plus a matrix cache written by a warm 'leader'."""
+    derivation, view, pairs = workload
+    reference = QueryEngine(scheme)
+    reference.add_run(DEFAULT_RUN, derivation)
+    expected = reference.depends_batch(pairs, view, variant=FVLVariant.DEFAULT)
+    run_file = tmp_path / "hot.fvl"
+    labeler = RunLabeler(scheme.index)
+    events = derivation.events
+    half = len(events) // 2
+    for event in events[:half]:
+        labeler(event)
+    checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+    for event in events[half:]:
+        labeler(event)
+    checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+
+    leader = QueryEngine(scheme)
+    leader.attach(run_file)
+    assert leader.depends_batch(pairs, view) == expected
+    entries = save_hot_matrices(leader, DEFAULT_RUN)
+    assert entries > 0
+    return run_file, view, pairs, expected, entries
+
+
+def _pair_entries(engine, view, variant=FVLVariant.DEFAULT):
+    state = engine.decoded_state(view, variant)
+    return dict(state.decode_cache.pair_matrices)
+
+
+# -- save ----------------------------------------------------------------------
+
+
+def test_save_requires_positive_budget(scheme):
+    with pytest.raises(ValueError, match="max_entries"):
+        save_hot_matrices(QueryEngine(scheme), max_entries=0)
+
+
+def test_save_labelled_shard_needs_explicit_run_file(scheme, workload, tmp_path):
+    derivation, view, pairs = workload
+    engine = QueryEngine(scheme)
+    engine.add_run(DEFAULT_RUN, derivation)
+    engine.depends_batch(pairs, view)
+    with pytest.raises(LabelingError, match="run_file"):
+        save_hot_matrices(engine, DEFAULT_RUN)
+    run_file = tmp_path / "labelled.fvl"
+    engine.checkpoint(run_file)
+    # The labelled shard interns into the shared arena the checkpoint wrote,
+    # so its hot matrices are valid against the file.
+    assert save_hot_matrices(engine, DEFAULT_RUN, run_file=run_file) > 0
+
+
+def test_save_ranks_by_hits_and_respects_budget(saved, scheme):
+    run_file, view, pairs, expected, entries = saved
+    engine = QueryEngine(scheme)
+    engine.attach(run_file)
+    assert engine.depends_batch(pairs, view) == expected
+    # Re-query one pair many times so its matrix is unambiguously hottest.
+    hot_pair = pairs[0]
+    for _ in range(5):
+        engine.depends_batch([hot_pair] * 3, view)
+    assert save_hot_matrices(engine, DEFAULT_RUN, max_entries=1) == 1
+
+    follower = QueryEngine(scheme)
+    follower.add_view(view)
+    follower.attach(run_file)
+    assert load_hot_matrices(follower) == 1
+    (key,) = _pair_entries(follower, view)
+    state = engine.decoded_state(view, FVLVariant.DEFAULT)
+    hottest = max(
+        (k for k in state.decode_cache.pair_matrices if k[0] == engine.shard_arena()),
+        key=lambda k: state.decode_cache.pair_hits.get(k, 0),
+    )
+    assert (key[1], key[2]) == (hottest[1], hottest[2])
+
+
+def test_save_writes_an_empty_cache_when_nothing_is_hot(saved, scheme):
+    run_file, view, pairs, expected, _ = saved
+    cold = QueryEngine(scheme)
+    cold.attach(run_file)
+    assert save_hot_matrices(cold, DEFAULT_RUN) == 0
+    follower = QueryEngine(scheme)
+    follower.add_view(view)
+    follower.attach(run_file)
+    assert load_hot_matrices(follower) == 0  # honest empty file, not an error
+
+
+# -- load ----------------------------------------------------------------------
+
+
+def test_load_round_trip_warms_and_answers_bit_identical(saved, scheme):
+    run_file, view, pairs, expected, entries = saved
+    follower = QueryEngine(scheme)
+    follower.add_view(view)
+    follower.attach(run_file)
+    assert not _pair_entries(follower, view)
+    warmed = load_hot_matrices(follower)
+    assert warmed == entries
+    seeded = _pair_entries(follower, view)
+    assert len(seeded) == entries
+    assert follower.depends_batch(pairs, view) == expected
+
+
+def test_load_requires_an_attached_shard(saved, scheme, workload):
+    derivation, _, _ = workload
+    engine = QueryEngine(scheme)
+    engine.add_run(DEFAULT_RUN, derivation)
+    with pytest.raises(LabelingError, match="attached"):
+        load_hot_matrices(engine)
+
+
+def test_load_missing_cache_is_zero_not_an_error(scheme, workload, tmp_path):
+    derivation, view, pairs = workload
+    engine = QueryEngine(scheme)
+    engine.add_run(DEFAULT_RUN, derivation)
+    run_file = tmp_path / "nocache.fvl"
+    engine.checkpoint(run_file)
+    follower = QueryEngine(scheme)
+    follower.attach(run_file)
+    assert load_hot_matrices(follower) == 0
+
+
+def test_load_skips_unregistered_and_matrix_free_sections(saved, scheme):
+    run_file, view, pairs, expected, entries = saved
+    follower = QueryEngine(scheme)  # view never registered
+    follower.attach(run_file)
+    assert load_hot_matrices(follower) == 0
+    assert follower.depends_batch(pairs, view) == expected  # cold but correct
+
+
+def test_load_never_clobbers_decoded_matrices(saved, scheme):
+    run_file, view, pairs, expected, entries = saved
+    follower = QueryEngine(scheme)
+    follower.add_view(view)
+    follower.attach(run_file)
+    assert follower.depends_batch(pairs, view) == expected  # decode first
+    decoded = _pair_entries(follower, view)
+    warmed = load_hot_matrices(follower)
+    after = _pair_entries(follower, view)
+    for key, matrix in decoded.items():
+        assert after[key] is matrix  # the live matrix survived the seeding
+    assert warmed == entries - len(decoded)
+
+
+def test_cache_survives_compaction_of_the_same_run(saved, scheme):
+    """Path ids are immutable, so a pre-compaction cache warms the new generation."""
+    run_file, view, pairs, expected, entries = saved
+    assert compact(run_file).compacted
+    follower = QueryEngine(scheme)
+    follower.add_view(view)
+    follower.attach(run_file)
+    assert load_hot_matrices(follower) == entries
+    assert follower.depends_batch(pairs, view) == expected
+
+
+def test_load_rejects_foreign_specification(saved, scheme):
+    run_file, view, pairs, expected, _ = saved
+    cache_file = matrix_cache_path(run_file)
+    raw = bytearray(open(cache_file, "rb").read())
+    header = list(_FILE_HEADER.unpack_from(raw))
+    header[2] ^= 0xDEADBEEF  # flip the recorded grammar fingerprint
+    raw[: _FILE_HEADER.size] = _FILE_HEADER.pack(*header)
+    with open(cache_file, "wb") as handle:
+        handle.write(raw)
+    follower = QueryEngine(scheme)
+    follower.add_view(view)
+    follower.attach(run_file)
+    with pytest.raises(SerializationError, match="specification"):
+        load_hot_matrices(follower)
+
+
+def test_load_rejects_newer_generation_cache(saved, scheme, tmp_path):
+    run_file, view, pairs, expected, entries = saved
+    stale_copy = tmp_path / "stale.fvl"
+    shutil.copyfile(run_file, stale_copy)
+    assert compact(run_file).compacted  # the real file moves to generation 1
+    leader = QueryEngine(scheme)
+    leader.attach(run_file)
+    assert leader.depends_batch(pairs, view) == expected
+    save_hot_matrices(leader, DEFAULT_RUN)  # cache tagged generation 1
+
+    follower = QueryEngine(scheme)
+    follower.add_view(view)
+    follower.attach(stale_copy)  # still generation 0
+    with pytest.raises(SerializationError, match="generation"):
+        load_hot_matrices(
+            follower, cache_path=matrix_cache_path(run_file)
+        )
+
+
+def test_load_rejects_bad_magic_and_truncation(saved, scheme):
+    run_file, view, pairs, expected, _ = saved
+    cache_file = matrix_cache_path(run_file)
+    follower = QueryEngine(scheme)
+    follower.add_view(view)
+    follower.attach(run_file)
+
+    raw = open(cache_file, "rb").read()
+    with open(cache_file, "wb") as handle:
+        handle.write(raw[: _FILE_HEADER.size + 8])  # cut mid-section
+    with pytest.raises(SerializationError, match="truncated"):
+        load_hot_matrices(follower)
+
+    with open(cache_file, "wb") as handle:
+        handle.write(b"NOTACACH" + raw[8:])
+    with pytest.raises(SerializationError, match="magic"):
+        load_hot_matrices(follower)
+
+    with open(cache_file, "wb") as handle:
+        handle.write(
+            _FILE_HEADER.pack(CACHE_MAGIC, CACHE_VERSION + 1, 0, 0, 0, 0)
+        )
+    with pytest.raises(SerializationError, match="version"):
+        load_hot_matrices(follower)
+
+
+def test_load_converts_garbled_sections_to_serialization_error(saved, scheme):
+    """Corruption past the header (bad UTF-8, absurd dims) is one error type."""
+    run_file, view, pairs, expected, _ = saved
+    follower = QueryEngine(scheme)
+    follower.add_view(view)
+    follower.attach(run_file)
+    with open(matrix_cache_path(run_file), "wb") as handle:
+        handle.write(_FILE_HEADER.pack(CACHE_MAGIC, CACHE_VERSION, 0, 0, 0, 1))
+        handle.write(_STATE_HEADER.pack(2, 0, 1, 0))
+        handle.write(b"\xff\xfe")  # not UTF-8
+    with pytest.raises(SerializationError, match="corrupt matrix cache"):
+        load_hot_matrices(follower)
+
+
+def test_server_attach_swallows_corrupt_cache(saved, scheme):
+    """A rotten side file must not take serving down — attach proceeds cold."""
+    run_file, view, pairs, expected, _ = saved
+    cache_file = matrix_cache_path(run_file)
+    with open(cache_file, "wb") as handle:
+        handle.write(b"garbage")
+    engine = QueryEngine(scheme)
+    engine.add_view(view)
+    server = ProvenanceServer(engine)
+    mapped, warmed = server.attach(run_file)
+    assert warmed == 0
+    assert isinstance(server.last_warm_error, SerializationError)
+    futures = [server.submit(d1, d2, view) for d1, d2 in pairs]
+    while server.pending:
+        server.drain_once()
+    assert [f.result() for f in futures] == expected
+
+
+def test_view_fingerprint_separates_same_named_views(spec, scheme, workload, tmp_path):
+    derivation, view, pairs = workload
+    impostor = random_view(spec, 6, seed=99, mode="grey", name=view.name)
+    assert view_fingerprint(view) != view_fingerprint(impostor)
+
+    reference = QueryEngine(scheme)
+    reference.add_run(DEFAULT_RUN, derivation)
+    reference.depends_batch(pairs, view)
+    run_file = tmp_path / "fp.fvl"
+    reference.checkpoint(run_file)
+    leader = QueryEngine(scheme)
+    leader.attach(run_file)
+    leader.depends_batch(pairs, view)
+    assert save_hot_matrices(leader, DEFAULT_RUN) > 0
+
+    follower = QueryEngine(scheme)
+    follower.add_view(impostor)  # same name, different structure
+    follower.attach(run_file)
+    assert load_hot_matrices(follower) == 0  # skipped, never guessed at

@@ -449,3 +449,181 @@ def test_path_and_node_only_tails_are_flushed(scheme, tmp_path):
     table.extend_production(a, 3, 1)
     manager.unmanage("r")
     assert run_file_info(path).n_paths == len(table)
+
+
+# -- amplification-triggered compaction ----------------------------------------
+
+
+def test_policy_validates_compact_amplification():
+    with pytest.raises(ValueError, match="compact_amplification"):
+        CheckpointPolicy(compact_amplification=1.0)
+    CheckpointPolicy(compact_amplification=1.01)  # anything above 1.0 is legal
+
+
+def test_amplification_threshold_triggers_compaction(scheme, spec, tmp_path):
+    """The bytes-ratio trigger compacts a chain of tiny flushes on its own."""
+    derivation = random_run(spec, 300, seed=30)
+    engine = QueryEngine(scheme)
+    manager = RunLifecycleManager(
+        engine,
+        policy=CheckpointPolicy(
+            every_events=1,
+            every_seconds=None,
+            compact_after_segments=None,  # only the measured ratio decides
+            compact_amplification=1.5,
+        ),
+    )
+    labeler = RunLabeler(scheme.index)
+    path = tmp_path / "amplified.fvl"
+    manager.manage("r", path, labeler=labeler)
+    events = derivation.events
+    step = max(1, len(events) // 8)
+    compactions = []
+    for lo in range(0, len(events), step):
+        _stream(labeler, events[lo : lo + step])
+        compactions.extend(manager.poll_once().compactions)
+    manager.unmanage("r")
+    assert compactions, "tiny-flush chain never crossed the amplification bound"
+    assert all(result.compacted for result in compactions)
+    # After the final compaction the measured ratio is back at 1.0 for the
+    # compacted generation, so the trigger cannot re-fire on a merged file.
+    final = run_file_info(path, estimate_amplification=True)
+    if final.n_segments == 1:
+        assert final.read_amplification == 1.0
+
+
+def test_amplification_trigger_measures_before_firing(scheme, spec, tmp_path):
+    """One flush -> a single-segment file: ratio 1.0, nothing to compact."""
+    derivation = random_run(spec, 100, seed=31)
+    engine = QueryEngine(scheme)
+    manager = RunLifecycleManager(
+        engine,
+        policy=CheckpointPolicy(
+            every_events=1, every_seconds=None, compact_amplification=1.1
+        ),
+    )
+    labeler = RunLabeler(scheme.index)
+    manager.manage("r", tmp_path / "single.fvl", labeler=labeler)
+    _stream(labeler, derivation.events)
+    sweep = manager.poll_once()
+    assert len(sweep.checkpoints) == 1
+    assert sweep.compactions == []  # single segment: no chain, no estimate
+
+
+# -- the cross-process writer lease --------------------------------------------
+
+
+def test_manage_holds_the_lease_and_unmanage_releases_it(scheme, spec, tmp_path):
+    from repro.store import FileLease
+
+    engine = QueryEngine(scheme)
+    manager = RunLifecycleManager(engine)
+    labeler = RunLabeler(scheme.index)
+    path = tmp_path / "leased.fvl"
+    manager.manage("r", path, labeler=labeler)
+    managed = manager._runs["r"]
+    assert managed.lease is not None and managed.lease.held
+    assert os.path.exists(managed.lease.lock_path)
+    owner = managed.lease.owner()
+    assert owner is not None and owner.pid == os.getpid()
+    # In-process lease sharing: a bare compact() of the same file coexists
+    # with the manager instead of deadlocking on the kernel lock.
+    _stream(labeler, random_run(spec, 120, seed=32).events)
+    manager.poll_once()
+    assert manager.compact_run("r") is not None
+    manager.unmanage("r")
+    assert not managed.lease.held
+    # Released: a fresh manager (posing as "another process") can take it.
+    with FileLease(path) as probe:
+        assert probe.held
+
+
+def test_use_leases_false_opts_out(scheme, spec, tmp_path):
+    engine = QueryEngine(scheme)
+    manager = RunLifecycleManager(engine, use_leases=False)
+    labeler = RunLabeler(scheme.index)
+    path = tmp_path / "unleased.fvl"
+    manager.manage("r", path, labeler=labeler)
+    assert manager._runs["r"].lease is None
+    # Compaction honours the opt-out too: on a filesystem without advisory
+    # locking a leased compact() would fail every sweep.
+    events = random_run(spec, 120, seed=34).events
+    _stream(labeler, events[: len(events) // 2])
+    manager.flush()
+    _stream(labeler, events[len(events) // 2 :])
+    assert manager.compact_run("r").compacted
+    assert not os.path.exists(str(path) + ".lock")
+    manager.unmanage("r")
+
+
+def test_manage_refuses_a_file_whose_writer_is_another_process(
+    scheme, spec, tmp_path
+):
+    """Acceptance: two processes can never both manage one run file."""
+    import subprocess
+    import sys
+    import textwrap
+
+    from repro.store import LeaseHeldError
+
+    path = tmp_path / "contested.fvl"
+    ready = tmp_path / "ready"
+    release = tmp_path / "release"
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    holder = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            textwrap.dedent(
+                f"""
+                import os, sys, time
+                sys.path.insert(0, {src!r})
+                from repro.store import FileLease
+                lease = FileLease({os.fspath(path)!r}).acquire()
+                open({os.fspath(ready)!r}, "w").close()
+                deadline = time.monotonic() + 30
+                while not os.path.exists({os.fspath(release)!r}):
+                    if time.monotonic() > deadline:
+                        sys.exit(2)
+                    time.sleep(0.01)
+                lease.release()
+                """
+            ),
+        ]
+    )
+    try:
+        deadline = time.monotonic() + 30
+        while not ready.exists():
+            assert time.monotonic() < deadline, "lease holder never came up"
+            time.sleep(0.01)
+        engine = QueryEngine(scheme)
+        manager = RunLifecycleManager(engine)
+        labeler = RunLabeler(scheme.index)
+        with pytest.raises(LeaseHeldError, match="writer lease"):
+            manager.manage("r", path, labeler=labeler)
+        assert manager.managed_runs == ()  # the refused run was not half-added
+    finally:
+        release.touch()
+        holder.wait(timeout=30)
+
+
+def test_deferred_lease_is_acquired_by_the_first_healthy_flush(scheme, spec, tmp_path):
+    """A missing directory defers the lease; the flush that creates the file takes it."""
+    engine = QueryEngine(scheme)
+    manager = RunLifecycleManager(
+        engine, policy=CheckpointPolicy(every_events=1, every_seconds=None)
+    )
+    labeler = RunLabeler(scheme.index)
+    missing = tmp_path / "later"
+    path = missing / "r.fvl"
+    manager.manage("r", path, labeler=labeler)
+    managed = manager._runs["r"]
+    assert managed.lease is not None and not managed.lease.held  # deferred
+    _stream(labeler, random_run(spec, 40, seed=33).events)
+    with pytest.raises(OSError):
+        manager.poll_once()  # directory still missing: the flush itself fails
+    missing.mkdir()
+    sweep = manager.poll_once()
+    assert len(sweep.checkpoints) == 1
+    assert managed.lease.held  # the retry took the lease before writing
+    manager.unmanage("r")

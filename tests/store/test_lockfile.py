@@ -1,0 +1,184 @@
+"""Unit tests for the cross-process writer lease (store/lockfile.py)."""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.store import FileLease, LeaseHeldError, LeaseInfo
+from repro.store.lockfile import _lease_payload
+
+
+def _write_foreign_claim(lock_path, *, pid, ts, host=None):
+    payload = {"pid": pid, "host": host or socket.gethostname(), "ts": ts}
+    with open(lock_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+# -- basics (flock mode) -------------------------------------------------------
+
+
+def test_acquire_release_reacquire(tmp_path):
+    target = tmp_path / "run.fvl"
+    lease = FileLease(target)
+    assert not lease.held
+    assert lease.try_acquire()
+    assert lease.held
+    assert os.path.exists(lease.lock_path)
+    owner = lease.owner()
+    assert owner is not None and owner.pid == os.getpid()
+    lease.release()
+    assert not lease.held
+    # The lock file stays (flock contract) but the lease is re-acquirable.
+    with FileLease(target) as again:
+        assert again.held
+
+
+def test_same_process_leases_are_shared(tmp_path):
+    target = tmp_path / "run.fvl"
+    first = FileLease(target).acquire()
+    second = FileLease(target)
+    # flock would self-conflict across fds; the process registry shares it.
+    assert second.try_acquire()
+    second.release()
+    assert first.held  # still held through the remaining reference
+    first.release()
+
+
+def test_double_acquire_same_instance_rejected(tmp_path):
+    lease = FileLease(tmp_path / "run.fvl").acquire()
+    with pytest.raises(SerializationError, match="already held"):
+        lease.try_acquire()
+    lease.release()
+
+
+def test_acquire_fails_loudly_across_processes(tmp_path):
+    """A real second process cannot take a flock-held lease (and sees who has it)."""
+    target = tmp_path / "run.fvl"
+    lease = FileLease(target).acquire()
+    try:
+        script = textwrap.dedent(
+            f"""
+            import sys
+            sys.path.insert(0, {os.path.join(os.path.dirname(__file__), "..", "..", "src")!r})
+            from repro.store import FileLease, LeaseHeldError
+            probe = FileLease({os.fspath(target)!r})
+            try:
+                probe.acquire()
+            except LeaseHeldError as exc:
+                assert str({os.getpid()!r}) in str(exc), exc
+                sys.exit(0)
+            sys.exit(1)
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True, timeout=60
+        )
+        assert proc.returncode == 0, proc.stderr
+    finally:
+        lease.release()
+
+
+def test_stale_after_validation(tmp_path):
+    with pytest.raises(ValueError):
+        FileLease(tmp_path / "run.fvl", stale_after=0.0)
+
+
+# -- the O_EXCL fallback (heartbeat + takeover) --------------------------------
+
+
+def test_excl_mode_conflicts_with_live_foreign_holder(tmp_path):
+    target = tmp_path / "run.fvl"
+    lease = FileLease(target, use_flock=False, stale_after=30.0)
+    # A "foreign" claim by a live pid (our own) with a fresh heartbeat.
+    _write_foreign_claim(lease.lock_path, pid=os.getpid(), ts=time.time())
+    assert not lease.try_acquire()
+    with pytest.raises(LeaseHeldError, match="writer lease"):
+        lease.acquire()
+
+
+def test_excl_mode_takes_over_dead_pid(tmp_path):
+    target = tmp_path / "run.fvl"
+    lease = FileLease(target, use_flock=False, stale_after=3600.0)
+    # Fresh heartbeat, but the recorded local pid is dead: takeover.
+    dead = subprocess.Popen([sys.executable, "-c", "pass"])
+    dead.wait()
+    _write_foreign_claim(lease.lock_path, pid=dead.pid, ts=time.time())
+    assert lease.try_acquire()
+    assert lease.owner().pid == os.getpid()
+    lease.release()
+    assert not os.path.exists(lease.lock_path)  # excl release unlinks
+
+
+def test_excl_mode_takes_over_stale_heartbeat(tmp_path):
+    target = tmp_path / "run.fvl"
+    lease = FileLease(target, use_flock=False, stale_after=0.5)
+    # A live pid on another "host": only the heartbeat age can decide.
+    _write_foreign_claim(
+        lease.lock_path, pid=os.getpid(), ts=time.time() - 60.0, host="elsewhere"
+    )
+    assert lease.try_acquire()
+    lease.release()
+
+
+def test_excl_mode_heartbeat_keeps_the_lease_fresh(tmp_path):
+    target = tmp_path / "run.fvl"
+    holder = FileLease(target, use_flock=False, stale_after=0.2).acquire()
+    time.sleep(0.3)
+    holder.heartbeat()  # refresh after the stale bound elapsed
+    contender = FileLease(target, use_flock=False, stale_after=0.2)
+    # Registry sharing would mask the heartbeat test; simulate the contender
+    # being another process by checking the on-disk staleness logic directly.
+    info = contender.owner()
+    assert info is not None and not info.is_stale(0.2)
+    holder.release()
+
+
+def test_excl_release_leaves_a_takeover_claim_alone(tmp_path):
+    target = tmp_path / "run.fvl"
+    holder = FileLease(target, use_flock=False, stale_after=3600.0).acquire()
+    # Another process took the lease over (stale holder scenario) and wrote
+    # its own claim; our late release must not unlink it.
+    _write_foreign_claim(holder.lock_path, pid=os.getpid() + 1, ts=time.time())
+    holder.release()
+    assert os.path.exists(holder.lock_path)
+
+
+def test_heartbeat_refuses_to_clobber_a_takeover(tmp_path):
+    """A resumed holder whose lease was legitimately taken must not overwrite it."""
+    holder = FileLease(tmp_path / "run.fvl", use_flock=False, stale_after=0.2).acquire()
+    time.sleep(0.3)  # past both the write throttle and the stale bound
+    _write_foreign_claim(holder.lock_path, pid=os.getpid() + 1, ts=time.time())
+    with pytest.raises(LeaseHeldError, match="taken over"):
+        holder.heartbeat()
+    holder.release()  # the contender's claim survives our late release too
+    assert os.path.exists(holder.lock_path)
+
+
+def test_heartbeat_requires_held_lease(tmp_path):
+    lease = FileLease(tmp_path / "run.fvl", use_flock=False)
+    with pytest.raises(SerializationError, match="not held"):
+        lease.heartbeat()
+
+
+def test_lease_info_staleness_rules():
+    live = LeaseInfo(pid=os.getpid(), host=socket.gethostname(), heartbeat=time.time())
+    assert not live.is_stale(30.0)
+    old = LeaseInfo(pid=os.getpid(), host="elsewhere", heartbeat=time.time() - 120.0)
+    assert old.is_stale(30.0)
+    assert not old.is_stale(3600.0)
+
+
+def test_payload_round_trip(tmp_path):
+    raw = _lease_payload()
+    data = json.loads(raw)
+    assert data["pid"] == os.getpid()
+    assert data["host"] == socket.gethostname()
