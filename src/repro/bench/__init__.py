@@ -22,6 +22,7 @@ from repro.bench.ingest import (
     write_ingest_json,
 )
 from repro.bench.measure import ResultTable, Timer, time_call
+from repro.bench.net import append_serving_table, net_throughput
 from repro.bench.serving import serving_throughput, warm_start_latency, write_serving_json
 from repro.bench.reporting import format_table, format_tables, write_all_csv, write_csv
 from repro.bench.workloads import PreparedWorkload, prepare_bioaid, sample_query_pairs
@@ -51,6 +52,8 @@ __all__ = [
     "table1_factors",
     "ingest_throughput",
     "write_ingest_json",
+    "append_serving_table",
+    "net_throughput",
     "serving_throughput",
     "warm_start_latency",
     "write_serving_json",

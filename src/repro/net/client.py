@@ -1,0 +1,342 @@
+"""The provenance network client: pooled connections, batch-first API.
+
+:class:`ProvenanceClient` talks the binary frame protocol to a
+:class:`~repro.net.server.ProvenanceNetServer`.  The API mirrors the
+in-process :class:`~repro.serve.ProvenanceServer` surface —
+``depends_batch``/``is_visible_batch`` send one frame per call, and the
+singleton ``depends``/``is_visible`` helpers ride a small client-side
+coalescing buffer so chatty callers still produce batch frames.
+
+Connections come from a bounded pool: a call borrows a socket, does one
+request/response round trip on it, and returns it.  Concurrent callers get
+concurrent sockets (up to ``pool_size``); the server's per-connection
+round-robin intake then keeps them fair against each other.
+
+Overload is explicit: a SHED reply raises :class:`ServerOverloadedError`
+carrying the server's ``retry_after_s`` hint unless ``retries`` is set, in
+which case the client sleeps the hinted time and resends (bounded
+attempts).  Query-level failures (unknown view, engine fault) raise
+:class:`RemoteQueryError` with the server-side exception kind and message.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ReproError, SerializationError
+from repro.net.protocol import (
+    AnswersReply,
+    ErrorReply,
+    FrameAssembler,
+    ShedReply,
+    StatsReply,
+    encode_depends_request,
+    encode_stats_request,
+    encode_visible_request,
+)
+from repro.net.protocol import decode_reply as _decode_reply
+
+__all__ = ["ProvenanceClient", "RemoteQueryError", "ServerOverloadedError"]
+
+DEFAULT_RUN = "default"
+
+_RECV_BYTES = 1 << 16
+
+
+class ServerOverloadedError(ReproError):
+    """The server shed the batch: its bounded request queue was full."""
+
+    def __init__(self, retry_after_s: float, queue_depth: int) -> None:
+        super().__init__(
+            f"provenance server shed the request (queue depth {queue_depth}); "
+            f"retry after {retry_after_s:.3f}s"
+        )
+        self.retry_after_s = retry_after_s
+        self.queue_depth = queue_depth
+
+
+class RemoteQueryError(ReproError):
+    """The server answered the frame with a query-level error."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.remote_message = message
+
+
+class _PooledConn:
+    __slots__ = ("sock", "assembler")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.assembler = FrameAssembler()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+class ProvenanceClient:
+    """A pooled, batching client for one provenance net server.
+
+    ::
+
+        with ProvenanceClient(unix_path="/tmp/prov.sock") as client:
+            flags = client.depends_batch(pairs, "audit")
+            ok = client.is_visible(42, "audit")   # coalesced client-side
+
+    Exactly one of ``unix_path`` or ``address`` must be given.  Thread-safe;
+    up to ``pool_size`` round trips run concurrently.
+    """
+
+    def __init__(
+        self,
+        *,
+        unix_path=None,
+        address: "tuple[str, int] | None" = None,
+        pool_size: int = 4,
+        timeout: float = 30.0,
+        retries: int = 0,
+        max_linger_us: int = 200,
+        max_batch: int = 4096,
+    ) -> None:
+        if (unix_path is None) == (address is None):
+            raise ValueError("pass exactly one of unix_path= or address=")
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self._unix_path = unix_path
+        self._address = address
+        self._pool_size = pool_size
+        self._timeout = timeout
+        self._retries = retries
+        self._max_linger_us = max_linger_us
+        self._max_batch = max_batch
+        self._pool: deque[_PooledConn] = deque()
+        self._pool_lock = threading.Lock()
+        self._pool_open = 0  # live sockets, pooled or borrowed
+        self._pool_free = threading.Condition(self._pool_lock)
+        self._closed = False
+        self._request_ids = itertools.count(1)
+        # Client-side coalescing buffers for the singleton helpers, one per
+        # (kind, run, view, variant) key, flushed by size or linger.
+        self._coalesce_lock = threading.Lock()
+        self._buffers: dict = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._pool_lock:
+            self._closed = True
+            conns = list(self._pool)
+            self._pool.clear()
+            self._pool_free.notify_all()
+        for conn in conns:
+            conn.close()
+
+    def __enter__(self) -> "ProvenanceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the pool ----------------------------------------------------------------
+
+    def _connect(self) -> _PooledConn:
+        if self._unix_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self._timeout)
+            sock.connect(str(self._unix_path))
+        else:
+            sock = socket.create_connection(self._address, timeout=self._timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return _PooledConn(sock)
+
+    def _borrow(self) -> _PooledConn:
+        with self._pool_free:
+            while True:
+                if self._closed:
+                    raise RuntimeError("client is closed")
+                if self._pool:
+                    return self._pool.popleft()
+                if self._pool_open < self._pool_size:
+                    self._pool_open += 1
+                    break
+                if not self._pool_free.wait(self._timeout):
+                    raise TimeoutError(
+                        f"no pooled connection became free within {self._timeout}s"
+                    )
+        try:
+            return self._connect()
+        except BaseException:
+            with self._pool_free:
+                self._pool_open -= 1
+                self._pool_free.notify()
+            raise
+
+    def _give_back(self, conn: _PooledConn, *, broken: bool) -> None:
+        with self._pool_free:
+            if broken or self._closed:
+                self._pool_open -= 1
+            else:
+                self._pool.append(conn)
+            self._pool_free.notify()
+        if broken or self._closed:
+            conn.close()
+
+    # -- one round trip ----------------------------------------------------------
+
+    def _round_trip(self, frame: bytes):
+        conn = self._borrow()
+        broken = True
+        try:
+            conn.sock.sendall(frame)
+            while True:
+                data = conn.sock.recv(_RECV_BYTES)
+                if not data:
+                    raise SerializationError(
+                        "provenance server closed the connection mid-reply"
+                    )
+                frames = conn.assembler.feed(data)
+                if frames:
+                    if len(frames) > 1 or conn.assembler.buffered:
+                        # One request in flight per pooled socket: extra
+                        # bytes mean a desynchronised stream.
+                        raise SerializationError(
+                            "unexpected extra reply frames on a pooled connection"
+                        )
+                    broken = False
+                    return _decode_reply(frames[0])
+        finally:
+            self._give_back(conn, broken=broken)
+
+    def _ask(self, frame_for):
+        """Send (re-encoding per attempt for fresh request ids) with shed retries."""
+        attempts = self._retries + 1
+        for attempt in range(attempts):
+            reply = self._round_trip(frame_for(next(self._request_ids)))
+            if isinstance(reply, ShedReply):
+                if attempt + 1 < attempts:
+                    time.sleep(max(reply.retry_after_s, 0.0))
+                    continue
+                raise ServerOverloadedError(reply.retry_after_s, reply.queue_depth)
+            if isinstance(reply, ErrorReply):
+                raise RemoteQueryError(reply.kind, reply.message)
+            return reply
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- batch API ---------------------------------------------------------------
+
+    def depends_batch(self, pairs, view: str, *, run: str = DEFAULT_RUN,
+                      variant=None) -> "list[bool]":
+        """Answer ``depends`` for every ``(d1, d2)`` pair in one frame."""
+        ids = np.asarray(pairs, dtype=np.int64)
+        if ids.size == 0:
+            return []
+        variant_key = getattr(variant, "value", variant)
+        reply = self._ask(
+            lambda rid: encode_depends_request(rid, run, view, variant_key, ids)
+        )
+        assert isinstance(reply, AnswersReply)
+        return reply.answers
+
+    def is_visible_batch(self, uids, view: str, *, run: str = DEFAULT_RUN,
+                         variant=None) -> "list[bool]":
+        """Answer ``is_visible`` for every uid in one frame."""
+        ids = np.asarray(uids, dtype=np.int64)
+        if ids.size == 0:
+            return []
+        variant_key = getattr(variant, "value", variant)
+        reply = self._ask(
+            lambda rid: encode_visible_request(rid, run, view, variant_key, ids)
+        )
+        assert isinstance(reply, AnswersReply)
+        return reply.answers
+
+    def server_stats(self) -> dict:
+        """The server's stats/health payload (scheduler + transport counters)."""
+        reply = self._ask(encode_stats_request)
+        assert isinstance(reply, StatsReply)
+        return reply.payload
+
+    # -- singleton API (client-side coalescing) ----------------------------------
+
+    def depends(self, d1: int, d2: int, view: str, *, run: str = DEFAULT_RUN,
+                variant=None) -> bool:
+        """One dependency probe, coalesced with concurrent callers' probes."""
+        return self._coalesced("depends", (int(d1), int(d2)), view, run, variant)
+
+    def is_visible(self, uid: int, view: str, *, run: str = DEFAULT_RUN,
+                   variant=None) -> bool:
+        """One visibility probe, coalesced with concurrent callers' probes."""
+        return self._coalesced("visible", int(uid), view, run, variant)
+
+    def _coalesced(self, kind: str, item, view: str, run: str, variant) -> bool:
+        variant_key = getattr(variant, "value", variant)
+        key = (kind, run, view, variant_key)
+        flush_mine = False
+        with self._coalesce_lock:
+            buffer = self._buffers.get(key)
+            if buffer is None:
+                buffer = self._buffers[key] = _CoalesceBuffer()
+            index = len(buffer.items)
+            buffer.items.append(item)
+            if len(buffer.items) >= self._max_batch:
+                # Size-triggered flush: detach so later callers start fresh.
+                self._buffers.pop(key, None)
+                flush_mine = True
+        if not flush_mine and index == 0:
+            # First in: linger briefly so concurrent callers pile on, then
+            # flush whatever accumulated — unless a size flush beat us to it.
+            time.sleep(self._max_linger_us / 1e6)
+            with self._coalesce_lock:
+                if self._buffers.get(key) is buffer:
+                    self._buffers.pop(key)
+                    flush_mine = True
+        if flush_mine:
+            self._flush(kind, key, buffer)
+        elif not buffer.done.wait(self._timeout):
+            raise TimeoutError(
+                f"coalesced {kind} answer did not arrive within {self._timeout}s"
+            )
+        if buffer.error is not None:
+            raise buffer.error
+        return buffer.answers[index]
+
+    def _flush(self, kind: str, key, buffer: "_CoalesceBuffer") -> None:
+        _, run, view, variant_key = key
+        try:
+            if kind == "depends":
+                buffer.answers = self.depends_batch(
+                    buffer.items, view, run=run, variant=variant_key
+                )
+            else:
+                buffer.answers = self.is_visible_batch(
+                    buffer.items, view, run=run, variant=variant_key
+                )
+        except BaseException as exc:
+            buffer.error = exc
+            buffer.done.set()
+            raise
+        buffer.done.set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        target = self._unix_path if self._unix_path is not None else self._address
+        return f"ProvenanceClient({target!r}, pool_size={self._pool_size})"
+
+
+class _CoalesceBuffer:
+    __slots__ = ("items", "answers", "error", "done")
+
+    def __init__(self) -> None:
+        self.items: list = []
+        self.answers: "list[bool]" = []
+        self.error: "BaseException | None" = None
+        self.done = threading.Event()

@@ -1,0 +1,568 @@
+"""The wire front-end: a unix-socket/TCP binary-batch provenance service.
+
+:class:`ProvenanceNetServer` stands a real transport over one
+:class:`~repro.serve.ProvenanceServer` so clients outside this process (and
+outside Python) reach the coalescing scheduler:
+
+* **one frame, one coalesced engine call** — a decoded ``depends``/``visible``
+  frame is enqueued whole through :meth:`ProvenanceServer.submit_many`, which
+  takes the queue lock once for the batch and keys every request identically,
+  so the scheduling step that picks it up answers it with a single vectorised
+  engine call;
+* **admission control, not blocking** — frames are admitted with
+  ``block=False``: when the bounded request queue cannot take the whole
+  batch, the client gets an explicit SHED reply (retry-after hint + queue
+  depth) instead of the accept loop stalling on backpressure and starving
+  every other connection;
+* **per-connection fairness** — decoded frames park in per-connection intake
+  queues and are admitted round-robin, one frame per connection per pass, so
+  a firehose client cannot monopolise the scheduler ahead of light ones;
+* **stats/health** — a stats frame answers with the
+  :class:`~repro.serve.ServerStats` snapshot (taken under the server's stats
+  lock), the live queue depth, and the transport's own counters.
+
+The server is one event-loop thread (``selectors``) that owns every socket;
+responses are assembled by future callbacks on the scheduler's worker
+threads, handed to the loop over a self-pipe wake, and written back
+non-blocking.  The loop never runs engine code and never blocks on the
+queue, so slow queries cannot freeze accepts or reads.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import selectors
+import socket
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import SerializationError
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    OP_DEPENDS,
+    FrameAssembler,
+    QueryRequest,
+    StatsRequest,
+    decode_request,
+    encode_answers,
+    encode_error,
+    encode_shed,
+    encode_stats_reply,
+)
+from repro.serve.server import ProvenanceServer
+
+__all__ = ["NetStats", "ProvenanceNetServer"]
+
+_RECV_BYTES = 1 << 16
+
+
+@dataclass(frozen=True)
+class NetStats:
+    """Transport-level counters (the scheduler's own live in ServerStats)."""
+
+    connections: int  # accepted over the server's lifetime
+    active_connections: int
+    frames: int  # request frames decoded
+    answered_frames: int
+    sheds: int
+    errors: int  # protocol or query errors answered on a connection
+    stats_requests: int
+
+
+class _Connection:
+    __slots__ = (
+        "sock",
+        "name",
+        "assembler",
+        "intake",
+        "outbound",
+        "lock",
+        "closed",
+        "events",
+    )
+
+    def __init__(self, sock: socket.socket, name: str, max_frame_bytes: int) -> None:
+        self.sock = sock
+        self.name = name
+        self.assembler = FrameAssembler(max_frame_bytes)
+        #: Decoded-but-not-yet-admitted request payloads (fairness queue).
+        self.intake: deque[bytes] = deque()
+        #: Encoded reply frames awaiting a writable socket.  Guarded by
+        #: ``lock``: worker-thread future callbacks append, the loop drains.
+        self.outbound: deque[bytes] = deque()
+        self.lock = threading.Lock()
+        self.closed = False
+        self.events = selectors.EVENT_READ
+
+
+class _Flight:
+    """One admitted request frame waiting for its scheduler futures."""
+
+    __slots__ = ("_net", "_conn", "_request_id", "_futures", "_remaining", "_lock")
+
+    def __init__(self, net, conn, request_id, futures) -> None:
+        self._net = net
+        self._conn = conn
+        self._request_id = request_id
+        self._futures = futures
+        self._remaining = len(futures)
+        self._lock = threading.Lock()
+        for future in futures:
+            future.add_done_callback(self._on_done)
+
+    def _on_done(self, _future) -> None:
+        with self._lock:
+            self._remaining -= 1
+            if self._remaining:
+                return
+        # Last future resolved (possibly on a scheduler worker thread):
+        # pack the reply off the event loop and hand it over via the pipe.
+        error = None
+        answers = []
+        for future in self._futures:
+            exc = future.exception()
+            if exc is not None:
+                error = exc
+                break
+            answers.append(future.result())
+        if error is not None:
+            reply = encode_error(self._request_id, type(error).__name__, str(error))
+            self._net._count("errors")
+        else:
+            reply = encode_answers(self._request_id, answers)
+            self._net._count("answered_frames")
+        self._net._send(self._conn, reply)
+
+
+class ProvenanceNetServer:
+    """Serve one :class:`ProvenanceServer` over unix and/or TCP sockets.
+
+    ::
+
+        engine = QueryEngine(scheme)
+        with ProvenanceServer(engine, workers=2) as server:
+            server.attach("/data/run.fvl")
+            net = ProvenanceNetServer(server, unix_path="/tmp/prov.sock").start()
+            ...
+            net.stop()
+
+    The scheduler must be started (workers running) for frames to be
+    answered; a stopped scheduler behind a live socket fills its bounded
+    queue and the transport degrades to SHED replies — by design, that is
+    the overload surface, not a hang.
+    """
+
+    def __init__(
+        self,
+        server: ProvenanceServer,
+        *,
+        unix_path=None,
+        host: "str | None" = None,
+        port: int = 0,
+        backlog: int = 128,
+        shed_retry_after: float = 0.02,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        if unix_path is None and host is None:
+            raise ValueError("pass unix_path= and/or host= to bind a listener")
+        self._server = server
+        self._unix_path = os.fspath(unix_path) if unix_path is not None else None
+        self._host = host
+        self._port = port
+        self._backlog = backlog
+        self._shed_retry_after = shed_retry_after
+        self._max_frame_bytes = max_frame_bytes
+        self._selector: "selectors.BaseSelector | None" = None
+        self._listeners: list[socket.socket] = []
+        self._conns: deque[_Connection] = deque()
+        self._thread: "threading.Thread | None" = None
+        self._stopping = False
+        self._wake_r: "int | None" = None
+        self._wake_w: "int | None" = None
+        self._stats_lock = threading.Lock()
+        self._counters = {
+            "connections": 0,
+            "frames": 0,
+            "answered_frames": 0,
+            "sheds": 0,
+            "errors": 0,
+            "stats_requests": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    @property
+    def unix_address(self) -> "str | None":
+        return self._unix_path
+
+    @property
+    def tcp_address(self) -> "tuple[str, int] | None":
+        """The bound ``(host, port)`` — with the real port when 0 was asked."""
+        for sock in self._listeners:
+            if sock.family != socket.AF_UNIX:
+                return sock.getsockname()[:2]
+        return None
+
+    def start(self) -> "ProvenanceNetServer":
+        if self._thread is not None:
+            raise RuntimeError("net server is already running")
+        self._stopping = False
+        self._selector = selectors.DefaultSelector()
+        try:
+            if self._unix_path is not None:
+                listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                try:
+                    listener.bind(self._unix_path)
+                except OSError as exc:
+                    if exc.errno != errno.EADDRINUSE:
+                        raise
+                    # A previous server's socket file: connectable means a
+                    # live server owns the address; dead means remove + rebind.
+                    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    try:
+                        probe.connect(self._unix_path)
+                    except OSError:
+                        os.unlink(self._unix_path)
+                        listener.bind(self._unix_path)
+                    else:
+                        raise
+                    finally:
+                        probe.close()
+                self._register_listener(listener)
+            if self._host is not None:
+                listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                listener.bind((self._host, self._port))
+                self._register_listener(listener)
+            self._wake_r, self._wake_w = os.pipe()
+            os.set_blocking(self._wake_r, False)
+            self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+        except BaseException:
+            self._teardown()
+            raise
+        self._thread = threading.Thread(
+            target=self._loop, name="provenance-net", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _register_listener(self, listener: socket.socket) -> None:
+        listener.listen(self._backlog)
+        listener.setblocking(False)
+        self._selector.register(listener, selectors.EVENT_READ, "listen")
+        self._listeners.append(listener)
+
+    def stop(self) -> None:
+        """Close every socket and join the loop (in-flight replies dropped)."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stopping = True
+        self._wake()
+        thread.join()
+        self._thread = None
+        self._teardown()
+
+    def _teardown(self) -> None:
+        for conn in list(self._conns):
+            self._close_conn(conn, unregister=False)
+        self._conns.clear()
+        for listener in self._listeners:
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self._listeners = []
+        for fd in (self._wake_r, self._wake_w):
+            if fd is not None:
+                try:
+                    os.close(fd)
+                except OSError:  # pragma: no cover - defensive
+                    pass
+        self._wake_r = self._wake_w = None
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None
+        if self._unix_path is not None:
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ProvenanceNetServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def stats(self) -> NetStats:
+        with self._stats_lock:
+            return NetStats(
+                connections=self._counters["connections"],
+                active_connections=len(self._conns),
+                frames=self._counters["frames"],
+                answered_frames=self._counters["answered_frames"],
+                sheds=self._counters["sheds"],
+                errors=self._counters["errors"],
+                stats_requests=self._counters["stats_requests"],
+            )
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        with self._stats_lock:
+            self._counters[name] += delta
+
+    # -- the event loop ----------------------------------------------------------
+
+    def _wake(self) -> None:
+        fd = self._wake_w
+        if fd is None:
+            return
+        try:
+            os.write(fd, b"\x01")
+        except (OSError, ValueError):  # pragma: no cover - racing a stop()
+            pass
+
+    def _loop(self) -> None:
+        while not self._stopping:
+            # Pending intake means more admission work even with idle sockets.
+            timeout = 0.0 if any(conn.intake for conn in self._conns) else None
+            for key, _events in self._selector.select(timeout):
+                if key.data == "wake":
+                    try:
+                        while os.read(self._wake_r, 4096):
+                            pass
+                    except BlockingIOError:
+                        pass
+                elif key.data == "listen":
+                    self._accept(key.fileobj)
+                else:
+                    self._service(key.data, _events)
+                if self._stopping:
+                    return
+            self._pump_intake()
+            self._flush_writes()
+
+    def _accept(self, listener: socket.socket) -> None:
+        while True:
+            try:
+                sock, addr = listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:  # pragma: no cover - racing close
+                return
+            sock.setblocking(False)
+            if sock.family != socket.AF_UNIX:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            name = f"{addr}" if addr else f"fd{sock.fileno()}"
+            conn = _Connection(sock, name, self._max_frame_bytes)
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+            self._conns.append(conn)
+            self._count("connections")
+
+    def _service(self, conn: _Connection, events: int) -> None:
+        if events & selectors.EVENT_READ:
+            self._read(conn)
+        if not conn.closed and events & selectors.EVENT_WRITE:
+            self._write(conn)
+
+    def _read(self, conn: _Connection) -> None:
+        try:
+            data = conn.sock.recv(_RECV_BYTES)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_conn(conn)
+            return
+        if not data:
+            self._close_conn(conn)
+            return
+        try:
+            conn.intake.extend(conn.assembler.feed(data))
+        except SerializationError:
+            # Oversized frame announcement: broken or hostile peer.
+            self._count("errors")
+            self._close_conn(conn)
+
+    def _pump_intake(self) -> None:
+        """Admit decoded frames round-robin: one per connection per pass.
+
+        The rotation makes frame intake fair across connections — a client
+        that pipelined 100 frames advances one admission slot per pass, the
+        same as a client with one frame waiting.
+        """
+        for _ in range(len(self._conns)):
+            conn = self._conns[0]
+            self._conns.rotate(-1)
+            if conn.closed or not conn.intake:
+                continue
+            try:
+                self._handle_frame(conn, conn.intake.popleft())
+            except Exception:  # pragma: no cover - loop must survive anything
+                self._count("errors")
+                self._close_conn(conn)
+
+    def _handle_frame(self, conn: _Connection, payload: bytes) -> None:
+        try:
+            request = decode_request(payload)
+        except SerializationError as exc:
+            self._count("errors")
+            self._send(conn, encode_error(0, type(exc).__name__, str(exc)))
+            return
+        self._count("frames")
+        if isinstance(request, StatsRequest):
+            self._count("stats_requests")
+            self._send(conn, encode_stats_reply(request.request_id, self._stats_payload()))
+            return
+        self._admit(conn, request)
+
+    def _admit(self, conn: _Connection, request: QueryRequest) -> None:
+        kind = "depends" if request.op == OP_DEPENDS else "visible"
+        items = request.ids.tolist()
+        try:
+            futures = self._server.submit_many(
+                kind,
+                items,
+                request.view,
+                run=request.run,
+                variant=request.variant,
+                block=False,
+            )
+        except Exception as exc:
+            # Oversized batch, stopped scheduler, bad variant: the frame is
+            # unanswerable, the connection (and the loop) live on.
+            self._count("errors")
+            self._send(conn, encode_error(request.request_id, type(exc).__name__, str(exc)))
+            return
+        if futures is None:
+            self._count("sheds")
+            self._send(
+                conn,
+                encode_shed(
+                    request.request_id, self._shed_retry_after, self._server.pending
+                ),
+            )
+            return
+        if not futures:
+            self._count("answered_frames")
+            self._send(conn, encode_answers(request.request_id, []))
+            return
+        _Flight(self, conn, request.request_id, futures)
+
+    def _stats_payload(self) -> dict:
+        stats = self._server.stats
+        net = self.stats
+        return {
+            "status": "ok",
+            "queue_depth": self._server.pending,
+            "runs": list(self._server.engine.run_ids),
+            "server": {
+                "submitted": stats.submitted,
+                "answered": stats.answered,
+                "batches": stats.batches,
+                "engine_calls": stats.engine_calls,
+                "coalesced": stats.coalesced,
+                "largest_batch": stats.largest_batch,
+                "queue_peak": stats.queue_peak,
+                "probes": stats.probes,
+                "reopens": stats.reopens,
+                "last_error": str(stats.last_error) if stats.last_error else None,
+                "last_warm_error": (
+                    str(stats.last_warm_error) if stats.last_warm_error else None
+                ),
+            },
+            "net": {
+                "connections": net.connections,
+                "active_connections": net.active_connections,
+                "frames": net.frames,
+                "answered_frames": net.answered_frames,
+                "sheds": net.sheds,
+                "errors": net.errors,
+            },
+        }
+
+    # -- writes ------------------------------------------------------------------
+
+    def _send(self, conn: _Connection, data: bytes) -> None:
+        """Queue a reply frame (any thread) and wake the loop to flush it."""
+        with conn.lock:
+            if conn.closed:
+                return
+            conn.outbound.append(data)
+        if threading.current_thread() is self._thread:
+            self._write(conn)
+        else:
+            self._wake()
+
+    def _flush_writes(self) -> None:
+        for conn in list(self._conns):
+            if not conn.closed and conn.outbound:
+                self._write(conn)
+
+    def _write(self, conn: _Connection) -> None:
+        while True:
+            with conn.lock:
+                if not conn.outbound:
+                    break
+                chunk = conn.outbound[0]
+            try:
+                sent = conn.sock.send(chunk)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close_conn(conn)
+                return
+            with conn.lock:
+                if sent == len(chunk):
+                    conn.outbound.popleft()
+                else:
+                    conn.outbound[0] = chunk[sent:]
+                    break
+        self._want_write(conn, bool(conn.outbound))
+
+    def _want_write(self, conn: _Connection, writable: bool) -> None:
+        events = selectors.EVENT_READ | (selectors.EVENT_WRITE if writable else 0)
+        if conn.closed or events == conn.events:
+            return
+        conn.events = events
+        try:
+            self._selector.modify(conn.sock, events, conn)
+        except (KeyError, ValueError):  # pragma: no cover - racing close
+            pass
+
+    def _close_conn(self, conn: _Connection, *, unregister: bool = True) -> None:
+        with conn.lock:
+            if conn.closed:
+                return
+            conn.closed = True
+            conn.outbound.clear()
+        conn.intake.clear()
+        if unregister and self._selector is not None:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError):  # pragma: no cover - already gone
+                pass
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        try:
+            self._conns.remove(conn)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        binds = []
+        if self._unix_path:
+            binds.append(f"unix:{self._unix_path}")
+        if self._host is not None:
+            binds.append(f"tcp:{self._host}:{self._port}")
+        return f"ProvenanceNetServer({', '.join(binds)}, running={self.running})"

@@ -12,11 +12,15 @@ file* (``<run-file>.hotmx``):
 * :func:`save_hot_matrices` ranks the cached ``(arena, path-id, path-id)``
   entries of a shard by the engine's per-key query accounting
   (:attr:`DecodeCache.pair_hits`), keeps the ``max_entries`` hottest whose
-  path ids fall inside the file's persisted watermark, and writes them in a
-  small versioned binary format (bit-packed matrices, atomic replace);
+  path ids fall inside the file's persisted watermark, and writes them —
+  *with* their hit counts — in a small versioned binary format (bit-packed
+  matrices, atomic replace);
 * :func:`load_hot_matrices` seeds a fresh engine's decode caches from the
   file on attach, so the first queries of a new process hit warm matrices
-  instead of re-deriving them.
+  instead of re-deriving them.  The persisted hit counts are seeded too:
+  a follower that loads a cache and then saves one (e.g. on shutdown)
+  ranks the warm entries by their carried-over heat instead of at zero, so
+  a load→save cycle preserves the hot set instead of silently dropping it.
 
 Safety: the cache file is tagged with the grammar fingerprint, the run
 file's generation and its ``n_paths`` watermark.  Path ids are immutable
@@ -55,7 +59,9 @@ __all__ = [
 ]
 
 CACHE_MAGIC = b"FVLHOTMX"
-CACHE_VERSION = 1
+#: Version 2 added the per-entry hit count (see ``_ENTRY``); version-1 files
+#: (no hit column) are rejected loudly and the attach proceeds cold.
+CACHE_VERSION = 2
 
 #: Default bound on persisted matrices.  The matrices are tiny (port-count
 #: squared bits, ~25 bytes each on the BioAID workload), so this is a recall
@@ -66,7 +72,7 @@ DEFAULT_HOT_ENTRIES = 4096
 
 _FILE_HEADER = struct.Struct("<8sIQQQI")  # magic, version, fingerprint, generation, n_paths, n_states
 _STATE_HEADER = struct.Struct("<HHQI")  # name_len, variant_len, view_fp, n_entries
-_ENTRY = struct.Struct("<qqii")  # path_id1, path_id2, rows, cols (-1,-1 = None)
+_ENTRY = struct.Struct("<qqiiQ")  # path_id1, path_id2, rows, cols (-1,-1 = None), hits
 
 
 def matrix_cache_path(run_file) -> str:
@@ -161,9 +167,9 @@ def save_hot_matrices(
     candidates.sort(key=lambda entry: entry[0], reverse=True)
     hottest = candidates[:max_entries]
 
-    sections: dict[tuple[str, str], list[tuple[tuple, object]]] = {}
-    for _, view_name, variant_key, matrix, key in hottest:
-        sections.setdefault((view_name, variant_key), []).append((key, matrix))
+    sections: dict[tuple[str, str], list[tuple[tuple, object, int]]] = {}
+    for hits, view_name, variant_key, matrix, key in hottest:
+        sections.setdefault((view_name, variant_key), []).append((key, matrix, hits))
 
     chunks = [
         _FILE_HEADER.pack(
@@ -188,9 +194,9 @@ def save_hot_matrices(
         )
         chunks.append(name_bytes)
         chunks.append(variant_bytes)
-        for (arena_tag, id1, id2), matrix in entries:
+        for (arena_tag, id1, id2), matrix, hits in entries:
             rows, cols, payload = _pack_matrix(matrix)
-            chunks.append(_ENTRY.pack(id1, id2, rows, cols))
+            chunks.append(_ENTRY.pack(id1, id2, rows, cols, max(0, int(hits))))
             chunks.append(payload)
 
     target = matrix_cache_path(run_file) if cache_path is None else os.fspath(cache_path)
@@ -308,7 +314,7 @@ def _load_from(reader: _Reader, engine: QueryEngine, run_id: str, mapped) -> int
             state = engine.decoded_state(view_name, variant_key)
             cache = getattr(state, "decode_cache", None)
         for _ in range(n_entries):
-            id1, id2, rows, cols = reader.unpack(_ENTRY)
+            id1, id2, rows, cols, hits = reader.unpack(_ENTRY)
             payload = reader.take((rows * cols + 7) // 8) if rows >= 0 else b""
             if cache is None:
                 continue
@@ -320,5 +326,10 @@ def _load_from(reader: _Reader, engine: QueryEngine, run_id: str, mapped) -> int
             if key in cache.pair_matrices or not cache.has_room():
                 continue
             cache.pair_matrices[key] = _unpack_matrix(rows, cols, payload)
+            # Carry the entry's heat across the process boundary: without it
+            # a follower's own save_hot_matrices ranks every seeded-but-not-
+            # re-queried entry at zero and a budgeted rewrite drops the warm
+            # set it just loaded.
+            cache.pair_hits[key] = int(hits)
             seeded += 1
     return seeded

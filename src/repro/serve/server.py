@@ -47,6 +47,12 @@ __all__ = ["BatchPolicy", "ReopenPolicy", "ServerStats", "ProvenanceServer"]
 _DEPENDS = "depends"
 _VISIBLE = "visible"
 
+#: How long (seconds, real time) a blocked submitter or inline resolver waits
+#: between re-checks.  Condition waits are driven by the OS clock regardless
+#: of the injected ``clock=`` — the constant only bounds how stale a missed
+#: notify can leave them.
+_QUEUE_POLL_S = 0.05
+
 
 @dataclass(frozen=True)
 class BatchPolicy:
@@ -96,7 +102,12 @@ class ReopenPolicy:
 
 @dataclass(frozen=True)
 class ServerStats:
-    """Counters over the server's lifetime (exposed for observability)."""
+    """Counters over the server's lifetime (exposed for observability).
+
+    The whole snapshot — counters *and* the last-error fields — is taken
+    under one lock, so a reader (e.g. the network tier's stats endpoint)
+    never sees a torn view of a worker's failure bookkeeping.
+    """
 
     submitted: int
     answered: int
@@ -107,6 +118,10 @@ class ServerStats:
     queue_peak: int
     probes: int
     reopens: int
+    #: The last unexpected scheduling/probe failure a worker survived and the
+    #: last warm-start failure attach swallowed (both ``None`` when healthy).
+    last_error: "Exception | None" = None
+    last_warm_error: "Exception | None" = None
 
 
 class _Request:
@@ -187,13 +202,8 @@ class ProvenanceServer:
         self._queue_peak = 0
         self._probes = 0
         self._reopens = 0
-        #: The last warm-start failure :meth:`attach` swallowed (None = ok).
-        self.last_warm_error: Exception | None = None
-        #: The last unexpected scheduling or probe failure a worker survived
-        #: (pending futures of that batch receive the exception; the worker
-        #: keeps serving).  A remap refused for corruption (foreign spec,
-        #: shrunk file) lands here — monitor it in threaded deployments.
-        self.last_error: Exception | None = None
+        self._last_warm_error: Exception | None = None
+        self._last_error: Exception | None = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -204,6 +214,34 @@ class ProvenanceServer:
     @property
     def running(self) -> bool:
         return bool(self._threads)
+
+    @property
+    def last_warm_error(self) -> "Exception | None":
+        """The last warm-start failure :meth:`attach` swallowed (None = ok)."""
+        with self._stats_lock:
+            return self._last_warm_error
+
+    @last_warm_error.setter
+    def last_warm_error(self, exc: "Exception | None") -> None:
+        with self._stats_lock:
+            self._last_warm_error = exc
+
+    @property
+    def last_error(self) -> "Exception | None":
+        """The last unexpected scheduling or probe failure a worker survived
+        (pending futures of that batch receive the exception; the worker
+        keeps serving).  A remap refused for corruption (foreign spec,
+        shrunk file) lands here — monitor it in threaded deployments.
+        Worker threads write it and :attr:`stats` readers snapshot it under
+        one lock, so observers never race a plain attribute store.
+        """
+        with self._stats_lock:
+            return self._last_error
+
+    @last_error.setter
+    def last_error(self, exc: "Exception | None") -> None:
+        with self._stats_lock:
+            self._last_error = exc
 
     def start(self) -> "ProvenanceServer":
         if self._threads:
@@ -315,6 +353,78 @@ class ProvenanceServer:
             )
         )
 
+    def submit_many(
+        self,
+        kind: str,
+        items,
+        view,
+        *,
+        run: str = DEFAULT_RUN,
+        variant=None,
+        block: bool = True,
+    ) -> "list[Future] | None":
+        """Enqueue a pre-grouped batch of queries in one queue-lock round trip.
+
+        ``kind`` is ``"depends"`` (``items`` are ``(d1, d2)`` pairs) or
+        ``"visible"`` (``items`` are uids).  The whole batch shares one
+        ``(kind, run, view, variant)`` key, so the scheduling step that picks
+        it up answers it with a single vectorised engine call — the wire
+        front-end's fast path (:mod:`repro.net`): one decoded frame must not
+        pay ``len(items)`` per-request lock round-trips through
+        :meth:`submit`.
+
+        ``block=False`` admits the batch only if *all* of it fits the bounded
+        queue right now and returns ``None`` otherwise, so a network accept
+        loop can answer with an explicit SHED/retry-after response instead of
+        stalling on backpressure.  ``block=True`` waits for room like
+        :meth:`submit`.  Returns the requests' futures, in ``items`` order.
+        """
+        if kind not in (_DEPENDS, _VISIBLE):
+            raise ValueError(
+                f"unknown request kind {kind!r} (expected {_DEPENDS!r} or {_VISIBLE!r})"
+            )
+        view_name = view if isinstance(view, str) else view.name
+        variant_key = getattr(variant, "value", variant)
+        key = (kind, run, view_name, variant_key)
+        if kind == _DEPENDS:
+            requests = [
+                _Request(kind, key, d1, d2, view, run, variant) for d1, d2 in items
+            ]
+        else:
+            requests = [
+                _Request(kind, key, uid, None, view, run, variant) for uid in items
+            ]
+        if not requests:
+            return []
+        n = len(requests)
+        if n > self._policy.max_queue:
+            raise ValueError(
+                f"batch of {n} requests can never fit max_queue="
+                f"{self._policy.max_queue}; split it across frames"
+            )
+        with self._cond:
+            if self._stopping:
+                raise RuntimeError("provenance server is stopped")
+            while len(self._queue) + n > self._policy.max_queue:
+                if not block:
+                    return None
+                if not self._threads:
+                    raise RuntimeError(
+                        "request queue is full and no workers are running; "
+                        "start() the server or drain_once() between submissions"
+                    )
+                self._cond.wait(_QUEUE_POLL_S)
+                if self._stopping:
+                    raise RuntimeError("provenance server is stopped")
+            self._queue.extend(requests)
+            depth = len(self._queue)
+            self._cond.notify_all()
+        with self._stats_lock:
+            self._submitted += n
+            if depth > self._queue_peak:
+                self._queue_peak = depth
+        return [request.future for request in requests]
+
     def depends(
         self,
         d1: int,
@@ -370,6 +480,8 @@ class ProvenanceServer:
                 queue_peak=self._queue_peak,
                 probes=self._probes,
                 reopens=self._reopens,
+                last_error=self._last_error,
+                last_warm_error=self._last_warm_error,
             )
 
     @property
@@ -389,7 +501,7 @@ class ProvenanceServer:
                         "request queue is full and no workers are running; "
                         "start() the server or drain_once() between submissions"
                     )
-                self._cond.wait(0.05)
+                self._cond.wait(_QUEUE_POLL_S)
                 if self._stopping:
                     raise RuntimeError("provenance server is stopped")
             self._queue.append(request)
@@ -409,7 +521,7 @@ class ProvenanceServer:
                     # popped the request into its in-flight batch — wait for
                     # that drain (or a stop()) to settle the future.
                     try:
-                        return future.result(timeout=0.05)
+                        return future.result(timeout=_QUEUE_POLL_S)
                     except FuturesTimeoutError:
                         continue
         return future.result()
@@ -445,12 +557,15 @@ class ProvenanceServer:
                 ):
                     # Hold the first request briefly: under concurrency the
                     # linger converts a stream of singletons into one batch.
-                    deadline = time.monotonic() + policy.max_linger_us / 1e6
+                    # The deadline runs on the injected clock (like the probe
+                    # backoff), so tests drive linger with a fake clock; only
+                    # the condition waits themselves are OS-timed.
+                    deadline = self._clock() + policy.max_linger_us / 1e6
                     while len(self._queue) < policy.max_batch and not self._stopping:
-                        remaining = deadline - time.monotonic()
+                        remaining = deadline - self._clock()
                         if remaining <= 0:
                             break
-                        self._cond.wait(remaining)
+                        self._cond.wait(min(remaining, _QUEUE_POLL_S))
                 if not self._queue:
                     continue  # another worker took everything while we lingered
                 count = min(len(self._queue), policy.max_batch)

@@ -187,6 +187,21 @@ class FileLease:
         with _registry_lock:
             core = _registry.get(key)
             if core is not None:
+                if core.use_flock != self._use_flock:
+                    # Joining across modes would be silently wrong, not just
+                    # inconsistent: an excl-mode lease joined onto a flock
+                    # core no-ops every heartbeat (flock needs none) while
+                    # its holder believes the O_EXCL staleness contract is in
+                    # force, and a flock-mode lease joined onto an excl core
+                    # would unlink the claim file on release under the flock
+                    # "never unlink" rule's assumptions.  One path, one mode.
+                    ours = "flock" if self._use_flock else "excl"
+                    held = "flock" if core.use_flock else "excl"
+                    raise SerializationError(
+                        f"cannot join the writer lease of {self._target!r} in "
+                        f"{ours} mode: this process already holds it in "
+                        f"{held} mode; use one locking mode per path"
+                    )
                 core.refs += 1
                 self._core = core
                 return True

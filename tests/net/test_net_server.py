@@ -1,0 +1,315 @@
+"""Tests for the socket server and pooled client (net/server.py, net/client.py)."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.core import FVLScheme, FVLVariant
+from repro.engine import DEFAULT_RUN, QueryEngine
+from repro.model.projection import ViewProjection
+from repro.net import (
+    ProvenanceClient,
+    ProvenanceNetServer,
+    RemoteQueryError,
+    ServerOverloadedError,
+)
+from repro.serve import BatchPolicy, ProvenanceServer
+from repro.bench import sample_query_pairs
+from repro.workloads import build_bioaid_specification, random_run, random_view
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return build_bioaid_specification()
+
+
+@pytest.fixture(scope="module")
+def scheme(spec):
+    return FVLScheme(spec)
+
+
+@pytest.fixture(scope="module")
+def workload(spec):
+    derivation = random_run(spec, 250, seed=41)
+    view = random_view(spec, 6, seed=42, mode="grey", name="net-view")
+    items = sorted(ViewProjection(derivation.run, view).visible_items)
+    pairs = sample_query_pairs(items, 300, seed=43)
+    return derivation, view, items, pairs
+
+
+@pytest.fixture(scope="module")
+def run_file(scheme, workload, tmp_path_factory):
+    derivation, view, items, pairs = workload
+    reference = QueryEngine(scheme)
+    reference.add_run(DEFAULT_RUN, derivation)
+    expected = reference.depends_batch(pairs, view, variant=FVLVariant.DEFAULT)
+    expected_visible = reference.is_visible_batch(items, view)
+    path = tmp_path_factory.mktemp("net") / "net.fvl"
+    reference.checkpoint(path)
+    return path, expected, expected_visible
+
+
+@pytest.fixture()
+def served(scheme, workload, run_file, tmp_path):
+    """A running scheduler + net server on a unix socket and a TCP port."""
+    _, view, items, pairs = workload
+    path, expected, expected_visible = run_file
+    engine = QueryEngine(scheme)
+    server = ProvenanceServer(engine, workers=2)
+    server.attach(path)
+    engine.add_view(view)
+    sock_path = tmp_path / "prov.sock"
+    with server:
+        with ProvenanceNetServer(
+            server, unix_path=sock_path, host="127.0.0.1", port=0
+        ) as net:
+            yield net, sock_path, view, items, pairs, expected, expected_visible
+
+
+# -- correctness over the wire --------------------------------------------------
+
+
+def test_unix_socket_answers_bit_identical(served):
+    net, sock_path, view, items, pairs, expected, expected_visible = served
+    with ProvenanceClient(unix_path=sock_path) as client:
+        assert client.depends_batch(pairs, view.name) == expected
+        assert client.is_visible_batch(items, view.name) == expected_visible
+
+
+def test_tcp_answers_match_unix(served):
+    net, sock_path, view, items, pairs, expected, _ = served
+    assert net.tcp_address is not None
+    with ProvenanceClient(address=net.tcp_address) as client:
+        assert client.depends_batch(pairs, view.name) == expected
+
+
+def test_explicit_variant_crosses_the_wire(served):
+    net, sock_path, view, _, pairs, expected, _ = served
+    with ProvenanceClient(unix_path=sock_path) as client:
+        got = client.depends_batch(
+            pairs[:25], view.name, variant=FVLVariant.SPACE_EFFICIENT
+        )
+        assert got == expected[:25]
+
+
+def test_singleton_helpers_coalesce_client_side(served):
+    net, sock_path, view, items, pairs, expected, expected_visible = served
+    with ProvenanceClient(unix_path=sock_path, pool_size=2, max_linger_us=2000) as client:
+        n = 24
+        results: list = [None] * n
+
+        def probe(index: int) -> None:
+            if index % 2:
+                results[index] = client.depends(*pairs[index], view.name)
+            else:
+                results[index] = client.is_visible(items[index], view.name)
+
+        threads = [threading.Thread(target=probe, args=(i,)) for i in range(n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index in range(n):
+            want = expected[index] if index % 2 else expected_visible[index]
+            assert results[index] == want
+    # Coalescing produced fewer request frames than probes.
+    assert net.stats.frames < n
+
+
+def test_empty_batches_short_circuit(served):
+    net, sock_path, view, _, _, _, _ = served
+    with ProvenanceClient(unix_path=sock_path) as client:
+        assert client.depends_batch([], view.name) == []
+        assert client.is_visible_batch([], view.name) == []
+
+
+def test_many_threaded_clients_bit_identical(served):
+    net, sock_path, view, items, pairs, expected, expected_visible = served
+    n_clients = 8
+    errors: list = []
+
+    def client_thread() -> None:
+        try:
+            with ProvenanceClient(unix_path=sock_path, retries=8) as client:
+                assert client.depends_batch(pairs, view.name) == expected
+                assert client.is_visible_batch(items, view.name) == expected_visible
+        except Exception as exc:  # pragma: no cover - surfaced by the assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client_thread) for _ in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    stats = net.stats
+    assert stats.connections >= n_clients
+    assert stats.answered_frames >= 2 * n_clients
+
+
+# -- failure surfaces -----------------------------------------------------------
+
+
+def test_unknown_view_raises_remote_error(served):
+    net, sock_path, _, _, pairs, _, _ = served
+    with ProvenanceClient(unix_path=sock_path) as client:
+        with pytest.raises(RemoteQueryError, match="unknown view") as info:
+            client.depends_batch(pairs[:3], "no-such-view")
+        assert info.value.kind == "ViewError"
+
+
+def test_unknown_run_raises_remote_error(served):
+    net, sock_path, view, _, pairs, _, _ = served
+    with ProvenanceClient(unix_path=sock_path) as client:
+        with pytest.raises(RemoteQueryError):
+            client.depends_batch(pairs[:3], view.name, run="no-such-run")
+
+
+def test_full_queue_sheds_instead_of_hanging(scheme, workload, tmp_path):
+    """A wedged scheduler (no workers) yields SHED replies, never a hang."""
+    _, view, _, pairs = workload
+    backed_up = ProvenanceServer(
+        QueryEngine(scheme), policy=BatchPolicy(max_batch=8, max_queue=8)
+    )
+    sock_path = tmp_path / "wedged.sock"
+    with ProvenanceNetServer(backed_up, unix_path=sock_path) as net:
+        filler = ProvenanceClient(unix_path=sock_path, timeout=10.0)
+        fill_done = threading.Event()
+
+        def fill() -> None:
+            try:
+                filler.depends_batch(pairs[:8], view.name)  # never answered
+            except Exception:
+                pass
+            finally:
+                fill_done.set()
+
+        thread = threading.Thread(target=fill, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while backed_up.pending < 8 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert backed_up.pending == 8
+        with ProvenanceClient(unix_path=sock_path) as client:
+            with pytest.raises(ServerOverloadedError) as info:
+                client.depends_batch(pairs[:4], view.name)
+            assert info.value.queue_depth == 8
+            assert info.value.retry_after_s > 0
+        assert net.stats.sheds == 1
+        filler.close()
+        fill_done.wait(5.0)
+
+
+def test_oversized_batch_answers_error_and_survives(scheme, workload, tmp_path):
+    _, view, _, pairs = workload
+    tiny = ProvenanceServer(
+        QueryEngine(scheme), policy=BatchPolicy(max_batch=8, max_queue=8)
+    )
+    sock_path = tmp_path / "tiny.sock"
+    with ProvenanceNetServer(tiny, unix_path=sock_path) as net:
+        with ProvenanceClient(unix_path=sock_path) as client:
+            with pytest.raises(RemoteQueryError, match="never fit"):
+                client.depends_batch(pairs[:20], view.name)
+            # The loop survived; the connection still answers stats.
+            assert client.server_stats()["status"] == "ok"
+
+
+def test_shed_retries_eventually_succeed(served):
+    """retries= resends after the server's retry-after hint."""
+    net, sock_path, view, _, pairs, expected, _ = served
+    with ProvenanceClient(unix_path=sock_path, retries=10) as client:
+        threads = []
+        results: list = [None] * 6
+        def hammer(index: int) -> None:
+            results[index] = client.depends_batch(pairs, view.name)
+        for index in range(6):
+            threads.append(threading.Thread(target=hammer, args=(index,)))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(answers == expected for answers in results)
+
+
+def test_garbage_on_the_port_drops_that_connection_only(served):
+    net, sock_path, view, _, pairs, expected, _ = served
+    raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    raw.connect(str(sock_path))
+    raw.sendall(struct.pack("<I", 1 << 30))  # absurd length prefix
+    assert raw.recv(1) == b""  # server hangs up on the violator
+    raw.close()
+    with ProvenanceClient(unix_path=sock_path) as client:  # others unaffected
+        assert client.depends_batch(pairs[:10], view.name) == expected[:10]
+
+
+# -- stats & lifecycle ----------------------------------------------------------
+
+
+def test_stats_endpoint_exposes_scheduler_and_transport(served):
+    net, sock_path, view, _, pairs, _, _ = served
+    with ProvenanceClient(unix_path=sock_path) as client:
+        client.depends_batch(pairs[:10], view.name)
+        payload = client.server_stats()
+        # Workers resolve futures before bumping counters, so the answers can
+        # arrive a beat ahead of the stats — poll briefly.
+        deadline = time.monotonic() + 5.0
+        while payload["server"]["answered"] < 10 and time.monotonic() < deadline:
+            time.sleep(0.01)
+            payload = client.server_stats()
+    assert payload["status"] == "ok"
+    assert payload["runs"] == [DEFAULT_RUN]
+    assert payload["queue_depth"] >= 0
+    assert payload["server"]["answered"] >= 10
+    assert payload["server"]["engine_calls"] >= 1
+    assert payload["net"]["frames"] >= 1
+    assert payload["net"]["connections"] >= 1
+
+
+def test_start_twice_rejected_and_restartable(scheme, tmp_path):
+    server = ProvenanceServer(QueryEngine(scheme))
+    sock_path = tmp_path / "cycle.sock"
+    net = ProvenanceNetServer(server, unix_path=sock_path)
+    with net:
+        assert net.running
+        with pytest.raises(RuntimeError, match="already running"):
+            net.start()
+    assert not net.running
+    with net:  # the socket path is reusable after a clean stop
+        assert net.running
+
+
+def test_stale_socket_file_is_reclaimed(scheme, tmp_path):
+    sock_path = tmp_path / "stale.sock"
+    dead = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    dead.bind(str(sock_path))
+    dead.close()  # bound but never listening: a crash leftover
+    server = ProvenanceServer(QueryEngine(scheme))
+    with ProvenanceNetServer(server, unix_path=sock_path) as net:
+        assert net.running
+
+
+def test_live_socket_is_not_stolen(scheme, workload, tmp_path):
+    _, view, _, pairs = workload
+    sock_path = tmp_path / "owned.sock"
+    first = ProvenanceServer(QueryEngine(scheme))
+    with ProvenanceNetServer(first, unix_path=sock_path):
+        second = ProvenanceNetServer(ProvenanceServer(QueryEngine(scheme)), unix_path=sock_path)
+        with pytest.raises(OSError):
+            second.start()
+
+
+def test_client_requires_exactly_one_target(tmp_path):
+    with pytest.raises(ValueError, match="exactly one"):
+        ProvenanceClient()
+    with pytest.raises(ValueError, match="exactly one"):
+        ProvenanceClient(unix_path=tmp_path / "x.sock", address=("h", 1))
+
+
+def test_net_server_requires_a_listener(scheme):
+    with pytest.raises(ValueError, match="bind"):
+        ProvenanceNetServer(ProvenanceServer(QueryEngine(scheme)))

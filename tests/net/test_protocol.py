@@ -1,0 +1,209 @@
+"""Tests for the binary wire protocol (net/protocol.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    OP_DEPENDS,
+    OP_VISIBLE,
+    AnswersReply,
+    ErrorReply,
+    FrameAssembler,
+    QueryRequest,
+    ShedReply,
+    StatsReply,
+    StatsRequest,
+    decode_reply,
+    decode_request,
+    encode_answers,
+    encode_depends_request,
+    encode_error,
+    encode_shed,
+    encode_stats_reply,
+    encode_stats_request,
+    encode_visible_request,
+)
+
+_LEN_PREFIX = 4
+
+
+def _payload(frame: bytes) -> bytes:
+    return frame[_LEN_PREFIX:]
+
+
+# -- request round trips --------------------------------------------------------
+
+
+def test_depends_request_round_trip():
+    pairs = [(1, 2), (3, 4), (5, 6)]
+    frame = encode_depends_request(7, "run-a", "audit", "se", pairs)
+    request = decode_request(_payload(frame))
+    assert isinstance(request, QueryRequest)
+    assert request.op == OP_DEPENDS
+    assert request.request_id == 7
+    assert (request.run, request.view, request.variant) == ("run-a", "audit", "se")
+    assert request.ids.shape == (3, 2)
+    assert request.ids.tolist() == [[1, 2], [3, 4], [5, 6]]
+
+
+def test_visible_request_round_trip():
+    frame = encode_visible_request(9, "default", "audit", None, [10, 20, 30])
+    request = decode_request(_payload(frame))
+    assert request.op == OP_VISIBLE
+    assert request.variant is None  # empty string on the wire = server default
+    assert request.ids.tolist() == [10, 20, 30]
+
+
+def test_empty_depends_batch_encodes():
+    frame = encode_depends_request(1, "default", "v", None, [])
+    request = decode_request(_payload(frame))
+    assert request.ids.shape == (0, 2)
+
+
+def test_depends_rejects_non_pair_shapes():
+    with pytest.raises(SerializationError, match=r"\(n, 2\)"):
+        encode_depends_request(1, "default", "v", None, [1, 2, 3])
+
+
+def test_visible_rejects_nested_ids():
+    with pytest.raises(SerializationError, match="flat"):
+        encode_visible_request(1, "default", "v", None, [[1, 2]])
+
+
+def test_stats_request_round_trip():
+    request = decode_request(_payload(encode_stats_request(42)))
+    assert isinstance(request, StatsRequest)
+    assert request.request_id == 42
+
+
+def test_unicode_names_survive_the_wire():
+    frame = encode_visible_request(1, "Δrun", "видѣти", None, [1])
+    request = decode_request(_payload(frame))
+    assert (request.run, request.view) == ("Δrun", "видѣти")
+
+
+# -- reply round trips ----------------------------------------------------------
+
+
+def test_answers_round_trip_bit_packed():
+    answers = [bool(int(b)) for b in "1011001110100"]  # 13: not byte-aligned
+    frame = encode_answers(5, answers)
+    # 13 bools fit two packed bytes: header + 2 payload bytes.
+    assert len(_payload(frame)) == 9 + 2
+    reply = decode_reply(_payload(frame))
+    assert isinstance(reply, AnswersReply)
+    assert reply.request_id == 5
+    assert reply.answers == answers
+
+
+def test_empty_answers_round_trip():
+    reply = decode_reply(_payload(encode_answers(3, [])))
+    assert reply.answers == []
+
+
+def test_shed_round_trip():
+    reply = decode_reply(_payload(encode_shed(8, 0.25, 4096)))
+    assert isinstance(reply, ShedReply)
+    assert (reply.request_id, reply.retry_after_s, reply.queue_depth) == (8, 0.25, 4096)
+
+
+def test_error_round_trip_and_truncation():
+    reply = decode_reply(_payload(encode_error(2, "ViewError", "unknown view 'x'")))
+    assert isinstance(reply, ErrorReply)
+    assert (reply.kind, reply.message) == ("ViewError", "unknown view 'x'")
+    huge = decode_reply(_payload(encode_error(2, "E" * 5000, "m" * 100_000)))
+    assert len(huge.kind.encode()) <= 1024
+    assert len(huge.message.encode()) <= 65536
+
+
+def test_stats_reply_round_trip():
+    payload = {"status": "ok", "net": {"sheds": 0}, "exc": Exception("boom")}
+    reply = decode_reply(_payload(encode_stats_reply(1, payload)))
+    assert isinstance(reply, StatsReply)
+    assert reply.payload["net"] == {"sheds": 0}
+    assert reply.payload["exc"] == "boom"  # non-JSON values stringified
+
+
+# -- malformed frames -----------------------------------------------------------
+
+
+def test_unknown_request_opcode_rejected():
+    frame = bytearray(_payload(encode_stats_request(1)))
+    frame[0] = 0x7F
+    with pytest.raises(SerializationError, match="opcode"):
+        decode_request(bytes(frame))
+
+
+def test_unknown_reply_opcode_rejected():
+    with pytest.raises(SerializationError, match="opcode"):
+        decode_reply(b"\x10\x00\x00\x00\x00")
+
+
+def test_truncated_request_rejected():
+    frame = _payload(encode_visible_request(1, "default", "v", None, [1, 2, 3]))
+    with pytest.raises(SerializationError, match="truncated"):
+        decode_request(frame[:-4])
+
+
+def test_trailing_bytes_rejected():
+    frame = _payload(encode_visible_request(1, "default", "v", None, [1]))
+    with pytest.raises(SerializationError, match="trailing"):
+        decode_request(frame + b"\x00")
+
+
+def test_bad_utf8_rejected():
+    frame = bytearray(_payload(encode_visible_request(1, "rr", "vv", None, [1])))
+    header_end = 14  # _REQUEST.size: run bytes start here
+    frame[header_end : header_end + 2] = b"\xff\xfe"
+    with pytest.raises(SerializationError, match="UTF-8"):
+        decode_request(bytes(frame))
+
+
+def test_oversized_payload_refused_at_encode():
+    ids = np.zeros(MAX_FRAME_BYTES // 8 + 16, dtype=np.int64)
+    with pytest.raises(SerializationError, match="exceeds"):
+        encode_visible_request(1, "default", "v", None, ids)
+
+
+# -- the frame assembler --------------------------------------------------------
+
+
+def test_assembler_reassembles_byte_by_byte():
+    frames = [
+        encode_visible_request(1, "default", "v", None, [1, 2]),
+        encode_answers(1, [True, False]),
+        encode_stats_request(2),
+    ]
+    stream = b"".join(frames)
+    assembler = FrameAssembler()
+    out = []
+    for i in range(len(stream)):
+        out.extend(assembler.feed(stream[i : i + 1]))
+    assert out == [_payload(f) for f in frames]
+    assert assembler.buffered == 0
+
+
+def test_assembler_returns_multiple_frames_from_one_chunk():
+    frames = [encode_stats_request(i) for i in range(5)]
+    assembler = FrameAssembler()
+    out = assembler.feed(b"".join(frames))
+    assert [decode_request(p).request_id for p in out] == list(range(5))
+
+
+def test_assembler_rejects_oversized_announcement():
+    assembler = FrameAssembler(max_frame_bytes=64)
+    with pytest.raises(SerializationError, match="64"):
+        assembler.feed(b"\xff\xff\xff\x7f")
+
+
+def test_assembler_keeps_partial_frames_buffered():
+    frame = encode_visible_request(1, "default", "v", None, list(range(10)))
+    assembler = FrameAssembler()
+    assert assembler.feed(frame[:10]) == []
+    assert assembler.buffered == 10
+    (payload,) = assembler.feed(frame[10:])
+    assert decode_request(payload).ids.tolist() == list(range(10))

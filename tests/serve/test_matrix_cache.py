@@ -311,3 +311,75 @@ def test_view_fingerprint_separates_same_named_views(spec, scheme, workload, tmp
     follower.add_view(impostor)  # same name, different structure
     follower.attach(run_file)
     assert load_hot_matrices(follower) == 0  # skipped, never guessed at
+
+
+# -- hit-count persistence (format v2) -----------------------------------------
+
+
+def test_warm_seeded_hits_survive_load_then_save(saved, scheme):
+    """A follower that loads the cache and re-saves keeps the warm working set.
+
+    Before v2, seeded entries started at zero ``pair_hits``, so a follower
+    saving under a tight budget ranked the leader's whole warm set below any
+    entry it had touched even once — one load→save cycle could drop it all.
+    """
+    run_file, view, pairs, expected, entries = saved
+
+    # The leader makes one pair unambiguously hottest, saves a 1-entry cache.
+    leader = QueryEngine(scheme)
+    leader.attach(run_file)
+    assert leader.depends_batch(pairs, view) == expected
+    hot_pair = pairs[0]
+    for _ in range(5):
+        leader.depends_batch([hot_pair] * 3, view)
+    assert save_hot_matrices(leader, DEFAULT_RUN, max_entries=1) == 1
+    leader_state = leader.decoded_state(view, FVLVariant.DEFAULT)
+    leader_hottest_key = max(
+        (k for k in leader_state.decode_cache.pair_matrices
+         if k[0] == leader.shard_arena()),
+        key=lambda k: leader_state.decode_cache.pair_hits.get(k, 0),
+    )
+    leader_hits = leader_state.decode_cache.pair_hits[leader_hottest_key]
+    assert leader_hits > 1
+
+    # The follower loads it, touches a *different* pair once, then re-saves
+    # under the same 1-entry budget.  The seeded entry must out-rank it.
+    follower = QueryEngine(scheme)
+    follower.add_view(view)
+    follower.attach(run_file)
+    assert load_hot_matrices(follower) == 1
+    state = follower.decoded_state(view, FVLVariant.DEFAULT)
+    (seeded_key,) = state.decode_cache.pair_matrices
+    assert state.decode_cache.pair_hits[seeded_key] == leader_hits
+    cold_pair = pairs[1] if pairs[1] != hot_pair else pairs[2]
+    follower.depends_batch([cold_pair], view)
+    assert save_hot_matrices(follower, DEFAULT_RUN, max_entries=1) == 1
+
+    # A third tier still sees the original hottest pair, with its hits.
+    third = QueryEngine(scheme)
+    third.add_view(view)
+    third.attach(run_file)
+    assert load_hot_matrices(third) == 1
+    third_state = third.decoded_state(view, FVLVariant.DEFAULT)
+    (key,) = third_state.decode_cache.pair_matrices
+    assert (key[1], key[2]) == (leader_hottest_key[1], leader_hottest_key[2])
+    assert third_state.decode_cache.pair_hits[key] >= leader_hits
+
+
+def test_v1_cache_files_rejected_loudly(saved, scheme):
+    """The pre-hits format is refused (and the server warm path goes cold)."""
+    run_file, view, pairs, expected, entries = saved
+    cache_file = matrix_cache_path(run_file)
+    with open(cache_file, "rb") as handle:
+        raw = bytearray(handle.read())
+    magic_end = len(CACHE_MAGIC)
+    version = int.from_bytes(raw[magic_end : magic_end + 4], "little")
+    assert version == CACHE_VERSION == 2
+    raw[magic_end : magic_end + 4] = (1).to_bytes(4, "little")
+    with open(cache_file, "wb") as handle:
+        handle.write(bytes(raw))
+    follower = QueryEngine(scheme)
+    follower.add_view(view)
+    follower.attach(run_file)
+    with pytest.raises(SerializationError, match="version"):
+        load_hot_matrices(follower)

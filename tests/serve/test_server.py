@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -224,3 +225,163 @@ def test_workers_drain_backlog_on_stop(served):
     server.start()
     server.stop()
     assert [f.result(timeout=30) for f in futures] == expected
+
+
+# -- the injected clock drives linger ------------------------------------------
+
+
+class _FakeClock:
+    """A monotonic clock that leaps forward a fixed step per reading."""
+
+    def __init__(self, step: float) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def test_linger_deadline_runs_on_the_injected_clock(scheme, workload, tmp_path):
+    """A 10-second linger elapses promptly under a fast fake clock.
+
+    The linger deadline used to be pinned to ``time.monotonic()`` no matter
+    what ``clock=`` was injected, so this test would hang for the full real
+    10 seconds instead of the handful of 50ms condition waits it takes the
+    fake clock to leap past the deadline.
+    """
+    derivation, view, items, pairs = workload
+    reference = QueryEngine(scheme)
+    reference.add_run(DEFAULT_RUN, derivation)
+    run_file = tmp_path / "clock.fvl"
+    reference.checkpoint(run_file)
+    engine = QueryEngine(scheme)
+    server = ProvenanceServer(
+        engine,
+        policy=BatchPolicy(max_batch=4096, max_linger_us=10_000_000),
+        clock=_FakeClock(step=1.0),
+    )
+    server.attach(run_file)
+    with server:
+        future = server.submit(*pairs[0], view)
+        assert isinstance(future.result(timeout=5), bool)
+
+
+def test_wall_clock_linger_still_collects_promptly(served):
+    """Sanity: the default clock path answers well under the linger bound."""
+    server, view, _, pairs, expected, _ = served
+    with server:
+        assert server.submit(*pairs[0], view).result(timeout=5) == expected[0]
+
+
+# -- synchronized error surfaces -----------------------------------------------
+
+
+def test_last_errors_live_in_the_stats_snapshot(served):
+    server, view, _, pairs, _, _ = served
+    assert server.stats.last_error is None
+    assert server.stats.last_warm_error is None
+    boom = ViewError("boom")
+    warm = LabelingError("cold")
+    server.last_error = boom
+    server.last_warm_error = warm
+    stats = server.stats
+    assert stats.last_error is boom
+    assert stats.last_warm_error is warm
+    # The attribute views agree with the snapshot.
+    assert server.last_error is boom
+    assert server.last_warm_error is warm
+
+
+def test_last_error_updates_race_free_with_stats_reads(served):
+    """Concurrent writers and readers of last_error never tear or crash."""
+    server, view, _, pairs, _, _ = served
+    errors: list = []
+    stop = threading.Event()
+    exceptions = [ViewError(f"e{i}") for i in range(4)]
+
+    def writer(exc) -> None:
+        try:
+            while not stop.is_set():
+                server.last_error = exc
+        except Exception as failure:  # pragma: no cover
+            errors.append(failure)
+
+    def reader() -> None:
+        try:
+            while not stop.is_set():
+                snapshot = server.stats
+                assert snapshot.last_error is None or snapshot.last_error in exceptions
+        except Exception as failure:  # pragma: no cover
+            errors.append(failure)
+
+    threads = [
+        threading.Thread(target=writer, args=(exc,), daemon=True)
+        for exc in exceptions
+    ]
+    threads += [threading.Thread(target=reader, daemon=True) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    try:
+        time.sleep(0.3)
+    finally:
+        stop.set()
+    for thread in threads:
+        thread.join(timeout=5)
+    assert not errors
+    assert server.stats.last_error in exceptions
+
+
+# -- submit_many (the wire fast path) ------------------------------------------
+
+
+def test_submit_many_matches_singleton_answers(served):
+    server, view, items, pairs, expected, expected_visible = served
+    futures = server.submit_many("depends", pairs, view)
+    visible = server.submit_many("visible", items, view)
+    while server.pending:
+        server.drain_once()
+    assert [f.result() for f in futures] == expected
+    assert [f.result() for f in visible] == expected_visible
+
+
+def test_submit_many_takes_one_engine_call_per_key(served):
+    server, view, _, pairs, expected, _ = served
+    before = server.stats
+    futures = server.submit_many("depends", pairs, view)
+    server.drain_once()
+    after = server.stats
+    assert after.engine_calls - before.engine_calls == 1
+    assert after.submitted - before.submitted == len(pairs)
+    assert [f.result() for f in futures] == expected
+
+
+def test_submit_many_nonblocking_returns_none_when_full(scheme, workload):
+    _, view, _, pairs = workload
+    server = ProvenanceServer(
+        QueryEngine(scheme), policy=BatchPolicy(max_batch=8, max_queue=8)
+    )
+    assert server.submit_many("depends", pairs[:8], view) is not None
+    assert server.pending == 8
+    assert server.submit_many("depends", pairs[8:12], view, block=False) is None
+    assert server.pending == 8  # the refused batch left no partial residue
+
+
+def test_submit_many_rejects_impossible_batches(scheme, workload):
+    _, view, _, pairs = workload
+    server = ProvenanceServer(
+        QueryEngine(scheme), policy=BatchPolicy(max_batch=8, max_queue=8)
+    )
+    with pytest.raises(ValueError, match="never fit"):
+        server.submit_many("depends", pairs[:9], view)
+    with pytest.raises(ValueError, match="kind"):
+        server.submit_many("sideways", pairs[:2], view)
+
+
+def test_submit_many_empty_and_stopped(scheme, workload):
+    _, view, _, pairs = workload
+    server = ProvenanceServer(QueryEngine(scheme))
+    assert server.submit_many("depends", [], view) == []
+    server.stop()
+    with pytest.raises(RuntimeError, match="stopped"):
+        server.submit_many("depends", pairs[:2], view)

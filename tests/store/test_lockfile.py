@@ -182,3 +182,36 @@ def test_payload_round_trip(tmp_path):
     data = json.loads(raw)
     assert data["pid"] == os.getpid()
     assert data["host"] == socket.gethostname()
+
+
+# -- mixed-mode registry joins -------------------------------------------------
+
+
+def test_mixed_mode_join_rejected(tmp_path):
+    """An excl-mode lease cannot silently join a flock-mode core (or back)."""
+    target = tmp_path / "run.fvl"
+    with FileLease(target, use_flock=True) as holder:
+        assert holder.held
+        impostor = FileLease(target, use_flock=False)
+        with pytest.raises(SerializationError, match="one locking mode"):
+            impostor.try_acquire()
+        assert not impostor.held
+    # The refused join must not have corrupted the refcount: the lease
+    # released cleanly and the path is acquirable again in its own mode.
+    with FileLease(target, use_flock=True) as again:
+        assert again.held
+    # And the reverse direction on a fresh path: flock refused onto excl.
+    other = tmp_path / "other.fvl"
+    with FileLease(other, use_flock=False) as fresh:
+        assert fresh.held
+        flocked = FileLease(other, use_flock=True)
+        with pytest.raises(SerializationError, match="in flock mode.*excl mode"):
+            flocked.try_acquire()
+
+
+def test_same_mode_join_still_shares_the_core(tmp_path):
+    target = tmp_path / "run.fvl"
+    with FileLease(target, use_flock=False) as first:
+        second = FileLease(target, use_flock=False)
+        assert second.try_acquire()  # same mode: refcounted join as before
+        second.release()
