@@ -61,7 +61,13 @@ from repro.engine.cache import (
     DecodedViewState,
     LRUCache,
 )
-from repro.errors import DecodingError, LabelingError, SerializationError, ViewError
+from repro.errors import (
+    CorruptionError,
+    DecodingError,
+    LabelingError,
+    SerializationError,
+    ViewError,
+)
 from repro.model.derivation import Derivation
 from repro.model.grammar import WorkflowGrammar
 from repro.model.specification import WorkflowSpecification
@@ -229,7 +235,9 @@ class QueryEngine:
         )
         return labeler
 
-    def attach(self, path, run_id: str = DEFAULT_RUN) -> MappedRunStore:
+    def attach(
+        self, path, run_id: str = DEFAULT_RUN, *, verify: str = "lazy"
+    ) -> MappedRunStore:
         """Serve a persisted run straight from its file mapping as a shard.
 
         The file (written by :meth:`checkpoint` /
@@ -239,6 +247,13 @@ class QueryEngine:
         file's own trie (not the engine arena), which the decode caches keep
         apart automatically.  Register attachments from one thread, like
         :meth:`add_run`.
+
+        ``verify`` is passed to :class:`~repro.store.MappedRunStore`:
+        ``"lazy"`` (default) scrubs the file's checksums once on first
+        access, ``"attach"`` scrubs before this call returns, ``"off"``
+        trusts the bytes.  A failed scrub raises
+        :class:`~repro.errors.CorruptionError` instead of ever serving a
+        silently wrong answer.
         """
         if run_id in self._shards:
             # Guard before the file is mapped: silently replacing the live
@@ -249,7 +264,7 @@ class QueryEngine:
                 "detach(run_id) it first to attach a different file under "
                 "this id"
             )
-        mapped = MappedRunStore(path)
+        mapped = MappedRunStore(path, verify=verify)
         expected = grammar_fingerprint(self._scheme.index)
         if mapped.fingerprint and mapped.fingerprint != expected:
             mapped.close()
@@ -312,7 +327,10 @@ class QueryEngine:
             old = shard.mapped
             if old.current_generation() == old.generation:
                 return False
-            fresh = MappedRunStore(old.path)
+            # The fresh generation is scrubbed *before* the swap: a corrupt
+            # rewrite raises CorruptionError here and the old mapping (the
+            # last good generation) keeps serving untouched.
+            fresh = MappedRunStore(old.path, verify="attach")
             expected = grammar_fingerprint(self._scheme.index)
             if fresh.fingerprint and fresh.fingerprint != expected:
                 fresh.close()
@@ -359,6 +377,11 @@ class QueryEngine:
             return False
         try:
             return self.reopen(run_id)
+        except CorruptionError:
+            # A failed checksum is damage, not a race: the old mapping (the
+            # last good generation) keeps serving, but the caller must hear
+            # about the corrupt rewrite rather than silently retrying it.
+            raise
         except (OSError, SerializationError):
             # The file vanished or tore between the probe and the remap
             # (e.g. a compaction swap in flight); the old mapping still

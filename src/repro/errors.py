@@ -24,6 +24,7 @@ __all__ = [
     "DecodingError",
     "VisibilityError",
     "SerializationError",
+    "CorruptionError",
 ]
 
 
@@ -102,3 +103,15 @@ class VisibilityError(ReproError):
 
 class SerializationError(ReproError):
     """A specification, view or run could not be (de)serialized."""
+
+
+class CorruptionError(SerializationError):
+    """Stored bytes failed an integrity check (per-section CRC mismatch).
+
+    Raised when a run file's payload does not match the checksum recorded in
+    its segment table — a torn write, bit rot, or an overwritten page.  It
+    subclasses :class:`SerializationError` so reopen paths that tolerate
+    serialization failures keep serving the last good generation, while
+    callers that need to distinguish corruption (quarantine, scrubbing) can
+    catch it specifically.
+    """

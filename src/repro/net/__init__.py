@@ -9,7 +9,12 @@ admission control (SHED, not blocking) and per-connection fairness, and
 :class:`ProvenanceClient` for the pooled, batch-first client.
 """
 
-from repro.net.client import ProvenanceClient, RemoteQueryError, ServerOverloadedError
+from repro.net.client import (
+    CircuitOpenError,
+    ProvenanceClient,
+    RemoteQueryError,
+    ServerOverloadedError,
+)
 from repro.net.protocol import (
     MAX_FRAME_BYTES,
     AnswersReply,
@@ -34,6 +39,7 @@ from repro.net.server import NetStats, ProvenanceNetServer
 __all__ = [
     "MAX_FRAME_BYTES",
     "AnswersReply",
+    "CircuitOpenError",
     "ErrorReply",
     "FrameAssembler",
     "NetStats",

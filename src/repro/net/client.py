@@ -14,14 +14,23 @@ round-robin intake then keeps them fair against each other.
 
 Overload is explicit: a SHED reply raises :class:`ServerOverloadedError`
 carrying the server's ``retry_after_s`` hint unless ``retries`` is set, in
-which case the client sleeps the hinted time and resends (bounded
-attempts).  Query-level failures (unknown view, engine fault) raise
-:class:`RemoteQueryError` with the server-side exception kind and message.
+which case the client backs off and resends (bounded attempts).  The
+backoff is hardened against a shedding fleet: the server's hint is *capped*
+(a confused server cannot park the client for minutes), the sleep grows
+exponentially with a jitter factor (retrying clients decorrelate instead of
+re-stampeding in lockstep), and the whole retry loop runs under a total
+deadline budget.  A client that keeps seeing SHED trips a circuit breaker:
+further calls fast-fail with :class:`CircuitOpenError` (a
+:class:`ServerOverloadedError`) for a cooldown instead of adding load, then
+a single half-open probe decides whether to close it.  Query-level failures
+(unknown view, engine fault) raise :class:`RemoteQueryError` with the
+server-side exception kind and message.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import threading
 import time
@@ -29,6 +38,7 @@ from collections import deque
 
 import numpy as np
 
+from repro import faults
 from repro.errors import ReproError, SerializationError
 from repro.net.protocol import (
     AnswersReply,
@@ -42,7 +52,12 @@ from repro.net.protocol import (
 )
 from repro.net.protocol import decode_reply as _decode_reply
 
-__all__ = ["ProvenanceClient", "RemoteQueryError", "ServerOverloadedError"]
+__all__ = [
+    "CircuitOpenError",
+    "ProvenanceClient",
+    "RemoteQueryError",
+    "ServerOverloadedError",
+]
 
 DEFAULT_RUN = "default"
 
@@ -59,6 +74,17 @@ class ServerOverloadedError(ReproError):
         )
         self.retry_after_s = retry_after_s
         self.queue_depth = queue_depth
+
+
+class CircuitOpenError(ServerOverloadedError):
+    """The client's circuit breaker is open: fast-fail, don't add load.
+
+    Raised without touching the wire once ``breaker_threshold`` consecutive
+    SHED replies were seen; subclasses :class:`ServerOverloadedError` so
+    callers handling overload generically keep working, with
+    ``retry_after_s`` carrying the remaining cooldown and ``queue_depth``
+    the last depth the server reported.
+    """
 
 
 class RemoteQueryError(ReproError):
@@ -95,6 +121,15 @@ class ProvenanceClient:
 
     Exactly one of ``unix_path`` or ``address`` must be given.  Thread-safe;
     up to ``pool_size`` round trips run concurrently.
+
+    Overload knobs (all optional): ``retries`` bounds SHED resends per call;
+    ``retry_budget_s`` is the *total* time one call may spend backing off
+    (``None`` = the socket ``timeout``); ``backoff_base_s``/``backoff_cap_s``
+    shape the exponential sleep and ``retry_after_cap_s`` clips the server's
+    hint; ``breaker_threshold`` consecutive SHEDs across the client open the
+    circuit breaker for ``breaker_cooldown_s`` (``None`` disables it).
+    ``clock``/``sleep``/``jitter_seed`` exist so tests drive the retry
+    machinery deterministically without real waiting.
     """
 
     def __init__(
@@ -107,11 +142,26 @@ class ProvenanceClient:
         retries: int = 0,
         max_linger_us: int = 200,
         max_batch: int = 4096,
+        retry_budget_s: "float | None" = None,
+        backoff_base_s: float = 0.005,
+        backoff_cap_s: float = 0.5,
+        retry_after_cap_s: float = 1.0,
+        breaker_threshold: "int | None" = 32,
+        breaker_cooldown_s: float = 1.0,
+        clock=time.monotonic,
+        sleep=time.sleep,
+        jitter_seed: "int | None" = None,
     ) -> None:
         if (unix_path is None) == (address is None):
             raise ValueError("pass exactly one of unix_path= or address=")
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
+        if backoff_base_s < 0 or backoff_cap_s < 0 or retry_after_cap_s < 0:
+            raise ValueError("backoff bounds must not be negative")
+        if breaker_threshold is not None and breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1 (or None to disable)")
+        if breaker_cooldown_s < 0:
+            raise ValueError("breaker_cooldown_s must not be negative")
         self._unix_path = unix_path
         self._address = address
         self._pool_size = pool_size
@@ -119,6 +169,21 @@ class ProvenanceClient:
         self._retries = retries
         self._max_linger_us = max_linger_us
         self._max_batch = max_batch
+        self._retry_budget_s = timeout if retry_budget_s is None else retry_budget_s
+        self._backoff_base_s = backoff_base_s
+        self._backoff_cap_s = backoff_cap_s
+        self._retry_after_cap_s = retry_after_cap_s
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown_s = breaker_cooldown_s
+        self._clock = clock
+        self._sleep = sleep
+        self._rng = random.Random(jitter_seed)
+        # Circuit-breaker state, shared by every thread using this client.
+        self._breaker_lock = threading.Lock()
+        self._shed_streak = 0
+        self._breaker_open_until = 0.0
+        self._breaker_probing = False
+        self._last_shed_depth = 0
         self._pool: deque[_PooledConn] = deque()
         self._pool_lock = threading.Lock()
         self._pool_open = 0  # live sockets, pooled or borrowed
@@ -197,8 +262,10 @@ class ProvenanceClient:
         conn = self._borrow()
         broken = True
         try:
+            faults.hit("net.send")
             conn.sock.sendall(frame)
             while True:
+                faults.hit("net.recv")
                 data = conn.sock.recv(_RECV_BYTES)
                 if not data:
                     raise SerializationError(
@@ -212,25 +279,111 @@ class ProvenanceClient:
                         raise SerializationError(
                             "unexpected extra reply frames on a pooled connection"
                         )
+                    # Decode *before* declaring the connection healthy: a
+                    # frame that fails to decode leaves the stream's trust
+                    # gone just like a short read would, and the connection
+                    # must be discarded, never returned to the pool.
+                    reply = _decode_reply(frames[0])
                     broken = False
-                    return _decode_reply(frames[0])
+                    return reply
         finally:
             self._give_back(conn, broken=broken)
 
+    # -- overload handling -------------------------------------------------------
+
+    def _check_breaker(self) -> bool:
+        """Fast-fail while the breaker is open; admit one half-open probe.
+
+        Returns True when *this* caller was elected the half-open probe (the
+        caller then owns reporting the probe's outcome — an abandoned probe
+        re-opens the breaker via :meth:`_probe_aborted`).
+        """
+        if self._breaker_threshold is None:
+            return False
+        with self._breaker_lock:
+            if self._breaker_open_until == 0.0:
+                return False  # closed
+            remaining = self._breaker_open_until - self._clock()
+            if remaining > 0:
+                raise CircuitOpenError(remaining, self._last_shed_depth)
+            # Cooldown over: half-open.  Exactly one caller probes the
+            # server; the rest keep fast-failing until the probe settles.
+            if self._breaker_probing:
+                raise CircuitOpenError(0.0, self._last_shed_depth)
+            self._breaker_probing = True
+            return True
+
+    def _note_shed(self, reply: ShedReply) -> None:
+        if self._breaker_threshold is None:
+            return
+        with self._breaker_lock:
+            self._shed_streak += 1
+            self._last_shed_depth = reply.queue_depth
+            if self._breaker_probing or self._shed_streak >= self._breaker_threshold:
+                # Tripped — or the half-open probe got shed again: (re)open.
+                self._breaker_open_until = self._clock() + self._breaker_cooldown_s
+                self._breaker_probing = False
+
+    def _note_answered(self) -> None:
+        if self._breaker_threshold is None:
+            return
+        with self._breaker_lock:
+            self._shed_streak = 0
+            self._breaker_open_until = 0.0
+            self._breaker_probing = False
+
+    def _probe_aborted(self) -> None:
+        """A half-open probe died on a transport error: re-open the breaker."""
+        with self._breaker_lock:
+            if self._breaker_probing:
+                self._breaker_open_until = self._clock() + self._breaker_cooldown_s
+                self._breaker_probing = False
+
+    def _backoff_delay(self, hint_s: float, attempt: int) -> float:
+        """Capped exponential backoff with jitter, floored by the capped hint."""
+        hint = min(max(hint_s, 0.0), self._retry_after_cap_s)
+        grown = self._backoff_base_s * (1 << min(attempt, 20))
+        delay = min(self._backoff_cap_s, max(hint, grown))
+        return delay * (0.5 + self._rng.random())  # jitter factor in [0.5, 1.5)
+
     def _ask(self, frame_for):
-        """Send (re-encoding per attempt for fresh request ids) with shed retries."""
+        """Send (re-encoding per attempt for fresh request ids) with shed retries.
+
+        Retries back off exponentially (jittered, hint-floored, capped) under
+        a total ``retry_budget_s`` deadline; persistent shedding trips the
+        client-wide circuit breaker checked on entry.
+        """
+        probing = self._check_breaker()
         attempts = self._retries + 1
-        for attempt in range(attempts):
-            reply = self._round_trip(frame_for(next(self._request_ids)))
-            if isinstance(reply, ShedReply):
-                if attempt + 1 < attempts:
-                    time.sleep(max(reply.retry_after_s, 0.0))
-                    continue
-                raise ServerOverloadedError(reply.retry_after_s, reply.queue_depth)
-            if isinstance(reply, ErrorReply):
-                raise RemoteQueryError(reply.kind, reply.message)
-            return reply
-        raise AssertionError("unreachable")  # pragma: no cover
+        deadline = self._clock() + self._retry_budget_s
+        try:
+            for attempt in range(attempts):
+                reply = self._round_trip(frame_for(next(self._request_ids)))
+                if isinstance(reply, ShedReply):
+                    self._note_shed(reply)
+                    probing = False  # the probe's outcome is now recorded
+                    if attempt + 1 < attempts:
+                        remaining = deadline - self._clock()
+                        if remaining > 0:
+                            self._sleep(
+                                min(
+                                    self._backoff_delay(reply.retry_after_s, attempt),
+                                    remaining,
+                                )
+                            )
+                            probing = self._check_breaker() or probing
+                            continue
+                    raise ServerOverloadedError(reply.retry_after_s, reply.queue_depth)
+                self._note_answered()
+                probing = False
+                if isinstance(reply, ErrorReply):
+                    raise RemoteQueryError(reply.kind, reply.message)
+                return reply
+            raise AssertionError("unreachable")  # pragma: no cover
+        except BaseException:
+            if probing:
+                self._probe_aborted()
+            raise
 
     # -- batch API ---------------------------------------------------------------
 

@@ -38,7 +38,9 @@ import threading
 from collections import deque
 from dataclasses import dataclass
 
+from repro import faults
 from repro.errors import SerializationError
+from repro.faults import InjectedFault
 from repro.net.protocol import (
     MAX_FRAME_BYTES,
     OP_DEPENDS,
@@ -376,10 +378,14 @@ class ProvenanceNetServer:
 
     def _read(self, conn: _Connection) -> None:
         try:
+            faults.hit("net.recv")
             data = conn.sock.recv(_RECV_BYTES)
         except (BlockingIOError, InterruptedError):
             return
-        except OSError:
+        except (OSError, InjectedFault):
+            # Either way the bytes already buffered for this peer can no
+            # longer be trusted to frame correctly: drop the connection, the
+            # loop (and every other connection) lives on.
             self._close_conn(conn)
             return
         if not data:
@@ -474,6 +480,7 @@ class ProvenanceNetServer:
                 "queue_peak": stats.queue_peak,
                 "probes": stats.probes,
                 "reopens": stats.reopens,
+                "worker_restarts": stats.worker_restarts,
                 "last_error": str(stats.last_error) if stats.last_error else None,
                 "last_warm_error": (
                     str(stats.last_warm_error) if stats.last_warm_error else None
@@ -514,10 +521,11 @@ class ProvenanceNetServer:
                     break
                 chunk = conn.outbound[0]
             try:
+                faults.hit("net.send")
                 sent = conn.sock.send(chunk)
             except (BlockingIOError, InterruptedError):
                 break
-            except OSError:
+            except (OSError, InjectedFault):
                 self._close_conn(conn)
                 return
             with conn.lock:

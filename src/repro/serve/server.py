@@ -38,6 +38,7 @@ from concurrent.futures import Future, InvalidStateError
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 
+from repro import faults
 from repro.engine.engine import DEFAULT_RUN, QueryEngine
 from repro.errors import LabelingError, SerializationError
 from repro.serve.matrix_cache import load_hot_matrices, save_hot_matrices
@@ -118,6 +119,9 @@ class ServerStats:
     queue_peak: int
     probes: int
     reopens: int
+    #: Times a worker thread died outside the per-batch guard and its
+    #: supervisor restarted it (0 = no worker has ever crashed).
+    worker_restarts: int = 0
     #: The last unexpected scheduling/probe failure a worker survived and the
     #: last warm-start failure attach swallowed (both ``None`` when healthy).
     last_error: "Exception | None" = None
@@ -202,6 +206,7 @@ class ProvenanceServer:
         self._queue_peak = 0
         self._probes = 0
         self._reopens = 0
+        self._worker_restarts = 0
         self._last_warm_error: Exception | None = None
         self._last_error: Exception | None = None
 
@@ -250,7 +255,9 @@ class ProvenanceServer:
             self._stopping = False
         for index in range(self._n_workers):
             thread = threading.Thread(
-                target=self._worker, name=f"provenance-serve-{index}", daemon=True
+                target=self._worker_entry,
+                name=f"provenance-serve-{index}",
+                daemon=True,
             )
             thread.start()
             self._threads.append(thread)
@@ -480,6 +487,7 @@ class ProvenanceServer:
                 queue_peak=self._queue_peak,
                 probes=self._probes,
                 reopens=self._reopens,
+                worker_restarts=self._worker_restarts,
                 last_error=self._last_error,
                 last_warm_error=self._last_warm_error,
             )
@@ -526,11 +534,44 @@ class ProvenanceServer:
                         continue
         return future.result()
 
-    def _worker(self) -> None:
+    def _worker_entry(self) -> None:
+        """Supervise one worker thread: restart it when a step escapes.
+
+        The per-batch guard in :meth:`_worker` already contains failures
+        *inside* a scheduling step, but an exception between steps — in
+        :meth:`_collect_batch` itself, or at the ``scheduler.batch`` fault
+        point — would kill the thread and silently strand every future
+        submitter.  The supervisor fails the batch the dead worker was
+        holding (loudly, on its futures), counts the restart, and spins a
+        fresh loop unless the server is stopping with a drained queue.
+        """
+        in_flight: "list[list[_Request] | None]" = [None]
+        while True:
+            try:
+                self._worker(in_flight)
+                return  # clean exit: stopping, queue drained
+            except Exception as exc:
+                batch = in_flight[0]
+                in_flight[0] = None
+                self.last_error = exc
+                if batch:
+                    for request in batch:
+                        _safe_set_exception(request.future, exc)
+                with self._stats_lock:
+                    self._worker_restarts += 1
+                with self._cond:
+                    if self._stopping and not self._queue:
+                        return
+
+    def _worker(self, in_flight: "list[list[_Request] | None]") -> None:
         while True:
             batch = self._collect_batch()
             if batch is None:
                 return
+            # Published before the fault point so the supervisor can fail
+            # exactly the requests this thread popped, should it die here.
+            in_flight[0] = batch
+            faults.hit("scheduler.batch")
             try:
                 self._process(batch)
             except Exception as exc:
@@ -541,6 +582,8 @@ class ProvenanceServer:
                 self.last_error = exc
                 for request in batch:
                     _safe_set_exception(request.future, exc)
+            finally:
+                in_flight[0] = None
 
     def _collect_batch(self) -> "list[_Request] | None":
         policy = self._policy

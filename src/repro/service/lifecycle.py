@@ -100,6 +100,11 @@ class LifecycleStats:
     items_flushed: int
     compactions: int
     reopens: int
+    #: Per-run flush/compaction failures recorded (lifetime count).
+    run_failures: int = 0
+    #: Runs currently quarantined (skipped by background sweeps until an
+    #: explicit flush succeeds or :meth:`RunLifecycleManager.unquarantine`).
+    quarantined_runs: int = 0
 
 
 @dataclass(frozen=True)
@@ -138,6 +143,16 @@ class _ManagedRun:
     flushed_nodes: int = 0
     last_flush: float = 0.0
     n_segments: int = 0
+    #: Consecutive sweep failures on this run (reset by any success).
+    failures: int = 0
+    #: Clock time before which background sweeps skip the run (exponential
+    #: backoff; explicit ``flush``/``compact_run``/``unmanage`` ignore it).
+    next_retry_at: float = 0.0
+    #: Quarantined runs are skipped by every background sweep until an
+    #: explicit operation succeeds or ``unquarantine()`` clears them.
+    quarantined: bool = False
+    #: The exception behind the most recent recorded failure.
+    last_failure: "Exception | None" = None
 
     def pending_items(self) -> int:
         return len(self.labeler.store) - self.flushed_items
@@ -185,11 +200,28 @@ class RunLifecycleManager:
         clock=time.monotonic,
         use_leases: bool = True,
         lease_stale_after: float = DEFAULT_STALE_AFTER,
+        quarantine_after: int | None = 5,
+        retry_backoff_s: float = 0.05,
+        retry_backoff_cap_s: float = 30.0,
     ) -> None:
         self._engine = engine
         self._policy = policy or CheckpointPolicy()
         self._poll_interval = poll_interval
         self._clock = clock
+        #: Failure containment: a run whose flush/compaction fails is retried
+        #: on the next sweep once, then with exponential per-run backoff
+        #: (``retry_backoff_s * 2^(n-2)``, capped) instead of being
+        #: re-hammered every sweep; after ``quarantine_after`` consecutive
+        #: failures the run is quarantined — background sweeps skip it until
+        #: an explicit flush succeeds or :meth:`unquarantine` is called.
+        #: ``quarantine_after=None`` disables quarantining (backoff remains).
+        if quarantine_after is not None and quarantine_after < 1:
+            raise ValueError("quarantine_after must be at least 1 (or None)")
+        if retry_backoff_s < 0 or retry_backoff_cap_s < 0:
+            raise ValueError("retry backoff bounds must be non-negative")
+        self._quarantine_after = quarantine_after
+        self._retry_backoff_s = retry_backoff_s
+        self._retry_backoff_cap_s = retry_backoff_cap_s
         #: Cross-process safety: every managed run file is claimed with a
         #: :class:`~repro.store.FileLease` so a manager in another process
         #: cannot append to or compact the same file.  ``use_leases=False``
@@ -205,6 +237,7 @@ class RunLifecycleManager:
         self._items_flushed = 0
         self._compactions = 0
         self._reopens = 0
+        self._run_failures = 0
         #: The last exception a background sweep swallowed (None = healthy).
         self.last_error: Exception | None = None
 
@@ -358,6 +391,12 @@ class RunLifecycleManager:
         This is exactly what the background thread runs per interval;
         calling it directly (tests, benchmarks, single-threaded deployments)
         gives the same behaviour deterministically.
+
+        Failure containment is per run: a failing run is retried on the next
+        sweep, then with exponential backoff, and quarantined (skipped
+        entirely) after ``quarantine_after`` consecutive failures — so one
+        broken path cannot make every sweep re-fail, and its first failure's
+        error still surfaces from each sweep that attempts it.
         """
         now = self._clock()
         with self._lock:
@@ -369,10 +408,13 @@ class RunLifecycleManager:
             # needs them so contenders do not take a live lease over).
             if managed.lease is not None and managed.lease.held:
                 managed.lease.heartbeat()
+        eligible = [
+            m for m in runs if not m.quarantined and now >= m.next_retry_at
+        ]
         checkpoints: list[CheckpointResult] = []
         flush_error: Exception | None = None
         try:
-            checkpoints = self._flush_runs([m for m in runs if self._due(m, now)])
+            checkpoints = self._flush_runs([m for m in eligible if self._due(m, now)])
         except Exception as exc:
             # One unflushable run must not starve the compaction/reopen half
             # of the sweep (healthy runs were already flushed by the per-run
@@ -380,10 +422,18 @@ class RunLifecycleManager:
             flush_error = exc
         compactions: list[CompactionResult] = []
         reopened: list[str] = []
-        for managed in runs:
-            if not self._compaction_due(managed):
+        compact_error: Exception | None = None
+        for managed in eligible:
+            # Re-check: the flush phase may just have quarantined the run.
+            if managed.quarantined or not self._compaction_due(managed):
                 continue
-            result = self._compact_managed(managed)
+            try:
+                result = self._compact_managed(managed)
+            except Exception as exc:
+                self._record_failure(managed, exc)
+                if compact_error is None:
+                    compact_error = exc
+                continue
             if result.compacted:
                 compactions.append(result)
                 reopened.extend(self._engine.reopen_all(managed.path))
@@ -392,6 +442,8 @@ class RunLifecycleManager:
                 self._reopens += len(reopened)
         if flush_error is not None:
             raise flush_error
+        if compact_error is not None:
+            raise compact_error
         return SweepResult(checkpoints, compactions, reopened)
 
     def flush(self, run_id: str | None = None) -> list[CheckpointResult]:
@@ -433,7 +485,44 @@ class RunLifecycleManager:
                 items_flushed=self._items_flushed,
                 compactions=self._compactions,
                 reopens=self._reopens,
+                run_failures=self._run_failures,
+                quarantined_runs=sum(
+                    1 for m in self._runs.values() if m.quarantined
+                ),
             )
+
+    @property
+    def quarantined_runs(self) -> tuple[str, ...]:
+        """Run ids currently quarantined (with their last failure in
+        :meth:`run_failure`); background sweeps skip them entirely."""
+        with self._lock:
+            return tuple(
+                run_id for run_id, m in self._runs.items() if m.quarantined
+            )
+
+    def run_failure(self, run_id: str) -> "Exception | None":
+        """The exception behind a managed run's most recent recorded failure."""
+        with self._lock:
+            try:
+                return self._runs[run_id].last_failure
+            except KeyError:
+                raise LabelingError(f"run {run_id!r} is not managed") from None
+
+    def unquarantine(self, run_id: str) -> None:
+        """Clear a run's quarantine and failure streak; sweeps resume at once.
+
+        The underlying fault is the operator's to have fixed — if it has
+        not been, the run re-earns its quarantine after another
+        ``quarantine_after`` consecutive failures.  Idempotent.
+        """
+        with self._lock:
+            try:
+                managed = self._runs[run_id]
+            except KeyError:
+                raise LabelingError(f"run {run_id!r} is not managed") from None
+            managed.quarantined = False
+            managed.failures = 0
+            managed.next_retry_at = 0.0
 
     # -- internals ---------------------------------------------------------------
 
@@ -519,6 +608,7 @@ class RunLifecycleManager:
                 except LeaseHeldError as exc:
                     if lease_error is None:
                         lease_error = exc
+                    self._record_failure(managed, exc)
                 else:
                     flushable.append(managed)
             results: list[CheckpointResult] = []
@@ -528,8 +618,9 @@ class RunLifecycleManager:
                         [(m.path, m.labeler.store, m.node_table) for m in flushable],
                         fingerprint=fingerprint,
                     )
-                except Exception:
+                except Exception as exc:
                     if len(flushable) == 1 and lease_error is None:
+                        self._record_failure(flushable[0], exc)
                         raise
                     # The batch fails as a unit, so one bad run (unwritable
                     # path, foreign file at its path, ...) must not starve
@@ -568,6 +659,7 @@ class RunLifecycleManager:
             except Exception as exc:
                 if first_error is None:
                     first_error = exc
+                self._record_failure(managed, exc)
                 continue
             self._record_flush(managed, result)
             results.append(result)
@@ -598,6 +690,33 @@ class RunLifecycleManager:
                 managed.flushed_paths = max(managed.flushed_paths, info.n_paths)
                 managed.flushed_nodes = max(managed.flushed_nodes, info.n_nodes)
             self._items_flushed += result.delta_items
+            # A durable flush is proof of health: reset the failure streak,
+            # the backoff window, and (for explicit flushes) the quarantine.
+            managed.failures = 0
+            managed.next_retry_at = 0.0
+            managed.last_failure = None
+            managed.quarantined = False
+
+    def _record_failure(self, managed: _ManagedRun, exc: Exception) -> None:
+        """Advance a run's failure streak: next-sweep retry, backoff, quarantine."""
+        with self._lock:
+            managed.failures += 1
+            managed.last_failure = exc
+            self._run_failures += 1
+            if (
+                self._quarantine_after is not None
+                and managed.failures >= self._quarantine_after
+            ):
+                managed.quarantined = True
+            if managed.failures > 1:
+                # The first failure retries on the very next sweep (most
+                # failures are transient — a missing directory, a racing
+                # writer); from the second on the retry interval doubles.
+                backoff = min(
+                    self._retry_backoff_cap_s,
+                    self._retry_backoff_s * (1 << (managed.failures - 2)),
+                )
+                managed.next_retry_at = self._clock() + backoff
 
     def _compact_managed(self, managed: _ManagedRun) -> CompactionResult:
         with managed.file_lock:
@@ -612,6 +731,11 @@ class RunLifecycleManager:
                 with self._lock:
                     managed.n_segments = n_segments
                     self._compactions += 1
+            with self._lock:
+                managed.failures = 0
+                managed.next_retry_at = 0.0
+                managed.last_failure = None
+                managed.quarantined = False
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

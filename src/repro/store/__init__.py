@@ -55,9 +55,11 @@ from repro.store.persist import (
     MappedPathTable,
     MappedRunStore,
     RunFileInfo,
+    VerifyReport,
     checkpoint_batch,
     checkpoint_run,
     run_file_info,
+    verify_run,
 )
 
 __all__ = [
@@ -79,6 +81,8 @@ __all__ = [
     "CheckpointResult",
     "RunFileInfo",
     "run_file_info",
+    "VerifyReport",
+    "verify_run",
     "compact",
     "CompactionResult",
     "FileLease",

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import faults
 from repro.errors import SerializationError
 from repro.store.lockfile import FileLease
 from repro.store.persist import (
@@ -260,7 +261,10 @@ def _compact_locked(file_path: str) -> CompactionResult:
         # The swap is the commit point: the tmp file is fully fsynced, so
         # after the (atomic) rename either the old or the new generation is
         # at the path — never a mix.  Readers mapping the old inode are
-        # unaffected until they reopen.
+        # unaffected until they reopen.  A crash here (the injectable
+        # ``compact.swap`` fault) leaves the tmp file behind for the next
+        # call's GC and the source untouched.
+        faults.hit("compact.swap")
         os.replace(tmp_path, file_path)
         _fsync_dir(os.path.dirname(file_path))
         return CompactionResult(

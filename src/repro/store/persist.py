@@ -32,6 +32,8 @@ from __future__ import annotations
 import mmap
 import os
 import struct
+import threading
+import zlib
 from array import array
 from bisect import bisect_right
 from dataclasses import dataclass
@@ -39,7 +41,8 @@ from itertools import islice
 
 import numpy as np
 
-from repro.errors import SerializationError
+from repro import faults
+from repro.errors import CorruptionError, SerializationError
 from repro.store.label_store import LabelStore
 from repro.store.node_table import NodeTable
 from repro.store.path_table import ROOT_PATH, PathTable
@@ -50,9 +53,11 @@ __all__ = [
     "PAGE_SIZE",
     "CheckpointResult",
     "RunFileInfo",
+    "VerifyReport",
     "checkpoint_run",
     "checkpoint_batch",
     "run_file_info",
+    "verify_run",
     "MappedRunStore",
     "MappedLabelStore",
     "MappedPathTable",
@@ -60,7 +65,10 @@ __all__ = [
 ]
 
 FORMAT_MAGIC = b"FVLRUN01"
-FORMAT_VERSION = 2
+#: Version 3 adds per-section CRC32 checksums to the segment tables (the
+#: ``SEG2`` segment magic).  Readers accept mixed chains: ``SEG1`` segments
+#: from v1/v2 files simply have no checksums to verify.
+FORMAT_VERSION = 3
 #: Oldest readable header layout.  Version 1 lacked the trailing
 #: ``generation`` field; the header page has always been zero-padded, so a
 #: v1 header simply reads back generation 0 and is upgraded in place by the
@@ -74,7 +82,11 @@ PAGE_SIZE = 4096
 _HEADER = struct.Struct("<8sIIIQQQQQQqQQQ")
 _SEGMENT = struct.Struct("<4sIQ")  # magic, n_sections, segment_end
 _SECTION = struct.Struct("<IIQQQQ")  # id, dtype, row_start, n_rows, offset, nbytes
-_SEGMENT_MAGIC = b"SEG1"
+_SEGMENT_MAGIC = b"SEG1"  # legacy: section entries only
+#: Checksummed segment: the section entries are followed by ``n_sections``
+#: little-endian u32 CRC32s, one per payload extent, in entry order.
+_SEGMENT_MAGIC_CRC = b"SEG2"
+_CRC = struct.Struct("<I")
 
 _FLAG_DENSE = 1
 _FLAG_NODES = 2
@@ -95,6 +107,23 @@ _SEC_NODE_META = 22
 _SEC_NODE_UID_ID = 23
 _SEC_NODE_UID_BLOB = 24
 _SEC_MODULE_NAME_BLOB = 25
+
+_SECTION_NAMES = {
+    _SEC_PATH_PARENT: "path.parent",
+    _SEC_PATH_PACKED: "path.packed",
+    _SEC_PATH_C: "path.c",
+    _SEC_LAB_PPATH: "label.producer_path",
+    _SEC_LAB_PPORT: "label.producer_port",
+    _SEC_LAB_CPATH: "label.consumer_path",
+    _SEC_LAB_CPORT: "label.consumer_port",
+    _SEC_LAB_UIDS: "label.uids",
+    _SEC_NODE_PARENT: "node.parent",
+    _SEC_NODE_PATH: "node.path_id",
+    _SEC_NODE_META: "node.meta",
+    _SEC_NODE_UID_ID: "node.uid_id",
+    _SEC_NODE_UID_BLOB: "node.uids",
+    _SEC_MODULE_NAME_BLOB: "node.module_names",
+}
 
 _DTYPE_I32 = 0
 _DTYPE_I64 = 1
@@ -444,7 +473,7 @@ def _plan_checkpoint(
                 )
             )
 
-    if sections and _SEGMENT.size + len(sections) * _SECTION.size > PAGE_SIZE:
+    if sections and _SEGMENT.size + len(sections) * (_SECTION.size + _CRC.size) > PAGE_SIZE:
         raise SerializationError("segment section table exceeds one page")
     return _PendingCheckpoint(
         file_path=file_path,
@@ -466,30 +495,42 @@ def _plan_checkpoint(
     )
 
 
-def _write_segment_at(handle, segment_offset: int, sections) -> int:
+def _write_segment_at(handle, segment_offset: int, sections, *, checksums: bool = True) -> int:
     """Write one segment (table page, payload extents, page pad) at an offset.
 
     The single encoder of the segment layout — incremental checkpoints
     append with it and compaction rewrites with it, so the two writers can
-    never drift apart.  Returns the segment's end offset (page-aligned).
+    never drift apart.  With ``checksums`` (the default) the segment is
+    written with the ``SEG2`` magic and a per-section CRC32 array after the
+    section entries; ``checksums=False`` emits a legacy ``SEG1`` segment
+    (the benchmark baseline).  Returns the segment's end offset
+    (page-aligned).
     """
-    if _SEGMENT.size + len(sections) * _SECTION.size > PAGE_SIZE:
+    table_bytes = _SECTION.size + (_CRC.size if checksums else 0)
+    if _SEGMENT.size + len(sections) * table_bytes > PAGE_SIZE:
         raise SerializationError("segment section table exceeds one page")
     data_offset = segment_offset + PAGE_SIZE
     entries = []
+    crcs = []
     payload_chunks: list[tuple[int, bytes]] = []
     payload_end = data_offset
     for sid, dtype_code, row_start, n_rows, payload in sections:
         entries.append(
             _SECTION.pack(sid, dtype_code, row_start, n_rows, data_offset, len(payload))
         )
+        if checksums:
+            crcs.append(_CRC.pack(zlib.crc32(payload)))
         payload_chunks.append((data_offset, payload))
         payload_end = data_offset + len(payload)
         data_offset = _align(payload_end)
     end_offset = data_offset
+    magic = _SEGMENT_MAGIC_CRC if checksums else _SEGMENT_MAGIC
     handle.seek(segment_offset)
-    handle.write(_SEGMENT.pack(_SEGMENT_MAGIC, len(sections), end_offset))
+    handle.write(_SEGMENT.pack(magic, len(sections), end_offset))
     handle.write(b"".join(entries))
+    if checksums:
+        handle.write(b"".join(crcs))
+    faults.hit("persist.write")
     for offset, payload in payload_chunks:
         handle.seek(offset)
         handle.write(payload)
@@ -503,10 +544,14 @@ def _write_segment_at(handle, segment_offset: int, sections) -> int:
     return end_offset
 
 
-def _write_segment_data(handle, pending: _PendingCheckpoint) -> tuple[_Header, int]:
+def _write_segment_data(
+    handle, pending: _PendingCheckpoint, *, checksums: bool = True
+) -> tuple[_Header, int]:
     """Write one planned segment's table, payloads and pad (flushed, no fsync)."""
     header = pending.header
-    end_offset = _write_segment_at(handle, header.end_offset, pending.sections)
+    end_offset = _write_segment_at(
+        handle, header.end_offset, pending.sections, checksums=checksums
+    )
     handle.flush()
     new_header = _Header(
         n_segments=header.n_segments + 1,
@@ -539,7 +584,14 @@ class _StagedCheckpoint:
         self.header_written = False
 
 
-def _commit_checkpoints(pendings: list[_PendingCheckpoint]) -> list[CheckpointResult]:
+def _fsync(handle) -> None:
+    faults.hit("persist.fsync")
+    os.fsync(handle.fileno())
+
+
+def _commit_checkpoints(
+    pendings: list[_PendingCheckpoint], *, checksums: bool = True
+) -> list[CheckpointResult]:
     """Write the planned segments with batched fsync barriers.
 
     Per file the crash-ordering invariant is unchanged — its advanced header
@@ -575,17 +627,17 @@ def _commit_checkpoints(pendings: list[_PendingCheckpoint]) -> list[CheckpointRe
                         handle.seek(PAGE_SIZE - 1)
                         handle.write(b"\0")
                         handle.flush()
-                        os.fsync(handle.fileno())
+                        _fsync(handle)
                     entry.bytes_written = _HEADER.size
                     entry.header_written = True
                 continue
             entry.new_header, entry.bytes_written = _write_segment_data(
-                entry.handle, pending
+                entry.handle, pending, checksums=checksums
             )
         # Phase 2-4: data fsyncs, headers, header fsyncs.
         for entry in staged:
             if entry.handle is not None:
-                os.fsync(entry.handle.fileno())
+                _fsync(entry.handle)
         for entry in staged:
             if entry.handle is not None:
                 entry.handle.seek(0)
@@ -594,7 +646,7 @@ def _commit_checkpoints(pendings: list[_PendingCheckpoint]) -> list[CheckpointRe
                 entry.header_written = True
         for entry in staged:
             if entry.handle is not None:
-                os.fsync(entry.handle.fileno())
+                _fsync(entry.handle)
     except BaseException:
         for entry in staged:
             if entry.handle is not None:
@@ -629,6 +681,7 @@ def checkpoint_run(
     node_table: NodeTable | None = None,
     *,
     fingerprint: int = 0,
+    checksums: bool = True,
 ) -> CheckpointResult:
     """Write (or incrementally extend) the persistent form of a labelled run.
 
@@ -656,13 +709,21 @@ def checkpoint_run(
     query-engine shard interns into the engine's *shared* arena, so the file
     carries sibling runs' paths too — ids must stay globally consistent for
     the mapped store to serve the same answers.
+
+    ``checksums`` (default on) stamps a CRC32 per section into the segment
+    table; readers verify it at attach or on first gather.  Disabling it
+    writes legacy ``SEG1`` segments — the benchmark baseline, not a
+    production mode.
     """
     return _commit_checkpoints(
-        [_plan_checkpoint(path, store, node_table, fingerprint)]
+        [_plan_checkpoint(path, store, node_table, fingerprint)],
+        checksums=checksums,
     )[0]
 
 
-def checkpoint_batch(jobs, *, fingerprint: int = 0) -> list[CheckpointResult]:
+def checkpoint_batch(
+    jobs, *, fingerprint: int = 0, checksums: bool = True
+) -> list[CheckpointResult]:
     """Checkpoint several runs with batched fsync barriers.
 
     ``jobs`` is an iterable of ``(path, store, node_table)`` triples, one per
@@ -689,7 +750,7 @@ def checkpoint_batch(jobs, *, fingerprint: int = 0) -> list[CheckpointResult]:
                 "each run needs its own file"
             )
         seen[key] = None
-    return _commit_checkpoints(pendings)
+    return _commit_checkpoints(pendings, checksums=checksums)
 
 
 @dataclass(frozen=True)
@@ -769,7 +830,7 @@ def run_file_info(path, *, estimate_amplification: bool = False) -> RunFileInfo:
                         "truncated run store: missing segment header"
                     )
                 magic, n_sections, segment_end = _SEGMENT.unpack(page)
-                if magic != _SEGMENT_MAGIC:
+                if magic not in (_SEGMENT_MAGIC, _SEGMENT_MAGIC_CRC):
                     raise SerializationError(
                         f"corrupt run store: bad segment magic at offset {offset}"
                     )
@@ -798,6 +859,54 @@ def run_file_info(path, *, estimate_amplification: bool = False) -> RunFileInfo:
         size_bytes=os.path.getsize(file_path),
         compacted_bytes_estimate=compacted_estimate,
     )
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """What one :func:`verify_run` scrub covered (failures raise instead)."""
+
+    path: str
+    n_segments: int
+    extents_checked: int
+    #: Extents with no stored checksum (legacy ``SEG1`` segments of v1/v2
+    #: files, or files written with ``checksums=False``).
+    extents_unchecksummed: int
+    bytes_verified: int
+
+    @property
+    def fully_checksummed(self) -> bool:
+        return self.extents_unchecksummed == 0
+
+
+def verify_run(path, *, deep: bool = True) -> VerifyReport:
+    """Scrub a run file: structure always, payload checksums with ``deep``.
+
+    Mapping the file validates the header, the segment chain, the section
+    tables and every column's row bookkeeping; ``deep=True`` (default)
+    additionally CRC-checks each checksummed payload extent against its
+    segment table.  Structural damage raises
+    :class:`~repro.errors.SerializationError`; a checksum mismatch raises
+    :class:`~repro.errors.CorruptionError` naming the section and offset.
+    On success a :class:`VerifyReport` tallies the coverage — legacy
+    extents without checksums are reported, not failed, so a scrub of a
+    v2 file succeeds with ``fully_checksummed=False``.
+    """
+    with MappedRunStore(path, verify="attach" if deep else "off") as mapped:
+        checked = unchecksummed = verified_bytes = 0
+        for parts in mapped._extents.values():
+            for part in parts:
+                if part.crc is None:
+                    unchecksummed += 1
+                elif deep:
+                    checked += 1
+                    verified_bytes += part.nbytes
+        return VerifyReport(
+            path=mapped.path,
+            n_segments=mapped.n_segments,
+            extents_checked=checked,
+            extents_unchecksummed=unchecksummed,
+            bytes_verified=verified_bytes,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -940,9 +1049,16 @@ class MappedLabelStore(LabelStore):
     Sparse (non-dense) runs keep their uid column mapped too; the uid->row
     index is built lazily on the first keyed access, so attaching decodes
     nothing.
+
+    Under lazy verification (:class:`MappedRunStore` ``verify="lazy"``) the
+    owning store plants ``_verify_hook``: the first row/gather/column access
+    scrubs the whole file's checksums before any byte is served, and the
+    hook is cleared only on success — after a
+    :class:`~repro.errors.CorruptionError` every later access fails again
+    rather than serving unverified pages.
     """
 
-    __slots__ = ("_sparse",)
+    __slots__ = ("_sparse", "_verify_hook")
 
     def __init__(
         self,
@@ -972,11 +1088,18 @@ class MappedLabelStore(LabelStore):
         self._view = None
         self._label_cache = {}
         self._compacted = True
+        self._verify_hook = None
 
     append = _read_only
     extend_items = _read_only
     append_label = _read_only
     _go_sparse = _read_only
+
+    def _verify_once(self) -> None:
+        hook = self._verify_hook
+        if hook is not None:
+            hook()  # raises CorruptionError on a checksum mismatch
+            self._verify_hook = None
 
     def _ensure_index(self) -> None:
         # The base class reads ``_row_of is None`` as "dense"; a mapped
@@ -985,14 +1108,17 @@ class MappedLabelStore(LabelStore):
             self._row_of = {int(uid): row for row, uid in enumerate(self._uids)}
 
     def _row(self, uid: int) -> int:
+        self._verify_once()
         self._ensure_index()
         return super()._row(uid)
 
     def __contains__(self, uid: object) -> bool:
+        self._verify_once()
         self._ensure_index()
         return super().__contains__(uid)
 
     def uids(self):
+        self._verify_once()
         if self._sparse:
             return iter(self._uids)
         return super().uids()
@@ -1005,6 +1131,7 @@ class MappedLabelStore(LabelStore):
         return self
 
     def columns(self) -> dict[str, np.ndarray]:
+        self._verify_once()
         return {
             "producer_path_id": _as_ndarray(self._producer_path),
             "producer_port": _as_ndarray(self._producer_port),
@@ -1021,6 +1148,8 @@ class MappedLabelStore(LabelStore):
         extent is indexed in place, so the per-batch page-in is bounded by
         the rows (and columns) actually asked for.
         """
+        self._verify_once()
+        faults.hit("mmap.gather")
         columns = {
             "producer_path_id": self._producer_path,
             "producer_port": self._producer_port,
@@ -1157,6 +1286,9 @@ class _Extent:
     n_rows: int
     offset: int
     nbytes: int
+    #: CRC32 of the payload bytes (``None`` for legacy ``SEG1`` segments,
+    #: which carry no checksums).
+    crc: "int | None" = None
 
 
 class MappedRunStore:
@@ -1172,11 +1304,26 @@ class MappedRunStore:
 
     Nothing is decoded at open time beyond the header and the per-segment
     section tables (a few pages); column pages fault in on first access.
+
+    ``verify`` controls checksum verification of the payload extents
+    (``SEG2`` segments; legacy ``SEG1`` extents have no checksums):
+
+    * ``"lazy"`` (default) — the whole file is scrubbed once, triggered by
+      the first row/gather/column access, and a mismatch raises
+      :class:`~repro.errors.CorruptionError` instead of serving the bytes.
+      Attach itself stays a few page reads.
+    * ``"attach"`` — scrub everything before ``__init__`` returns (a corrupt
+      file never produces a usable store).
+    * ``"off"`` — trust the bytes (benchmark baseline).
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, *, verify: str = "lazy") -> None:
+        if verify not in ("lazy", "attach", "off"):
+            raise ValueError(f"verify must be 'lazy', 'attach' or 'off', not {verify!r}")
         self._path = os.fspath(path)
         self._file = open(self._path, "rb")
+        self._verified = False
+        self._verify_lock = threading.Lock()
         try:
             self._mm = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
         except ValueError as exc:
@@ -1186,6 +1333,12 @@ class MappedRunStore:
             self._header = _unpack_header(self._mm[: _HEADER.size])
             self._extents = self._parse_segments()
             self._build(self._extents)
+            if verify == "attach":
+                self.verify()
+            elif verify == "lazy":
+                self._store._verify_hook = self.verify
+            else:  # "off": trust the bytes, including blob loads
+                self._verified = True
         except Exception:
             self.close()
             raise
@@ -1201,22 +1354,30 @@ class MappedRunStore:
             if offset + _SEGMENT.size > size:
                 raise SerializationError("truncated run store: missing segment header")
             magic, n_sections, segment_end = _SEGMENT.unpack_from(self._mm, offset)
-            if magic != _SEGMENT_MAGIC:
+            if magic not in (_SEGMENT_MAGIC, _SEGMENT_MAGIC_CRC):
                 raise SerializationError(
                     f"corrupt run store: bad segment magic at offset {offset}"
                 )
+            checksummed = magic == _SEGMENT_MAGIC_CRC
             entry_offset = offset + _SEGMENT.size
-            if entry_offset + n_sections * _SECTION.size > size:
+            table_bytes = n_sections * _SECTION.size
+            if checksummed:
+                table_bytes += n_sections * _CRC.size
+            if entry_offset + table_bytes > size:
                 raise SerializationError("truncated run store: section table cut off")
-            for _ in range(n_sections):
+            crc_offset = entry_offset + n_sections * _SECTION.size
+            for index in range(n_sections):
                 sid, dtype_code, row_start, n_rows, data_offset, nbytes = (
                     _SECTION.unpack_from(self._mm, entry_offset)
                 )
                 entry_offset += _SECTION.size
                 if data_offset + nbytes > size:
                     raise SerializationError("truncated run store: section out of range")
+                crc = None
+                if checksummed:
+                    (crc,) = _CRC.unpack_from(self._mm, crc_offset + index * _CRC.size)
                 extents.setdefault(sid, []).append(
-                    _Extent(dtype_code, row_start, n_rows, data_offset, nbytes)
+                    _Extent(dtype_code, row_start, n_rows, data_offset, nbytes, crc)
                 )
             if segment_end <= offset or segment_end > size:
                 raise SerializationError("corrupt run store: bad segment end")
@@ -1267,10 +1428,12 @@ class MappedRunStore:
                 f"run store blob {name!r} has {total} entries, header says {expected}"
             )
         mm = self._mm
+        store = self
 
         def load() -> list[str]:
             values: list[str] = []
             for part in parts:
+                store._verify_extent(part, name)
                 raw = mm[part.offset : part.offset + part.nbytes]
                 chunk = raw.decode("utf-8").split("\n") if raw else []
                 if len(chunk) != part.n_rows:
@@ -1319,6 +1482,51 @@ class MappedRunStore:
                     "node.module_names",
                 ),
             )
+
+    # -- checksum verification ---------------------------------------------------
+
+    def _verify_extent(self, extent: _Extent, name: str) -> None:
+        """CRC-check one payload extent (no-op once the file is scrubbed)."""
+        if extent.crc is None or self._verified:
+            return
+        with memoryview(self._mm) as view:
+            chunk = view[extent.offset : extent.offset + extent.nbytes]
+            try:
+                actual = zlib.crc32(chunk)
+            finally:
+                chunk.release()
+        if actual != extent.crc:
+            raise CorruptionError(
+                f"run store {self._path!r}: section {name!r} at offset "
+                f"{extent.offset} ({extent.nbytes} bytes) fails its checksum "
+                f"(stored {extent.crc:#010x}, computed {actual:#010x})"
+            )
+
+    def verify(self) -> None:
+        """Scrub every checksummed extent against its segment-table CRC32.
+
+        Idempotent and thread-safe: the file is scrubbed at most once per
+        mapping; concurrent first readers serialise on an internal lock.  A
+        mismatch raises :class:`~repro.errors.CorruptionError` — and keeps
+        raising on every later access, so a corrupt mapping can never serve
+        a silently wrong answer.  Legacy ``SEG1`` extents (v1/v2 files) carry
+        no checksums and are skipped.
+        """
+        if self._verified:
+            return
+        with self._verify_lock:
+            if self._verified:
+                return
+            for sid in self._extents:
+                name = _SECTION_NAMES.get(sid, f"section#{sid}")
+                for part in self._extents[sid]:
+                    self._verify_extent(part, name)
+            self._verified = True
+
+    @property
+    def verified(self) -> bool:
+        """Whether the mapping's full checksum scrub has completed."""
+        return self._verified
 
     # -- the serving surface -----------------------------------------------------
 

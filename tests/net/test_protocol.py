@@ -207,3 +207,30 @@ def test_assembler_keeps_partial_frames_buffered():
     assert assembler.buffered == 10
     (payload,) = assembler.feed(frame[10:])
     assert decode_request(payload).ids.tolist() == list(range(10))
+
+
+def test_assembler_accepts_a_frame_at_exactly_the_protocol_bound():
+    """A payload of exactly MAX_FRAME_BYTES is a legal (if huge) frame."""
+    import struct
+
+    from repro.net.protocol import MAX_FRAME_BYTES
+
+    assembler = FrameAssembler()
+    prefix = struct.pack("<I", MAX_FRAME_BYTES)
+    assert assembler.feed(prefix) == []  # announcement alone: no rejection
+    payload = bytes(MAX_FRAME_BYTES)
+    assert assembler.feed(payload[: 1 << 20]) == []  # partial: still buffering
+    (frame,) = assembler.feed(payload[1 << 20 :])
+    assert len(frame) == MAX_FRAME_BYTES
+    assert assembler.buffered == 0
+
+
+def test_assembler_rejects_one_byte_over_the_protocol_bound():
+    import struct
+
+    from repro.net.protocol import MAX_FRAME_BYTES
+
+    assembler = FrameAssembler()
+    with pytest.raises(SerializationError, match="protocol bound"):
+        # The announcement alone is enough: no payload byte is ever buffered.
+        assembler.feed(struct.pack("<I", MAX_FRAME_BYTES + 1))

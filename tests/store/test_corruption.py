@@ -1,0 +1,243 @@
+"""Corruption detection: per-section CRCs, verify modes, quarantine surfaces.
+
+The contract under test is the loud-failure guarantee: a bit flip in any
+payload section of a v3 run file raises a typed
+:class:`~repro.errors.CorruptionError` at attach (``verify="attach"``) or on
+the first row access (``verify="lazy"``) — never a silently wrong answer —
+while readers already mapped keep serving their last good generation.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import FVLScheme
+from repro.core.run_labeler import RunLabeler
+from repro.engine import DEFAULT_RUN, QueryEngine
+from repro.errors import CorruptionError, SerializationError
+from repro.model.projection import ViewProjection
+from repro.store import (
+    MappedRunStore,
+    checkpoint_run,
+    compact,
+    verify_run,
+)
+from repro.store.persist import _SECTION_NAMES
+from repro.bench import sample_query_pairs
+from repro.workloads import build_bioaid_specification, random_run, random_view
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return build_bioaid_specification()
+
+
+@pytest.fixture(scope="module")
+def scheme(spec):
+    return FVLScheme(spec)
+
+
+@pytest.fixture()
+def labelled(scheme, spec):
+    derivation = random_run(spec, 300, seed=77)
+    labeler = scheme.label_run(derivation)
+    return derivation, labeler
+
+
+def _payload_extents(path):
+    """Every non-empty ``(section_name, offset, nbytes, crc)`` in the file."""
+    with MappedRunStore(path, verify="off") as mapped:
+        out = []
+        for sid, parts in sorted(mapped._extents.items()):
+            for part in parts:
+                if part.nbytes:
+                    name = _SECTION_NAMES.get(sid, f"section#{sid}")
+                    out.append((name, part.offset, part.nbytes, part.crc))
+        return out
+
+
+def _flip_byte(path, offset: int) -> int:
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        original = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([original ^ 0xFF]))
+    return original
+
+
+def _restore_byte(path, offset: int, original: int) -> None:
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        handle.write(bytes([original]))
+
+
+def _bump_generation(path) -> None:
+    """Fake a compaction swap so reopen probes actually attempt the remap."""
+    from repro.store.persist import _HEADER
+
+    with open(path, "r+b") as handle:
+        fields = list(_HEADER.unpack(handle.read(_HEADER.size)))
+        fields[-1] += 1  # generation is the last header word
+        handle.seek(0)
+        handle.write(_HEADER.pack(*fields))
+
+
+# -- the format carries checksums ----------------------------------------------
+
+
+def test_v3_checkpoints_are_fully_checksummed(labelled, tmp_path):
+    _, labeler = labelled
+    run_file = tmp_path / "run.fvl"
+    checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+    report = verify_run(run_file)
+    assert report.fully_checksummed
+    assert report.extents_checked > 0
+    assert report.bytes_verified > 0
+    shallow = verify_run(run_file, deep=False)
+    assert shallow.extents_checked == 0 and shallow.fully_checksummed
+
+
+def test_checksums_false_writes_legacy_segments(labelled, tmp_path):
+    """The v2 wire shape is still writable and still opens read-only."""
+    _, labeler = labelled
+    run_file = tmp_path / "legacy.fvl"
+    checkpoint_run(run_file, labeler.store, labeler.tree.nodes, checksums=False)
+    report = verify_run(run_file)  # unchecksummed extents are reported, not failed
+    assert not report.fully_checksummed
+    assert report.extents_checked == 0
+    with MappedRunStore(run_file, verify="attach") as mapped:
+        assert mapped.n_items == len(labeler.store)
+
+
+def test_compaction_upgrades_legacy_files_to_checksummed(scheme, spec, tmp_path):
+    derivation = random_run(spec, 200, seed=78)
+    run_file = tmp_path / "upgrade.fvl"
+    half = len(derivation.events) // 2
+    # Two checksum-less segments, then one compaction pass.
+    streaming = RunLabeler(scheme.index)
+    for event in derivation.events[:half]:
+        streaming(event)
+    checkpoint_run(run_file, streaming.store, streaming.tree.nodes, checksums=False)
+    for event in derivation.events[half:]:
+        streaming(event)
+    checkpoint_run(run_file, streaming.store, streaming.tree.nodes, checksums=False)
+    assert not verify_run(run_file).fully_checksummed
+    result = compact(run_file)
+    assert result.compacted
+    report = verify_run(run_file)
+    assert report.fully_checksummed and report.extents_checked > 0
+
+
+# -- bit flips are detected, loudly --------------------------------------------
+
+
+def test_bit_flip_in_every_payload_section_fails_attach(labelled, tmp_path):
+    _, labeler = labelled
+    run_file = tmp_path / "run.fvl"
+    checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+    extents = _payload_extents(run_file)
+    assert extents and all(crc is not None for _, _, _, crc in extents)
+    for name, offset, nbytes, _crc in extents:
+        flip_at = offset + nbytes // 2
+        original = _flip_byte(run_file, flip_at)
+        with pytest.raises(CorruptionError, match="fails its checksum"):
+            MappedRunStore(run_file, verify="attach")
+        with pytest.raises(CorruptionError):
+            verify_run(run_file)
+        _restore_byte(run_file, flip_at, original)
+    verify_run(run_file)  # restored bytes scrub clean again
+
+
+def test_lazy_verification_raises_on_first_gather(labelled, tmp_path):
+    _, labeler = labelled
+    run_file = tmp_path / "run.fvl"
+    checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+    name, offset, nbytes, _crc = max(_payload_extents(run_file), key=lambda e: e[2])
+    _flip_byte(run_file, offset + nbytes // 2)
+    mapped = MappedRunStore(run_file)  # lazy: attach itself stays cheap
+    try:
+        rows = np.arange(min(4, mapped.n_items), dtype=np.int64)
+        with pytest.raises(CorruptionError):
+            mapped.store.gather_rows(rows)
+        # The scrub does not "succeed" on retry: corruption keeps raising.
+        with pytest.raises(CorruptionError):
+            mapped.store.gather_rows(rows)
+    finally:
+        mapped.close()
+
+
+def test_verify_off_is_an_explicit_escape_hatch(labelled, tmp_path):
+    _, labeler = labelled
+    run_file = tmp_path / "run.fvl"
+    checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+    name, offset, nbytes, _crc = max(_payload_extents(run_file), key=lambda e: e[2])
+    _flip_byte(run_file, offset + nbytes // 2)
+    with MappedRunStore(run_file, verify="off") as mapped:
+        mapped.store.gather_rows(np.arange(min(4, mapped.n_items), dtype=np.int64))
+
+
+def test_verify_mode_is_validated(labelled, tmp_path):
+    _, labeler = labelled
+    run_file = tmp_path / "run.fvl"
+    checkpoint_run(run_file, labeler.store, labeler.tree.nodes)
+    with pytest.raises(ValueError, match="verify"):
+        MappedRunStore(run_file, verify="sometimes")
+
+
+# -- the engine keeps serving the last good generation -------------------------
+
+
+def test_engine_serves_last_good_generation_after_on_disk_corruption(
+    scheme, spec, tmp_path
+):
+    derivation = random_run(spec, 250, seed=79)
+    view = random_view(spec, 6, seed=80, mode="grey", name="corrupt-view")
+    items = sorted(ViewProjection(derivation.run, view).visible_items)
+    pairs = sample_query_pairs(items, 150, seed=81)
+    reference = QueryEngine(scheme)
+    reference.add_run(DEFAULT_RUN, derivation)
+    expected = reference.depends_batch(pairs, view)
+    run_file = tmp_path / "serving.fvl"
+    reference.checkpoint(run_file)
+
+    engine = QueryEngine(scheme)
+    engine.attach(run_file, verify="attach")
+    engine.add_view(view)
+    assert engine.depends_batch(pairs, view) == expected
+
+    # A corrupt *rewrite* is swapped over the path (a compaction whose
+    # output a bad disk mangled): a new inode, so the engine's live mapping
+    # of the old generation is untouched.
+    name, offset, nbytes, _crc = max(_payload_extents(run_file), key=lambda e: e[2])
+    rewrite = tmp_path / "serving.fvl.rewrite"
+    rewrite.write_bytes(run_file.read_bytes())
+    _bump_generation(rewrite)
+    _flip_byte(rewrite, offset + nbytes // 2)
+    os.replace(rewrite, run_file)
+
+    # A remap attempt fails loudly with the typed error...
+    with pytest.raises(CorruptionError):
+        engine.reopen(DEFAULT_RUN)
+    # ...and the mapped last-good generation keeps answering bit-identically.
+    assert engine.depends_batch(pairs, view) == expected
+
+
+def test_maybe_reopen_stays_loud_on_corruption(scheme, spec, tmp_path):
+    derivation = random_run(spec, 150, seed=82)
+    reference = QueryEngine(scheme)
+    reference.add_run(DEFAULT_RUN, derivation)
+    run_file = tmp_path / "maybe.fvl"
+    reference.checkpoint(run_file)
+    engine = QueryEngine(scheme)
+    engine.attach(run_file, verify="attach")
+
+    # Fake a newer generation so maybe_reopen actually attempts the remap,
+    # then corrupt a payload byte: the remap must raise, not return False.
+    _bump_generation(run_file)
+    name, offset, nbytes, _crc = max(_payload_extents(run_file), key=lambda e: e[2])
+    _flip_byte(run_file, offset + nbytes // 2)
+    with pytest.raises(CorruptionError):
+        engine.maybe_reopen(DEFAULT_RUN)

@@ -1,0 +1,116 @@
+"""Tests for the deterministic fault-injection harness (repro/faults.py)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import faults
+from repro.faults import FAULT_POINTS, FaultPlan, InjectedFault
+
+
+def test_disarmed_hit_is_a_noop():
+    for point in FAULT_POINTS:
+        faults.hit(point)  # never raises, records nothing
+
+
+def test_unknown_point_is_rejected_at_build_time():
+    with pytest.raises(ValueError, match="unknown fault point"):
+        FaultPlan().on("persist.fzync")
+
+
+def test_probability_is_validated():
+    with pytest.raises(ValueError, match="probability"):
+        FaultPlan().on("persist.fsync", probability=1.5)
+
+
+def test_count_rule_fires_exactly_n_times():
+    plan = FaultPlan().on("persist.fsync", count=2)
+    with plan.armed():
+        for expected_hit in (1, 2):
+            with pytest.raises(InjectedFault) as info:
+                faults.hit("persist.fsync")
+            assert info.value.point == "persist.fsync"
+            assert info.value.hit_number == expected_hit
+        faults.hit("persist.fsync")  # exhausted: clean
+    assert plan.hits("persist.fsync") == 3
+    assert plan.fired("persist.fsync") == 2
+    assert plan.fired() == 2
+
+
+def test_after_window_skips_early_hits():
+    plan = FaultPlan().on("net.send", after=3, count=1)
+    with plan.armed():
+        for _ in range(3):
+            faults.hit("net.send")  # inside the clean window
+        with pytest.raises(InjectedFault) as info:
+            faults.hit("net.send")
+        assert info.value.hit_number == 4
+        faults.hit("net.send")  # count exhausted
+
+
+def test_custom_error_is_raised_verbatim():
+    boom = OSError("EIO: injected")
+    plan = FaultPlan().on("compact.swap", error=boom)
+    with plan.armed():
+        with pytest.raises(OSError, match="EIO: injected"):
+            faults.hit("compact.swap")
+
+
+def test_probability_schedule_is_seed_deterministic():
+    def schedule(seed: int) -> list[bool]:
+        plan = FaultPlan(seed=seed).on("net.recv", count=None, probability=0.5)
+        outcomes = []
+        with plan.armed():
+            for _ in range(64):
+                try:
+                    faults.hit("net.recv")
+                    outcomes.append(False)
+                except InjectedFault:
+                    outcomes.append(True)
+        return outcomes
+
+    first = schedule(7)
+    assert first == schedule(7)  # same seed, same failure schedule
+    assert first != schedule(8)  # a different seed actually changes it
+    assert any(first) and not all(first)
+
+
+def test_only_one_plan_arms_at_a_time():
+    plan = FaultPlan().on("mmap.gather")
+    other = FaultPlan().on("mmap.gather")
+    with plan.armed():
+        with pytest.raises(RuntimeError, match="already armed"):
+            other.arm()
+        # A foreign disarm is a no-op: the armed plan stays armed.
+        other.disarm()
+        with pytest.raises(InjectedFault):
+            faults.hit("mmap.gather")
+    faults.hit("mmap.gather")  # disarmed again
+
+
+def test_points_without_rules_pass_through():
+    plan = FaultPlan().on("persist.write")
+    with plan.armed():
+        faults.hit("persist.fsync")
+        faults.hit("scheduler.batch")
+    assert plan.hits("persist.fsync") == 1
+    assert plan.fired() == 0  # only the counters moved
+
+
+def test_hit_counting_is_thread_safe():
+    plan = FaultPlan().on("net.send", after=10_000)  # never fires here
+    n_threads, per_thread = 8, 500
+
+    def pound() -> None:
+        for _ in range(per_thread):
+            faults.hit("net.send")
+
+    with plan.armed():
+        threads = [threading.Thread(target=pound) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    assert plan.hits("net.send") == n_threads * per_thread
