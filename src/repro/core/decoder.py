@@ -65,9 +65,10 @@ class DecodeCache:
         "pair_matrices",
         "pair_hits",
         "max_entries",
+        "max_pair_hits",
     )
 
-    def __init__(self, max_entries: int | None = None) -> None:
+    def __init__(self, max_entries: int | None = None, max_pair_hits: int = 65536) -> None:
         self.inputs_segments: dict[tuple, BoolMatrix] = {}
         self.outputs_segments: dict[tuple, BoolMatrix] = {}
         self.pair_matrices: dict[tuple, BoolMatrix | None] = {}
@@ -80,11 +81,26 @@ class DecodeCache:
         #: unbounded.  Once full, further results are computed but not
         #: stored, so memory stays bounded for adversarial query streams.
         self.max_entries = max_entries
+        #: Size bound on :attr:`pair_hits`; crossing it triggers one decay
+        #: sweep.  ``max_entries`` bounds the matrix tables but evicted keys
+        #: used to keep their hit counters forever, so a long-lived server
+        #: with an adversarial key stream leaked memory through the
+        #: accounting dict itself.
+        self.max_pair_hits = max_pair_hits
 
     def note_pair_use(self, key: tuple, count: int) -> None:
-        """Record that ``count`` queries were answered via ``key``'s matrix."""
+        """Record that ``count`` queries were answered via ``key``'s matrix.
+
+        When the accounting dict outgrows :attr:`max_pair_hits` every count
+        is halved and count-1 entries are dropped — cold keys age out within
+        a few sweeps while the relative ranking of hot keys (what the
+        ``.hotmx`` cache persists) is preserved.
+        """
         if key in self.pair_matrices:
-            self.pair_hits[key] = self.pair_hits.get(key, 0) + count
+            hits = self.pair_hits
+            hits[key] = hits.get(key, 0) + count
+            if len(hits) > self.max_pair_hits:
+                self.pair_hits = {k: c >> 1 for k, c in hits.items() if c > 1}
 
     def has_room(self, extra: int = 0) -> bool:
         """Whether the budget admits another entry.

@@ -219,16 +219,20 @@ def visible_batch(store, view_label, uids, *, flags: "np.ndarray | None" = None)
     return results
 
 
-def visible_mask(store, view_label) -> np.ndarray:
+def visible_mask(store, view_label, *, flags: "np.ndarray | None" = None) -> np.ndarray:
     """Visibility of *every* row of a sealed columnar store, vectorised.
 
     One gather per label-path column over the :func:`path_visibility` flags;
     ``mask[row]`` is True iff the item at that row is visible.  Requires a
     sealed (compacted or mapped) store — :meth:`columns` would otherwise
     compact a store a concurrent ingester may still be appending to; use
-    :func:`visible_batch` for live runs.
+    :func:`visible_batch` for live runs.  ``flags`` skips the per-call trie
+    fold with a memoized :func:`path_visibility` result for the same table
+    and view (:meth:`repro.engine.QueryEngine.visible_mask` threads its
+    per-arena memo through here).
     """
-    flags = path_visibility(store.table, view_label)
+    if flags is None:
+        flags = path_visibility(store.table, view_label)
     columns = store.columns()
     producer = columns["producer_path_id"]
     consumer = columns["consumer_path_id"]

@@ -145,6 +145,17 @@ class DecodedViewState:
         #: arena -> per-path-id visibility flags (append-only tries let the
         #: engine extend a cached array instead of re-folding the trie).
         self.visibility_flags: dict[int, object] = {}
+        #: arena -> :class:`repro.index.structural.ChainClassifier` built
+        #: over that shard's structural index for this view.  Rebuilt when
+        #: the shard's index snapshot changes; purged with the shard.
+        self.structural: dict[int, object] = {}
+        #: Shared three-way matrix classes (``("I"|"O", k, i)`` and
+        #: ``("Z", k, i, j)`` keys) for the chain classifiers above.  The
+        #: class of a view matrix depends only on the grammar and this
+        #: (view, variant) — not on any run's trie — so one memo serves every
+        #: shard and survives detach/attach cycles (a cold re-attach rebuilds
+        #: the classifier's trie folds but not one matrix classification).
+        self.structural_classes: dict[tuple, int] = {}
         self._productions: dict[int, tuple[dict, dict, dict]] = {}
         self._chains: dict[tuple[str, int, int, int], BoolMatrix] = {}
         self._memoize = label.variant is FVLVariant.SPACE_EFFICIENT

@@ -54,6 +54,7 @@ from repro.core.visibility import (
     is_visible as _object_is_visible,
     path_visibility,
     visible_batch,
+    visible_mask as _store_visible_mask,
 )
 from repro.engine.cache import (
     CacheStats,
@@ -68,6 +69,7 @@ from repro.errors import (
     SerializationError,
     ViewError,
 )
+from repro.index.structural import ChainClassifier, StructuralIndex
 from repro.model.derivation import Derivation
 from repro.model.grammar import WorkflowGrammar
 from repro.model.specification import WorkflowSpecification
@@ -96,6 +98,13 @@ __all__ = [
 #: the batch; below ~10^4 pairs the dict loop wins (module-level so tests and
 #: operators can tune it).
 VECTOR_GROUP_THRESHOLD = 10_000
+
+#: Lower vectorisation threshold used when the shard carries a structural
+#: interval index.  Structurally classified groups skip matrix assembly
+#: entirely, so per-pair grouping overhead dominates the batch much earlier
+#: than for pure matrix decode — the numpy gather/argsort grouping pays for
+#: itself from roughly a thousand pairs up.
+STRUCTURAL_VECTOR_THRESHOLD = 1_000
 
 #: Engine-level pseudo-variant selecting the coarse-grained boolean encoding
 #: (:meth:`FVLScheme.label_view_matrix_free`) instead of an FVL matrix variant.
@@ -145,6 +154,10 @@ class EngineStats:
     queries: int
     batches: int
     queries_by_run: dict[str, int]
+    #: Intermediate pairs answered by the structural interval index (no
+    #: matrix decode) vs. routed through ``intermediate_matrix_for_ids``.
+    structural_pairs: int = 0
+    matrix_pairs: int = 0
 
 
 @dataclass
@@ -165,6 +178,15 @@ class _RunShard:
     labeler: RunLabeler | None = None
     mapped: "MappedRunStore | None" = None
     queries: int = 0
+    #: Structural interval index snapshot: ``None`` = not built yet,
+    #: ``False`` = this shard cannot carry one, else a
+    #: :class:`~repro.index.structural.StructuralIndex`.  Reset to ``None``
+    #: by :meth:`QueryEngine.reopen` (a compacted generation may carry fresh
+    #: persisted interval columns).
+    structural: "StructuralIndex | bool | None" = None
+    #: Node watermark the live shard's index was built at (live trees grow;
+    #: mapped shards are immutable per mapping).
+    structural_nodes: int = -1
 
     @property
     def store(self):
@@ -186,6 +208,7 @@ class QueryEngine:
         variant: "FVLVariant | str" = FVLVariant.DEFAULT,
         max_workers: int | None = None,
         decode_cache_entries: int | None = 65536,
+        use_structural_index: bool = True,
     ) -> None:
         self._scheme = source if isinstance(source, FVLScheme) else FVLScheme(source)
         #: One shared path arena for every shard: path ids are engine-global,
@@ -203,6 +226,12 @@ class QueryEngine:
         #: server workers) so exactly one fresh mapping wins and none leak.
         self._reopen_lock = threading.Lock()
         self._batches = 0
+        #: Structural fast path (interval index + chain classifier); off
+        #: reverts every intermediate pair to matrix decode (the benchmark
+        #: baseline and the escape hatch).
+        self._use_structural_index = use_structural_index
+        self._structural_pairs = 0
+        self._matrix_pairs = 0
         #: Next decode-cache namespace tag for attached (own-trie) shards;
         #: labelled shards all share the engine arena under tag 0.
         self._next_arena = 0
@@ -276,7 +305,9 @@ class QueryEngine:
         self._shards[run_id] = _RunShard(run_id, arena=self._next_arena, mapped=mapped)
         return mapped
 
-    def checkpoint(self, path, run_id: str = DEFAULT_RUN) -> CheckpointResult:
+    def checkpoint(
+        self, path, run_id: str = DEFAULT_RUN, *, structural_index: bool = True
+    ) -> CheckpointResult:
         """Persist a labelled shard to ``path`` (incremental after the first call).
 
         The first checkpoint writes the whole run (trie, label columns, node
@@ -298,6 +329,7 @@ class QueryEngine:
             shard.labeler.store,
             nodes,
             fingerprint=grammar_fingerprint(self._scheme.index),
+            structural_index=structural_index,
         )
 
     def reopen(self, run_id: str = DEFAULT_RUN) -> bool:
@@ -349,6 +381,11 @@ class QueryEngine:
                     "not a compaction of the attached run"
                 )
             shard.mapped = fresh
+            # The new generation may carry persisted interval columns the old
+            # one lacked (compaction is the index upgrade path) — rebuild the
+            # structural snapshot lazily against the fresh mapping.
+            shard.structural = None
+            shard.structural_nodes = -1
             old.close()
             return True
 
@@ -594,6 +631,35 @@ class QueryEngine:
             return visible_batch(store, view_label, uids, flags=flags)
         return [_object_is_visible(shard.label(uid), view_label) for uid in uids]
 
+    def visible_mask(
+        self,
+        view: "WorkflowView | str",
+        *,
+        run: str = DEFAULT_RUN,
+        variant: "FVLVariant | str | None" = None,
+    ) -> np.ndarray:
+        """The visibility of **every** item of a run in one view, as a bool array.
+
+        Equivalent to :meth:`is_visible_batch` over all uids, but answered in
+        two vectorised column scans — and the per-path retained-production
+        fold is memoized on the decoded view state exactly like
+        :meth:`is_visible_batch`'s, so repeated calls against an unchanged
+        mapped store skip the trie fold entirely.  Store-backed shards only
+        (object-represented runs have no columns to scan).
+        """
+        shard = self._shard(run)
+        state = self._decoded_state(view, variant)
+        view_label = state.label
+        store = shard.store
+        if not isinstance(store, LabelStore):
+            raise LabelingError(
+                f"run {run!r} has no columnar store; use is_visible_batch"
+            )
+        memo = state.visibility_flags
+        flags = path_visibility(store.table, view_label, prefix=memo.get(shard.arena))
+        memo[shard.arena] = flags
+        return _store_visible_mask(store, view_label, flags=flags)
+
     # -- the serving surface (repro.serve) ---------------------------------------
 
     def shard_arena(self, run_id: str = DEFAULT_RUN) -> int:
@@ -638,6 +704,8 @@ class QueryEngine:
                 queries=sum(s.queries for s in self._shards.values()),
                 batches=self._batches,
                 queries_by_run={s.run_id: s.queries for s in self._shards.values()},
+                structural_pairs=self._structural_pairs,
+                matrix_pairs=self._matrix_pairs,
             )
 
     # -- internals --------------------------------------------------------------------------
@@ -654,6 +722,9 @@ class QueryEngine:
             return
         for state in self._states.values():
             getattr(state, "visibility_flags", {}).pop(arena, None)
+            structural = getattr(state, "structural", {})
+            for key in [k for k in structural if k[0] == arena]:
+                del structural[key]
             cache = getattr(state, "decode_cache", None)
             if cache is None:
                 continue
@@ -661,6 +732,94 @@ class QueryEngine:
             for key in [k for k in matrices if len(k) == 3 and k[0] == arena]:
                 del matrices[key]
                 cache.pair_hits.pop(key, None)
+
+    def _build_structural(self, shard: _RunShard) -> "StructuralIndex | None":
+        """Build one shard's interval index snapshot (no caching here).
+
+        Mapped shards prefer the file's persisted ``pre``/``post``/``level``
+        columns (zero-copy, CRC-verified on access — a corrupt index raises
+        :class:`~repro.errors.CorruptionError` here rather than steering a
+        query, which is why this method must never blanket-catch); files
+        without them fall back to recomputing from ``node.parent``.  Live
+        shards snapshot their arenas copy-safely: node columns are read
+        before the trie so every persisted path id resolves, mirroring the
+        checkpoint planner's snapshot order.
+        """
+        if shard.mapped is not None:
+            mapped = shard.mapped
+            nodes = mapped.nodes
+            if nodes is None or mapped.n_nodes == 0:
+                return None
+            node_columns = nodes.columns()
+            trie_columns = mapped.table.columns()
+            return StructuralIndex.build(
+                trie_columns["parent"],
+                trie_columns["packed"],
+                node_columns["parent"],
+                node_columns["path_id"],
+                intervals=mapped.structural_index(),
+            )
+        nodes = getattr(shard.labeler.tree, "nodes", None)
+        if nodes is None:
+            return None
+        node_parent, node_path, _, _ = nodes.raw_columns()
+        n_nodes = min(len(node_parent), len(node_path))
+        if n_nodes == 0:
+            return None
+        trie_parent, trie_packed, _ = shard.labeler.store.table.raw_columns()
+        return StructuralIndex.build(
+            trie_parent, trie_packed, node_parent[:n_nodes], node_path[:n_nodes]
+        )
+
+    def _shard_structural(self, shard: _RunShard) -> "StructuralIndex | None":
+        """The shard's current index snapshot, built lazily (``None`` = none).
+
+        Mapped shards build once per mapping (reopen resets).  Live shards
+        rebuild when their node count has grown — between growths the cached
+        snapshot keeps serving, and a shard that cannot carry an index only
+        retries after further growth.  Unsynchronised by design: a racing
+        double-build produces equivalent immutable snapshots and the last
+        assignment wins.
+        """
+        if not self._use_structural_index:
+            return None
+        index = shard.structural
+        if shard.mapped is not None:
+            if index is None:
+                index = self._build_structural(shard)
+                shard.structural = False if index is None else index
+            return index or None
+        if shard.labeler is None:
+            return None
+        nodes = getattr(shard.labeler.tree, "nodes", None)
+        if nodes is None:
+            return None
+        n_nodes = min(len(column) for column in nodes.raw_columns()[:2])
+        if index is None or shard.structural_nodes != n_nodes:
+            index = self._build_structural(shard)
+            shard.structural = False if index is None else index
+            shard.structural_nodes = n_nodes
+        return index or None
+
+    def _classifier(
+        self, state: "DecodedViewState", shard: _RunShard
+    ) -> "ChainClassifier | None":
+        """This view's chain classifier over the shard's index, memoized.
+
+        Keyed by ``(arena, run_id)`` on the decoded state: live shards all
+        share arena 0 but carry distinct node tables, while attached arenas
+        are unique (and purged wholesale on detach).  Rebuilt whenever the
+        shard's index snapshot was replaced.
+        """
+        index = self._shard_structural(shard)
+        if index is None:
+            return None
+        key = (shard.arena, shard.run_id)
+        classifier = state.structural.get(key)
+        if classifier is None or classifier.index is not index:
+            classifier = ChainClassifier(index, state, state.structural_classes)
+            state.structural[key] = classifier
+        return classifier
 
     def _shard(self, run_id: str) -> _RunShard:
         try:
@@ -739,7 +898,7 @@ class QueryEngine:
             return [state.depends(label(d1), label(d2)) for d1, d2 in pairs]
         store = shard.store
         if isinstance(store, LabelStore):
-            return self._evaluate_store(store, state, pairs, shard.arena)
+            return self._evaluate_store(store, state, pairs, shard)
 
         labels = [(label(d1), label(d2)) for d1, d2 in pairs]
         results = [False] * len(labels)
@@ -770,7 +929,7 @@ class QueryEngine:
         store: LabelStore,
         state: "DecodedViewState",
         pairs: list[tuple[int, int]],
-        arena: int,
+        shard: _RunShard,
     ) -> list[bool]:
         """Store-backed batch evaluation: no label objects, integer grouping.
 
@@ -785,16 +944,31 @@ class QueryEngine:
         more pairs over a dense *sealed* store — one that is already
         compacted, which every mapped (attached) store is — are grouped with
         numpy sort/unique over the path-id columns instead of the Python dict
-        loop.  Live streaming stores stay on the scalar path: the vectorised
+        loop; when the shard carries a structural index the switch happens
+        from ``STRUCTURAL_VECTOR_THRESHOLD`` pairs up instead, because
+        classified groups cost two interval probes rather than a matrix
+        assembly and the per-pair grouping overhead dominates much earlier.  Live streaming stores stay on the scalar path: the vectorised
         gather reads whole columns, and a query must never compact (mutate) a
         store that another thread may still be appending to.
+
+        Before a group's matrix is consulted the shard's
+        :class:`~repro.index.structural.ChainClassifier` (when the shard
+        carries a structural index) gets first refusal: a ``True``/``False``
+        verdict answers every member with no decode at all, and only groups
+        classified into the recursive/mixed residue assemble a matrix.
+        Structural answers are deliberately left out of
+        ``DecodeCache.note_pair_use`` — the ``.hotmx`` hot-matrix cache
+        should spend its budget on the residue that still needs matrices.
         """
-        if (
-            len(pairs) >= VECTOR_GROUP_THRESHOLD
-            and store.is_dense
-            and store.is_compacted
-        ):
-            vectorised = self._evaluate_store_vector(store, state, pairs, arena)
+        arena = shard.arena
+        classifier = self._classifier(state, shard)
+        vector_threshold = (
+            STRUCTURAL_VECTOR_THRESHOLD if classifier is not None else VECTOR_GROUP_THRESHOLD
+        )
+        if len(pairs) >= vector_threshold and store.is_dense and store.is_compacted:
+            vectorised = self._evaluate_store_vector(
+                store, state, pairs, shard, classifier
+            )
             if vectorised is not None:
                 return vectorised
         row = store.row
@@ -813,7 +987,17 @@ class QueryEngine:
         cache = state.decode_cache
         pair_matrices = cache.pair_matrices
         table = store.table
+        structural_n = matrix_n = 0
         for key, members in groups.items():
+            if classifier is not None:
+                verdict = classifier.classify(key[1], key[2])
+                if verdict is not None:
+                    structural_n += len(members)
+                    if verdict:
+                        for pos, _, _ in members:
+                            results[pos] = True
+                    continue
+            matrix_n += len(members)
             try:
                 matrix = pair_matrices[key]
             except KeyError:
@@ -825,6 +1009,10 @@ class QueryEngine:
                 continue
             for pos, x, y in members:
                 results[pos] = matrix.get(x, y)
+        if structural_n or matrix_n:
+            with self._lock:
+                self._structural_pairs += structural_n
+                self._matrix_pairs += matrix_n
         return results
 
     def _evaluate_store_vector(
@@ -832,7 +1020,8 @@ class QueryEngine:
         store: LabelStore,
         state: "DecodedViewState",
         pairs: list[tuple[int, int]],
-        arena: int,
+        shard: _RunShard,
+        classifier: "ChainClassifier | None",
     ) -> list[bool] | None:
         """Vectorised grouping for large batches over a dense, sealed store.
 
@@ -849,6 +1038,7 @@ class QueryEngine:
         dense row range so the scalar path can raise its precise per-item
         error.
         """
+        arena = shard.arena
         n_rows = len(store)
         base = store.base_uid
         pair_array = np.asarray(pairs, dtype=np.int64)
@@ -875,26 +1065,45 @@ class QueryEngine:
         if grouped.size == 0:
             return results
         # Sort positions by (p1, c2) packed into one int64; equal keys become
-        # one contiguous slice = one matrix assembly.
+        # one contiguous slice = one matrix assembly.  The slice loop runs
+        # over plain Python lists: per-group numpy fancy-indexing and scalar
+        # boxing would otherwise dominate batches whose groups are answered
+        # by two interval probes each.
         keys = (p1[grouped].astype(np.int64) << 32) | c2[grouped].astype(np.int64)
         order = np.argsort(keys, kind="stable")
         sorted_keys = keys[order]
         cuts = np.nonzero(np.diff(sorted_keys))[0] + 1
-        starts = np.concatenate(([0], cuts))
-        ends = np.concatenate((cuts, [sorted_keys.size]))
+        starts = np.concatenate(([0], cuts)).tolist()
+        ends = np.concatenate((cuts, [sorted_keys.size])).tolist()
+        sorted_positions = grouped[order]
+        positions = sorted_positions.tolist()
+        p1_sorted = p1[sorted_positions].tolist()
+        c2_sorted = c2[sorted_positions].tolist()
         cache = state.decode_cache
         table = store.table
+        structural_n = matrix_n = 0
         for start, end in zip(starts, ends):
-            members = grouped[order[start:end]]
-            first = members[0]
+            pid1 = p1_sorted[start]
+            cid2 = c2_sorted[start]
+            if classifier is not None:
+                verdict = classifier.classify(pid1, cid2)
+                if verdict is not None:
+                    structural_n += end - start
+                    if verdict:
+                        for pos in positions[start:end]:
+                            results[pos] = True
+                    continue
+            matrix_n += end - start
             matrix = intermediate_matrix_for_ids(
-                table, p1[first], c2[first], state, cache, arena=arena
+                table, pid1, cid2, state, cache, arena=arena
             )
-            cache.note_pair_use(
-                (arena, int(p1[first]), int(c2[first])), len(members)
-            )
+            cache.note_pair_use((arena, pid1, cid2), end - start)
             if matrix is None:
                 continue
-            for pos in members:
+            for pos in positions[start:end]:
                 results[pos] = matrix.get(int(x_ports[pos]), int(y_ports[pos]))
+        if structural_n or matrix_n:
+            with self._lock:
+                self._structural_pairs += structural_n
+                self._matrix_pairs += matrix_n
         return results

@@ -1,0 +1,23 @@
+"""Structural interval index over the parse tree (XPath-accelerator style)."""
+
+from repro.index.structural import (
+    CLASS_FALSE,
+    CLASS_MIXED,
+    CLASS_TRUE,
+    ChainClassifier,
+    StructuralIndex,
+    classify_matrix,
+    compute_tree_intervals,
+    tree_levels,
+)
+
+__all__ = [
+    "CLASS_FALSE",
+    "CLASS_MIXED",
+    "CLASS_TRUE",
+    "ChainClassifier",
+    "StructuralIndex",
+    "classify_matrix",
+    "compute_tree_intervals",
+    "tree_levels",
+]

@@ -119,6 +119,17 @@ class ServerStats:
     queue_peak: int
     probes: int
     reopens: int
+    #: Pairs the engine answered from a shard's structural interval index
+    #: versus by matrix decode (mirrors
+    #: :attr:`repro.engine.EngineStats.structural_pairs` /
+    #: ``matrix_pairs`` — one warm-stats probe answers "is the index
+    #: actually carrying this server's load?").
+    structural_pairs: int = 0
+    matrix_pairs: int = 0
+    #: Attached run files that carried persisted ``node.pre``/``node.post``/
+    #: ``node.level`` columns (old-format files attach fine but serve the
+    #: matrix path until compaction upgrades them).
+    index_attaches: int = 0
     #: Times a worker thread died outside the per-batch guard and its
     #: supervisor restarted it (0 = no worker has ever crashed).
     worker_restarts: int = 0
@@ -206,6 +217,7 @@ class ProvenanceServer:
         self._queue_peak = 0
         self._probes = 0
         self._reopens = 0
+        self._index_attaches = 0
         self._worker_restarts = 0
         self._last_warm_error: Exception | None = None
         self._last_error: Exception | None = None
@@ -298,6 +310,15 @@ class ProvenanceServer:
         simply warms nothing.
         """
         mapped = self._engine.attach(path, run_id)
+        try:
+            has_index = mapped.structural_index() is not None
+        except Exception:
+            # A malformed/corrupt index section surfaces as a precise error
+            # on first query; attach-time bookkeeping must not pre-empt it.
+            has_index = False
+        if has_index:
+            with self._stats_lock:
+                self._index_attaches += 1
         warmed = 0
         if warm:
             try:
@@ -476,6 +497,7 @@ class ProvenanceServer:
 
     @property
     def stats(self) -> ServerStats:
+        engine_stats = self._engine.stats
         with self._stats_lock:
             return ServerStats(
                 submitted=self._submitted,
@@ -487,6 +509,9 @@ class ProvenanceServer:
                 queue_peak=self._queue_peak,
                 probes=self._probes,
                 reopens=self._reopens,
+                structural_pairs=engine_stats.structural_pairs,
+                matrix_pairs=engine_stats.matrix_pairs,
+                index_attaches=self._index_attaches,
                 worker_restarts=self._worker_restarts,
                 last_error=self._last_error,
                 last_warm_error=self._last_warm_error,

@@ -36,9 +36,12 @@ import numpy as np
 
 from repro import faults
 from repro.errors import SerializationError
+from repro.index.structural import compute_tree_intervals
 from repro.store.lockfile import FileLease
 from repro.store.persist import (
     _DTYPE_BLOB,
+    _DTYPE_I64,
+    _STRUCTURAL_SIDS,
     PAGE_SIZE,
     MappedRunStore,
     _Header,
@@ -105,6 +108,11 @@ def _merged_sections(source: MappedRunStore) -> list[tuple[int, int, int, int, b
     sections = []
     mm = source._mm
     for sid in sorted(source._extents):
+        if sid in _STRUCTURAL_SIDS:
+            # Interval columns are full snapshots, not deltas — byte-joining
+            # their extents would interleave stale snapshots.  They are
+            # recomputed fresh by :func:`_structural_sections` instead.
+            continue
         parts = source._extents[sid]
         raw = [mm[part.offset : part.offset + part.nbytes] for part in parts]
         if parts[0].dtype_code == _DTYPE_BLOB:
@@ -124,6 +132,23 @@ def _merged_sections(source: MappedRunStore) -> list[tuple[int, int, int, int, b
             )
         )
     return sections
+
+
+def _structural_sections(source: MappedRunStore) -> list[tuple[int, int, int, int, bytes]]:
+    """Fresh full-snapshot interval sections for the merged rewrite.
+
+    Recomputed from the merged ``node.parent`` column rather than copied, so
+    compacting a pre-index file (or one carrying only stale snapshots) is
+    the in-place *upgrade path*: the rewrite always carries one current
+    snapshot per interval column.  Node-less runs get none.
+    """
+    if source.nodes is None or source.n_nodes == 0:
+        return []
+    parent = np.asarray(source.nodes.columns()["parent"], dtype=np.int64)
+    return [
+        (sid, _DTYPE_I64, 0, source.n_nodes, column.astype("<i8", copy=False).tobytes())
+        for sid, column in zip(_STRUCTURAL_SIDS, compute_tree_intervals(parent))
+    ]
 
 
 def _write_merged(tmp_path: str, header: _Header, sections) -> None:
@@ -187,6 +212,24 @@ def _verify_against_source(source: MappedRunStore, merged: MappedRunStore) -> No
         _require_equal(
             "node.module_names", source.nodes.module_names, merged.nodes.module_names
         )
+        if merged.n_nodes:
+            # The rewrite must carry a current structural snapshot, and it
+            # must match a recomputation from its own (verified-identical)
+            # parent column — deterministic, so this is an equality check,
+            # not a tolerance.
+            persisted = merged.structural_index()
+            if persisted is None:
+                raise SerializationError(
+                    "compaction verification failed: merged file lacks a "
+                    "current structural interval snapshot"
+                )
+            parent = np.asarray(merged.nodes.columns()["parent"], dtype=np.int64)
+            for name, column, expected in zip(
+                ("node.pre", "node.post", "node.level"),
+                persisted,
+                compute_tree_intervals(parent),
+            ):
+                _require_equal(name, column, expected)
 
 
 def compact(
@@ -245,7 +288,9 @@ def _compact_locked(file_path: str) -> CompactionResult:
                 removed=tuple(removed),
             )
         tmp_path = _temp_path(file_path, header.generation + 1)
-        _write_merged(tmp_path, header, _merged_sections(source))
+        _write_merged(
+            tmp_path, header, _merged_sections(source) + _structural_sections(source)
+        )
         try:
             merged = MappedRunStore(tmp_path)
             try:

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro import faults
 from repro.errors import CorruptionError, SerializationError
+from repro.index.structural import compute_tree_intervals
 from repro.store.label_store import LabelStore
 from repro.store.node_table import NodeTable
 from repro.store.path_table import ROOT_PATH, PathTable
@@ -107,6 +108,16 @@ _SEC_NODE_META = 22
 _SEC_NODE_UID_ID = 23
 _SEC_NODE_UID_BLOB = 24
 _SEC_MODULE_NAME_BLOB = 25
+#: Structural interval columns (PR 8): whole-tree ``pre``/``post``/``level``
+#: snapshots derived from ``node.parent``.  Unlike the delta columns above,
+#: these are written as *full* snapshots (``row_start == 0``) at every
+#: checkpoint that appends nodes — pre-order ranks are global properties of
+#: the tree, so a delta encoding would be meaningless.  Readers use the last
+#: snapshot matching the header watermark and ignore the rest.
+_SEC_NODE_PRE = 26
+_SEC_NODE_POST = 27
+_SEC_NODE_LEVEL = 28
+_STRUCTURAL_SIDS = (_SEC_NODE_PRE, _SEC_NODE_POST, _SEC_NODE_LEVEL)
 
 _SECTION_NAMES = {
     _SEC_PATH_PARENT: "path.parent",
@@ -123,6 +134,9 @@ _SECTION_NAMES = {
     _SEC_NODE_UID_ID: "node.uid_id",
     _SEC_NODE_UID_BLOB: "node.uids",
     _SEC_MODULE_NAME_BLOB: "node.module_names",
+    _SEC_NODE_PRE: "node.pre",
+    _SEC_NODE_POST: "node.post",
+    _SEC_NODE_LEVEL: "node.level",
 }
 
 _DTYPE_I32 = 0
@@ -302,6 +316,7 @@ def _plan_checkpoint(
     store: LabelStore,
     node_table: NodeTable | None,
     fingerprint: int,
+    structural_index: bool = True,
 ) -> _PendingCheckpoint:
     """Snapshot, validate and assemble one run's delta sections (no writes)."""
     if not isinstance(store, LabelStore):
@@ -472,6 +487,23 @@ def _plan_checkpoint(
                     _blob_bytes(name_delta, "module name"),
                 )
             )
+        if structural_index:
+            # Full-snapshot interval columns over the tree as persisted by
+            # this segment.  Slicing the live column first yields a private
+            # buffer, so the numpy conversion never pins the growing arena.
+            parent_snapshot = np.asarray(node_parent[:n_nodes_now], dtype=np.int64)
+            for sid, column in zip(
+                _STRUCTURAL_SIDS, compute_tree_intervals(parent_snapshot)
+            ):
+                sections.append(
+                    (
+                        sid,
+                        _DTYPE_I64,
+                        0,
+                        n_nodes_now,
+                        column.astype("<i8", copy=False).tobytes(),
+                    )
+                )
 
     if sections and _SEGMENT.size + len(sections) * (_SECTION.size + _CRC.size) > PAGE_SIZE:
         raise SerializationError("segment section table exceeds one page")
@@ -682,6 +714,7 @@ def checkpoint_run(
     *,
     fingerprint: int = 0,
     checksums: bool = True,
+    structural_index: bool = True,
 ) -> CheckpointResult:
     """Write (or incrementally extend) the persistent form of a labelled run.
 
@@ -714,15 +747,20 @@ def checkpoint_run(
     table; readers verify it at attach or on first gather.  Disabling it
     writes legacy ``SEG1`` segments — the benchmark baseline, not a
     production mode.
+
+    ``structural_index`` (default on) rides full-snapshot ``pre``/``post``/
+    ``level`` interval columns along with any segment that appends node rows,
+    enabling the engine's structural fast path on mapped attach; disabling it
+    writes a pre-index file (compaction upgrades those in place).
     """
     return _commit_checkpoints(
-        [_plan_checkpoint(path, store, node_table, fingerprint)],
+        [_plan_checkpoint(path, store, node_table, fingerprint, structural_index)],
         checksums=checksums,
     )[0]
 
 
 def checkpoint_batch(
-    jobs, *, fingerprint: int = 0, checksums: bool = True
+    jobs, *, fingerprint: int = 0, checksums: bool = True, structural_index: bool = True
 ) -> list[CheckpointResult]:
     """Checkpoint several runs with batched fsync barriers.
 
@@ -738,7 +776,7 @@ def checkpoint_batch(
     same header and the second's segment would overwrite the first's.
     """
     pendings = [
-        _plan_checkpoint(path, store, node_table, fingerprint)
+        _plan_checkpoint(path, store, node_table, fingerprint, structural_index)
         for path, store, node_table in jobs
     ]
     seen: dict[str, None] = {}
@@ -843,7 +881,12 @@ def run_file_info(path, *, estimate_amplification: bool = False) -> RunFileInfo:
                     sid, _, _, _, _, nbytes = _SECTION.unpack_from(
                         table, index * _SECTION.size
                     )
-                    column_nbytes[sid] = column_nbytes.get(sid, 0) + nbytes
+                    if sid in _STRUCTURAL_SIDS:
+                        # Full snapshots supersede each other: the rewrite
+                        # keeps one (the latest), not the concatenation.
+                        column_nbytes[sid] = nbytes
+                    else:
+                        column_nbytes[sid] = column_nbytes.get(sid, 0) + nbytes
                 if segment_end <= offset:
                     raise SerializationError("corrupt run store: bad segment end")
                 offset = segment_end
@@ -1546,6 +1589,39 @@ class MappedRunStore:
     def nodes(self) -> MappedNodeTable | None:
         return self._nodes
 
+    def structural_index(self):
+        """The persisted ``(pre, post, level)`` interval columns, if current.
+
+        Each checkpoint that appends node rows writes the interval columns
+        as full snapshots; this returns zero-copy int64 views of the **last**
+        snapshot whose row count matches the header's node watermark, or
+        ``None`` when the file predates the index (or carries only stale
+        snapshots for an older watermark — the engine then recomputes from
+        ``node.parent``).  The views are CRC-verified before being handed
+        out, so a flipped index byte raises
+        :class:`~repro.errors.CorruptionError` rather than steering a query.
+        """
+        header = self._header
+        if not header.has_nodes or header.n_nodes == 0:
+            return None
+        dtype = _NP_DTYPES[_DTYPE_I64]
+        views = []
+        for sid in _STRUCTURAL_SIDS:
+            chosen = None
+            for part in self._extents.get(sid, ()):
+                if part.row_start == 0 and part.n_rows == header.n_nodes:
+                    chosen = part
+            if chosen is None:
+                return None
+            name = _SECTION_NAMES[sid]
+            if chosen.dtype_code != _DTYPE_I64 or chosen.nbytes != chosen.n_rows * dtype.itemsize:
+                raise SerializationError(f"run store column {name!r} is malformed")
+            self._verify_extent(chosen, name)
+            views.append(
+                np.frombuffer(self._mm, dtype=dtype, count=chosen.n_rows, offset=chosen.offset)
+            )
+        return tuple(views)
+
     @property
     def n_paths(self) -> int:
         return self._header.n_paths
@@ -1601,7 +1677,12 @@ class MappedRunStore:
         """
         column_nbytes: dict[int, int] = {}
         for sid, parts in self._extents.items():
-            column_nbytes[sid] = sum(part.nbytes for part in parts)
+            if sid in _STRUCTURAL_SIDS:
+                # Full snapshots supersede each other; only the latest
+                # survives a rewrite.
+                column_nbytes[sid] = parts[-1].nbytes
+            else:
+                column_nbytes[sid] = sum(part.nbytes for part in parts)
         estimate = _estimate_compacted_bytes(column_nbytes)
         if estimate <= 0:
             return 1.0

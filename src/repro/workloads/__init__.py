@@ -27,7 +27,11 @@ from repro.workloads.runs import (
     recursive_production_indices,
     terminal_production_choice,
 )
-from repro.workloads.synthetic import SyntheticConfig, build_synthetic_specification
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    build_nested_chain_specification,
+    build_synthetic_specification,
+)
 from repro.workloads.views import random_view, view_suite
 
 __all__ = [
@@ -43,6 +47,7 @@ __all__ = [
     "BIOAID_RECURSIVE_PRODUCTIONS",
     "BIOAID_MAX_PRODUCTION_SIZE",
     "SyntheticConfig",
+    "build_nested_chain_specification",
     "build_synthetic_specification",
     "random_run",
     "recursive_production_indices",

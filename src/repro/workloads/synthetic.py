@@ -34,7 +34,11 @@ from repro.model import (
 )
 from repro.workloads.builder import chain_production, idempotent_dependency_pairs
 
-__all__ = ["SyntheticConfig", "build_synthetic_specification"]
+__all__ = [
+    "SyntheticConfig",
+    "build_nested_chain_specification",
+    "build_synthetic_specification",
+]
 
 
 @dataclass(frozen=True)
@@ -140,5 +144,63 @@ def build_synthetic_specification(
     shared_pairs = idempotent_dependency_pairs(m, rng)
     dependencies = DependencyAssignment(
         {name: shared_pairs for name in grammar.atomic_modules}
+    )
+    return WorkflowSpecification(grammar, dependencies)
+
+
+def build_nested_chain_specification(
+    nesting_depth: int = 40, chain_length: int = 30, module_degree: int = 6
+) -> WorkflowSpecification:
+    """A deep *non-recursive* member of the chain-production family.
+
+    One composite module ``D(d)`` per nesting level, each with a single
+    production: a pipeline of ``chain_length`` degree-``module_degree``
+    modules with the next level's ``D(d+1)`` embedded at the midpoint (the
+    deepest level is all atoms), so every derivation of the grammar is the
+    same ``nesting_depth``-deep parse tree and no recursion edge ever
+    appears in a label.  Atomic dependencies are *saturated* (every input
+    transitively feeds every output): the induced ``Inputs``/``Outputs``
+    chain matrices are uniformly all-true, which makes the specification
+    the best case for the structural interval index — production chains are
+    decided by interval containment alone and only the identity wiring
+    between *adjacent* pipeline stages needs a decoded matrix.  This is the
+    workload of the serving bench's cold-start table (a BioAID-shaped
+    pipeline without BioAID's recursion).
+    """
+    if nesting_depth < 1:
+        raise ValueError("nesting_depth must be at least 1")
+    if chain_length < 2:
+        raise ValueError("chain_length must be at least 2")
+    if module_degree < 1:
+        raise ValueError("module_degree must be at least 1")
+    m = module_degree
+    modules: dict[str, Module] = {}
+    composites: set[str] = set()
+    for depth in range(1, nesting_depth + 1):
+        name = f"D{depth}"
+        modules[name] = Module(name, m, m)
+        composites.add(name)
+    productions: list[Production] = []
+    atom_counter = 0
+    for depth in range(1, nesting_depth + 1):
+        lhs = modules[f"D{depth}"]
+        nested_slot = chain_length // 2 if depth < nesting_depth else None
+        body: list[tuple[str, Module]] = []
+        for position in range(1, chain_length + 1):
+            if position == nested_slot:
+                nested = f"D{depth + 1}"
+                body.append((nested, modules[nested]))
+            else:
+                atom_counter += 1
+                atom = Module(f"x{atom_counter}", m, m)
+                modules[atom.name] = atom
+                body.append((atom.name, atom))
+        productions.append(chain_production(lhs, body))
+    grammar = WorkflowGrammar(modules, composites, "D1", productions)
+    saturated = frozenset(
+        (i, j) for i in range(1, m + 1) for j in range(1, m + 1)
+    )
+    dependencies = DependencyAssignment(
+        {name: saturated for name in grammar.atomic_modules}
     )
     return WorkflowSpecification(grammar, dependencies)

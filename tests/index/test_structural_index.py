@@ -1,0 +1,225 @@
+"""Unit tests for the structural interval index primitives.
+
+``compute_tree_intervals`` is differentially checked against a naive
+recursive DFS on random topologically-ordered forests, the packed edge-word
+layout is pinned to :mod:`repro.store.path_table` (the index module repeats
+the encoding to stay import-cycle free), and ``classify_matrix`` /
+``StructuralIndex.build`` edge cases are nailed down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import (
+    CLASS_FALSE,
+    CLASS_MIXED,
+    CLASS_TRUE,
+    StructuralIndex,
+    classify_matrix,
+    compute_tree_intervals,
+    tree_levels,
+)
+
+
+# -- interval columns vs a naive DFS reference ---------------------------------
+
+
+def _reference_intervals(parent):
+    """pre/post/level by explicit recursive DFS (children in row-id order)."""
+    n = len(parent)
+    children = [[] for _ in range(n)]
+    roots = []
+    for row, p in enumerate(parent):
+        (roots if p < 0 else children[p]).append(row)
+    pre = [0] * n
+    post = [0] * n
+    level = [0] * n
+    counter = 0
+
+    def visit(row, depth):
+        nonlocal counter
+        pre[row] = counter
+        level[row] = depth
+        counter += 1
+        for child in children[row]:
+            visit(child, depth + 1)
+        post[row] = counter - 1
+
+    for root in roots:
+        visit(root, 0)
+    return pre, post, level
+
+
+@st.composite
+def parent_forests(draw):
+    """Random topologically-ordered parent arrays (possibly multi-root)."""
+    n = draw(st.integers(min_value=0, max_value=120))
+    parent = []
+    for row in range(n):
+        # -1 opens a new root; anything else attaches below an earlier row,
+        # keeping the array topologically ordered by construction.
+        parent.append(draw(st.integers(min_value=-1, max_value=row - 1)))
+    return parent
+
+
+@settings(max_examples=80, deadline=None)
+@given(parent=parent_forests())
+def test_intervals_match_recursive_dfs(parent):
+    pre, post, level = compute_tree_intervals(np.asarray(parent, dtype=np.int64))
+    ref_pre, ref_post, ref_level = _reference_intervals(parent)
+    assert pre.tolist() == ref_pre
+    assert post.tolist() == ref_post
+    assert level.tolist() == ref_level
+
+
+@settings(max_examples=40, deadline=None)
+@given(parent=parent_forests(), data=st.data())
+def test_interval_containment_is_ancestry(parent, data):
+    """pre[a] <= pre[b] <= post[a]  <=>  a is an ancestor-or-self of b."""
+    if not parent:
+        return
+    pre, post, _ = compute_tree_intervals(np.asarray(parent, dtype=np.int64))
+    a = data.draw(st.integers(0, len(parent) - 1))
+    b = data.draw(st.integers(0, len(parent) - 1))
+    walk = b
+    is_anc = False
+    while walk >= 0:
+        if walk == a:
+            is_anc = True
+            break
+        walk = parent[walk]
+    assert (pre[a] <= pre[b] <= post[a]) == is_anc
+
+
+def test_tree_levels_rejects_cyclic_parent():
+    # Rows 1 and 2 point at each other: their depths can never resolve, so
+    # the per-level passes must fail loudly instead of spinning forever.
+    with pytest.raises(ValueError, match="topologically ordered"):
+        tree_levels(np.asarray([-1, 2, 1], dtype=np.int64))
+
+
+def test_empty_forest_yields_empty_columns():
+    pre, post, level = compute_tree_intervals(np.asarray([], dtype=np.int64))
+    assert pre.size == post.size == level.size == 0
+
+
+# -- the packed edge-word layout is pinned to the store's ----------------------
+
+
+def test_packed_word_layout_matches_path_table():
+    from repro.index import structural
+    from repro.store import path_table
+
+    assert structural._KIND_PRODUCTION == path_table.KIND_PRODUCTION
+    assert structural._FIELD_BITS == path_table._FIELD_BITS
+    assert structural._FIELD_MASK == path_table._FIELD_MASK
+    # Round-trip one production edge through the store's encoder and the
+    # index's decoder: kind bit 0, k at bit 1, i at bit 17.
+    k, i = 37, 11
+    word = path_table.KIND_PRODUCTION | k << 1 | i << 17
+    assert (word & 1) == structural._KIND_PRODUCTION
+    assert (word >> 1) & structural._FIELD_MASK == k
+    assert word >> (structural._FIELD_BITS + 1) == i
+
+
+# -- matrix classification -----------------------------------------------------
+
+
+class _FakeMatrix:
+    def __init__(self, all_true, all_false):
+        self._t, self._f = all_true, all_false
+
+    def is_all_true(self):
+        return self._t
+
+    def is_all_false(self):
+        return self._f
+
+
+def test_classify_matrix_three_way():
+    assert classify_matrix(lambda: _FakeMatrix(True, False)) == CLASS_TRUE
+    assert classify_matrix(lambda: _FakeMatrix(False, True)) == CLASS_FALSE
+    assert classify_matrix(lambda: _FakeMatrix(False, False)) == CLASS_MIXED
+
+
+def test_classify_matrix_zero_dimension_is_annihilator():
+    # A zero-dim matrix is vacuously all-true AND all-false; in a chain
+    # product it annihilates, so CLASS_FALSE must win.
+    assert classify_matrix(lambda: _FakeMatrix(True, True)) == CLASS_FALSE
+
+
+def test_classify_matrix_raising_factory_is_mixed():
+    def boom():
+        raise RuntimeError("dropped production")
+
+    assert classify_matrix(boom) == CLASS_MIXED
+
+
+# -- index build refusals ------------------------------------------------------
+
+
+def _tiny_trie():
+    # Root plus two production edges.
+    parent = np.asarray([-1, 0, 0], dtype=np.int64)
+    packed = np.asarray([-1, 1 << 1, 2 << 1], dtype=np.int64)
+    return parent, packed
+
+
+def test_build_refuses_duplicate_path_ids():
+    trie_parent, trie_packed = _tiny_trie()
+    node_parent = np.asarray([-1, 0], dtype=np.int64)
+    node_path = np.asarray([1, 1], dtype=np.int64)  # two nodes, one path id
+    assert (
+        StructuralIndex.build(trie_parent, trie_packed, node_parent, node_path)
+        is None
+    )
+
+
+def test_build_refuses_out_of_range_path_ids():
+    trie_parent, trie_packed = _tiny_trie()
+    node_parent = np.asarray([-1, 0], dtype=np.int64)
+    node_path = np.asarray([1, 99], dtype=np.int64)
+    assert (
+        StructuralIndex.build(trie_parent, trie_packed, node_parent, node_path)
+        is None
+    )
+
+
+def test_build_scatters_intervals_by_path_id():
+    trie_parent, trie_packed = _tiny_trie()
+    node_parent = np.asarray([-1, 0], dtype=np.int64)
+    node_path = np.asarray([2, 1], dtype=np.int64)  # node 0 -> path 2, node 1 -> path 1
+    index = StructuralIndex.build(trie_parent, trie_packed, node_parent, node_path)
+    assert index is not None
+    pre, post, level = compute_tree_intervals(node_parent)
+    assert index.pre[2] == pre[0] and index.post[2] == post[0]
+    assert index.pre[1] == pre[1] and index.level[1] == level[1]
+    assert index.is_ancestor(2, 1) and not index.is_ancestor(1, 2)
+    assert index.is_ancestor(0, 1)  # the empty path is everybody's prefix
+
+
+# -- DecodeCache hit accounting stays bounded ----------------------------------
+
+
+def test_pair_hit_accounting_decays_instead_of_leaking():
+    from repro.core.decoder import DecodeCache
+
+    cache = DecodeCache(max_entries=None, max_pair_hits=8)
+    # Counters only accrue for keys whose matrix is actually cached.
+    cache.note_pair_use(("missing",), 5)
+    assert not cache.pair_hits
+    hot = ("hot",)
+    cache.pair_matrices[hot] = None
+    for n in range(20):
+        key = ("k", n)
+        cache.pair_matrices[key] = None
+        cache.note_pair_use(key, 1)
+        cache.note_pair_use(hot, 100)
+    assert len(cache.pair_hits) <= cache.max_pair_hits + 1
+    # Cold single-hit keys aged out; the hot key survived every sweep with
+    # the top rank.
+    assert max(cache.pair_hits, key=cache.pair_hits.get) == hot
