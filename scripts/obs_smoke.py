@@ -1,0 +1,249 @@
+"""Two-process observability smoke check (CI obs-smoke job).
+
+The ISSUE-9 acceptance scenario, end to end, with real OS processes:
+
+* **Leader** (subprocess): ingests a BioAID-like run under a
+  `RunLifecycleManager` with a JSONL `EventLog` installed — two flushes
+  build a segment chain, a compaction merges it — then hands the run file
+  over.  Its event log must contain the checkpoint events *before* the
+  compaction event.
+* **Follower** (subprocess): attaches the run file through a
+  `ProvenanceServer` whose tracer samples every request with a zero
+  slow-query threshold, and serves the binary frame protocol on a unix
+  socket.  On shutdown it writes the Prometheus exposition and the
+  slow-query JSONL into the artifacts directory.
+* **Driver** (this process): queries the follower with `ProvenanceClient`
+  (trace ids on by default), scrapes the metrics op, and requires
+
+  - the scrape to parse and its query counters to equal exactly what was
+    submitted,
+  - at least one slow-query trace with >= 3 nested spans
+    (net.frame -> scheduler.batch -> engine.*),
+  - the event log to show checkpoints strictly before the compaction.
+
+Run with:  PYTHONPATH=src python scripts/obs_smoke.py [--artifacts DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import textwrap
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import sample_query_pairs  # noqa: E402
+from repro.core import FVLScheme  # noqa: E402
+from repro.model.projection import ViewProjection  # noqa: E402
+from repro.net import ProvenanceClient  # noqa: E402
+from repro.obs.events import read_events  # noqa: E402
+from repro.obs.metrics import parse_exposition  # noqa: E402
+from repro.workloads import build_bioaid_specification, random_run, random_view  # noqa: E402
+
+RUN_SIZE = 600
+RUN_SEED = 42
+VIEW_SEED = 7
+N_PAIRS = 400
+TIMEOUT = 120.0
+
+LEADER_SCRIPT = textwrap.dedent(
+    """
+    import os, sys
+    sys.path.insert(0, sys.argv[3])
+    from repro.core import FVLScheme
+    from repro.core.run_labeler import RunLabeler
+    from repro.engine import DEFAULT_RUN, QueryEngine
+    from repro.obs.events import EventLog, install_event_log, uninstall_event_log
+    from repro.service import CheckpointPolicy, RunLifecycleManager
+    from repro.workloads import build_bioaid_specification, random_run
+
+    tmp, artifacts, src = sys.argv[1], sys.argv[2], sys.argv[3]
+    log = install_event_log(EventLog(os.path.join(artifacts, "events.jsonl")))
+    try:
+        spec = build_bioaid_specification()
+        scheme = FVLScheme(spec)
+        events = random_run(spec, 600, seed=42).events
+        run_file = os.path.join(tmp, "obs-smoke.fvl")
+
+        engine = QueryEngine(scheme)
+        manager = RunLifecycleManager(
+            engine, policy=CheckpointPolicy(every_events=1, every_seconds=None)
+        )
+        labeler = RunLabeler(scheme.index)
+        manager.manage(DEFAULT_RUN, run_file, labeler=labeler)
+        for event in events[: len(events) // 2]:
+            labeler(event)
+        manager.poll_once()                  # segment 1 -> checkpoint event
+        for event in events[len(events) // 2 :]:
+            labeler(event)
+        manager.poll_once()                  # segment 2 -> checkpoint event
+        result = manager.compact_run(DEFAULT_RUN)   # -> compaction event
+        assert result.compacted, "expected the two-segment chain to compact"
+        manager.unmanage(DEFAULT_RUN)
+    finally:
+        uninstall_event_log()
+        log.close()
+    """
+)
+
+FOLLOWER_SCRIPT = textwrap.dedent(
+    """
+    import json, os, sys, time
+    sys.path.insert(0, sys.argv[3])
+    from repro.core import FVLScheme
+    from repro.engine import QueryEngine
+    from repro.net import ProvenanceNetServer
+    from repro.obs.trace import Tracer
+    from repro.serve import ProvenanceServer
+    from repro.workloads import build_bioaid_specification, random_view
+
+    tmp, artifacts, src = sys.argv[1], sys.argv[2], sys.argv[3]
+
+    def wait_for(name, timeout=120.0):
+        deadline = time.monotonic() + timeout
+        path = os.path.join(tmp, name)
+        while not os.path.exists(path):
+            if time.monotonic() > deadline:
+                raise SystemExit(f"follower timed out waiting for {name}")
+            time.sleep(0.01)
+
+    spec = build_bioaid_specification()
+    scheme = FVLScheme(spec)
+    view = random_view(spec, 6, seed=7, mode="grey", name="obs-smoke-view")
+
+    engine = QueryEngine(scheme)
+    tracer = Tracer(sample_rate=1.0, slow_threshold_s=0.0, metrics=engine.metrics)
+    server = ProvenanceServer(engine, workers=2, tracer=tracer)
+    server.attach(os.path.join(tmp, "obs-smoke.fvl"))
+    engine.add_view(view)
+    with server:
+        with ProvenanceNetServer(server, unix_path=os.path.join(tmp, "serve.sock")):
+            open(os.path.join(tmp, "follower-ready"), "w").close()
+            wait_for("client-done")
+            tracer.dump_slow(os.path.join(artifacts, "slow_queries.jsonl"))
+            with open(os.path.join(artifacts, "metrics.txt"), "w") as fh:
+                fh.write(engine.metrics.exposition())
+    """
+)
+
+
+def wait_for(path: str, what: str) -> None:
+    deadline = time.monotonic() + TIMEOUT
+    while not os.path.exists(path):
+        if time.monotonic() > deadline:
+            raise SystemExit(f"driver timed out waiting for {what}")
+        time.sleep(0.01)
+
+
+def _span_depth(node: dict, prefix_path: list) -> bool:
+    """Whether ``node`` roots a net -> scheduler -> engine span chain."""
+    if not node["name"].startswith(prefix_path[0]):
+        return False
+    if len(prefix_path) == 1:
+        return True
+    return any(_span_depth(child, prefix_path[1:]) for child in node["children"])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--artifacts",
+        default=os.path.join(os.path.dirname(__file__), "..", "artifacts", "obs-smoke"),
+        help="directory for the event log, metrics text, and slow-query dump",
+    )
+    args = parser.parse_args()
+    artifacts = os.path.abspath(args.artifacts)
+    os.makedirs(artifacts, exist_ok=True)
+
+    spec = build_bioaid_specification()
+    scheme = FVLScheme(spec)
+    derivation = random_run(spec, RUN_SIZE, seed=RUN_SEED)
+    view = random_view(spec, 6, seed=VIEW_SEED, mode="grey", name="obs-smoke-view")
+    items = sorted(ViewProjection(derivation.run, view).visible_items)
+    pairs = sample_query_pairs(items, N_PAIRS, seed=3)
+    src_dir = os.path.join(os.path.dirname(__file__), "..", "src")
+
+    with tempfile.TemporaryDirectory(prefix="obs-smoke-") as tmp:
+        # -- leader: ingest + checkpoint + compact, event log installed --------
+        leader = subprocess.run(
+            [sys.executable, "-c", LEADER_SCRIPT, tmp, artifacts, src_dir],
+            timeout=TIMEOUT,
+        )
+        assert leader.returncode == 0, "leader process exited non-zero"
+
+        events = read_events(os.path.join(artifacts, "events.jsonl"))
+        kinds = [e["event"] for e in events]
+        assert kinds.count("checkpoint") >= 2, kinds
+        assert "compaction" in kinds, kinds
+        assert "lease_acquire" in kinds and "lease_release" in kinds, kinds
+        # Ordering: every checkpoint of the chain precedes the compaction.
+        assert max(
+            i for i, k in enumerate(kinds) if k == "checkpoint"
+        ) < kinds.index("compaction"), kinds
+
+        # -- follower: serve the compacted file with every request traced ------
+        follower = subprocess.Popen(
+            [sys.executable, "-c", FOLLOWER_SCRIPT, tmp, artifacts, src_dir]
+        )
+        try:
+            wait_for(os.path.join(tmp, "follower-ready"), "the follower process")
+            with ProvenanceClient(unix_path=os.path.join(tmp, "serve.sock")) as cli:
+                cli.depends_batch(pairs, view.name)
+                cli.is_visible_batch(items, view.name)
+                scrape = cli.server_metrics()
+            open(os.path.join(tmp, "client-done"), "w").close()
+            assert follower.wait(timeout=TIMEOUT) == 0, "follower exited non-zero"
+        finally:
+            if follower.poll() is None:
+                follower.kill()
+                follower.wait()
+
+        # -- the scrape parses and counts exactly what was submitted -----------
+        parsed = parse_exposition(scrape)
+
+        def total(name, **labels):
+            want = set(labels.items())
+            return sum(
+                v for (n, lv), v in parsed.items() if n == name and want <= set(lv)
+            )
+
+        assert total("engine_queries_total", op="depends") == len(pairs), (
+            total("engine_queries_total", op="depends"), len(pairs))
+        assert total("engine_queries_total", op="visible") == len(items), (
+            total("engine_queries_total", op="visible"), len(items))
+        assert total("serve_answered_total") == len(pairs) + len(items)
+        assert total("net_answered_frames_total") == 2
+        assert total("trace_sampled_total") == 2
+
+        # -- at least one slow trace nests net -> scheduler -> engine ----------
+        slow_path = os.path.join(artifacts, "slow_queries.jsonl")
+        with open(slow_path, "r", encoding="utf-8") as fh:
+            traces = [json.loads(line) for line in fh if line.strip()]
+        assert traces, "the always-slow tracer filed no slow queries"
+        nested = [
+            t
+            for t in traces
+            if any(
+                _span_depth(root, ["net.frame", "scheduler.batch", "engine."])
+                for root in t["spans"]
+            )
+        ]
+        assert nested, f"no trace nests net->scheduler->engine: {traces[:1]}"
+
+        print(
+            f"obs smoke OK: scrape counted {len(pairs)} depends + {len(items)} "
+            f"visible queries exactly; {len(events)} events with checkpoints "
+            f"before compaction; {len(traces)} slow traces of which "
+            f"{len(nested)} nest net->scheduler->engine; artifacts in "
+            f"{artifacts}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

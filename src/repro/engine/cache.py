@@ -58,9 +58,15 @@ class LRUCache(Generic[V]):
     milliseconds); if two threads race on the same key the first inserted
     value wins and the loser's work is discarded, so entries must be
     deterministic functions of their key.
+
+    ``counters`` optionally mirrors the accounting into a metrics registry:
+    a ``(hits, misses, evictions)`` triple of
+    :class:`~repro.obs.metrics.Counter` handles incremented alongside the
+    internal tallies (the registry lock is a leaf lock, so taking it while
+    holding the cache lock is safe).
     """
 
-    def __init__(self, max_size: int) -> None:
+    def __init__(self, max_size: int, *, counters=None) -> None:
         if max_size < 1:
             raise ValueError("cache size must be at least 1")
         self._max_size = max_size
@@ -69,6 +75,10 @@ class LRUCache(Generic[V]):
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        if counters is not None:
+            self._hits_c, self._misses_c, self._evictions_c = counters
+        else:
+            self._hits_c = self._misses_c = self._evictions_c = None
 
     def get_or_create(self, key: Hashable, factory: Callable[[], V]) -> V:
         with self._lock:
@@ -76,8 +86,12 @@ class LRUCache(Generic[V]):
             if entry is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
+                if self._hits_c is not None:
+                    self._hits_c.inc()
                 return entry
             self._misses += 1
+            if self._misses_c is not None:
+                self._misses_c.inc()
         value = factory()
         with self._lock:
             existing = self._entries.get(key)
@@ -88,6 +102,8 @@ class LRUCache(Generic[V]):
             while len(self._entries) > self._max_size:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                if self._evictions_c is not None:
+                    self._evictions_c.inc()
             return value
 
     def __len__(self) -> int:

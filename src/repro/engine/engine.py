@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -70,6 +71,9 @@ from repro.errors import (
     ViewError,
 )
 from repro.index.structural import ChainClassifier, StructuralIndex
+from repro.obs import events as obs_events
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import trace_span
 from repro.model.derivation import Derivation
 from repro.model.grammar import WorkflowGrammar
 from repro.model.specification import WorkflowSpecification
@@ -209,6 +213,7 @@ class QueryEngine:
         max_workers: int | None = None,
         decode_cache_entries: int | None = 65536,
         use_structural_index: bool = True,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self._scheme = source if isinstance(source, FVLScheme) else FVLScheme(source)
         #: One shared path arena for every shard: path ids are engine-global,
@@ -217,7 +222,22 @@ class QueryEngine:
         self._path_table = PathTable()
         self._variant = self._check_variant(variant)
         self._views: dict[str, WorkflowView] = {}
-        self._states: LRUCache = LRUCache(cache_size)
+        #: One metrics registry per engine (not process-global): the serving
+        #: stack above shares it — ``ProvenanceServer``/``ProvenanceNetServer``
+        #: register their families here — so a single snapshot covers the
+        #: whole tier, while separate engines (tests!) never mix counts.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        view_cache = self.metrics.counter(
+            "engine_view_cache_total", "decoded-view LRU events", ("event",)
+        )
+        self._states: LRUCache = LRUCache(
+            cache_size,
+            counters=(
+                view_cache.labels("hit"),
+                view_cache.labels("miss"),
+                view_cache.labels("evict"),
+            ),
+        )
         self._shards: dict[str, _RunShard] = {}
         self._max_workers = max_workers
         self._decode_cache_entries = decode_cache_entries
@@ -225,16 +245,34 @@ class QueryEngine:
         #: Serialises shard remaps (reopen/maybe_reopen from concurrent
         #: server workers) so exactly one fresh mapping wins and none leak.
         self._reopen_lock = threading.Lock()
-        self._batches = 0
         #: Structural fast path (interval index + chain classifier); off
         #: reverts every intermediate pair to matrix decode (the benchmark
         #: baseline and the escape hatch).
         self._use_structural_index = use_structural_index
-        self._structural_pairs = 0
-        self._matrix_pairs = 0
         #: Next decode-cache namespace tag for attached (own-trie) shards;
         #: labelled shards all share the engine arena under tag 0.
         self._next_arena = 0
+        self._queries_c = self.metrics.counter(
+            "engine_queries_total",
+            "queries answered, labeled by (run, view, variant, op)",
+            ("run", "view", "variant", "op"),
+        )
+        self._batches_c = self.metrics.counter(
+            "engine_batches_total", "depends batches evaluated"
+        )
+        pairs = self.metrics.counter(
+            "engine_pairs_total",
+            "intermediate pairs by evaluation mode (structural index vs matrix decode)",
+            ("mode",),
+        )
+        self._structural_pairs_c = pairs.labels("structural")
+        self._matrix_pairs_c = pairs.labels("matrix")
+        self._batch_seconds = self.metrics.histogram(
+            "engine_batch_seconds", "wall time per engine batch", ("op",)
+        )
+        self._reopens_c = self.metrics.counter(
+            "engine_reopens_total", "attached shards remapped onto a newer generation"
+        )
 
     # -- registration ------------------------------------------------------------
 
@@ -387,6 +425,10 @@ class QueryEngine:
             shard.structural = None
             shard.structural_nodes = -1
             old.close()
+            self._reopens_c.inc()
+            obs_events.emit(
+                "reopen", run=run_id, path=old.path, generation=fresh.generation
+            )
             return True
 
     def maybe_reopen(self, run_id: str = DEFAULT_RUN) -> bool:
@@ -620,16 +662,24 @@ class QueryEngine:
         uids = list(uids)
         shard = self._shard(run)
         state = self._decoded_state(view, variant)
-        view_label = state.label
-        store = shard.store
-        if isinstance(store, LabelStore):
-            memo = state.visibility_flags
-            flags = path_visibility(
-                store.table, view_label, prefix=memo.get(shard.arena)
-            )
-            memo[shard.arena] = flags
-            return visible_batch(store, view_label, uids, flags=flags)
-        return [_object_is_visible(shard.label(uid), view_label) for uid in uids]
+        self._note_queries(shard, state, "visible", len(uids))
+        t0 = time.perf_counter()
+        try:
+            with trace_span("engine.visible_batch", run=shard.run_id, uids=len(uids)):
+                view_label = state.label
+                store = shard.store
+                if isinstance(store, LabelStore):
+                    memo = state.visibility_flags
+                    flags = path_visibility(
+                        store.table, view_label, prefix=memo.get(shard.arena)
+                    )
+                    memo[shard.arena] = flags
+                    return visible_batch(store, view_label, uids, flags=flags)
+                return [
+                    _object_is_visible(shard.label(uid), view_label) for uid in uids
+                ]
+        finally:
+            self._batch_seconds.labels("visible").observe(time.perf_counter() - t0)
 
     def visible_mask(
         self,
@@ -698,15 +748,35 @@ class QueryEngine:
 
     @property
     def stats(self) -> EngineStats:
+        """A point-in-time view over the metrics registry (plus shard tallies).
+
+        ``batches``/``structural_pairs``/``matrix_pairs`` come from one
+        registry :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (a
+        single lock acquisition, so they are mutually consistent);
+        ``queries_by_run`` stays keyed by the *currently registered* shards,
+        which is why it reads the shard tallies rather than the labeled
+        counter family (detached runs drop out of the dict but not out of
+        the monotonic counters).
+        """
+        snap = self.metrics.snapshot()
+        pairs = snap.get("engine_pairs_total", {})
         with self._lock:
-            return EngineStats(
-                views=self._states.stats,
-                queries=sum(s.queries for s in self._shards.values()),
-                batches=self._batches,
-                queries_by_run={s.run_id: s.queries for s in self._shards.values()},
-                structural_pairs=self._structural_pairs,
-                matrix_pairs=self._matrix_pairs,
-            )
+            queries_by_run = {s.run_id: s.queries for s in self._shards.values()}
+        return EngineStats(
+            views=self._states.stats,
+            queries=sum(queries_by_run.values()),
+            batches=int(snap.get("engine_batches_total", {}).get((), 0)),
+            queries_by_run=queries_by_run,
+            structural_pairs=int(pairs.get(("structural",), 0)),
+            matrix_pairs=int(pairs.get(("matrix",), 0)),
+        )
+
+    def _note_queries(self, shard: _RunShard, state, op: str, n: int) -> None:
+        label = state.label
+        variant = (
+            label.variant.value if isinstance(state, DecodedViewState) else MATRIX_FREE
+        )
+        self._queries_c.labels(shard.run_id, label.view.name, variant, op).inc(n)
 
     # -- internals --------------------------------------------------------------------------
 
@@ -750,15 +820,16 @@ class QueryEngine:
             nodes = mapped.nodes
             if nodes is None or mapped.n_nodes == 0:
                 return None
-            node_columns = nodes.columns()
-            trie_columns = mapped.table.columns()
-            return StructuralIndex.build(
-                trie_columns["parent"],
-                trie_columns["packed"],
-                node_columns["parent"],
-                node_columns["path_id"],
-                intervals=mapped.structural_index(),
-            )
+            with trace_span("structural_index.build", run=shard.run_id):
+                node_columns = nodes.columns()
+                trie_columns = mapped.table.columns()
+                return StructuralIndex.build(
+                    trie_columns["parent"],
+                    trie_columns["packed"],
+                    node_columns["parent"],
+                    node_columns["path_id"],
+                    intervals=mapped.structural_index(),
+                )
         nodes = getattr(shard.labeler.tree, "nodes", None)
         if nodes is None:
             return None
@@ -892,7 +963,21 @@ class QueryEngine:
     ) -> list[bool]:
         with self._lock:
             shard.queries += len(pairs)
-            self._batches += 1
+        self._batches_c.inc()
+        self._note_queries(shard, state, "depends", len(pairs))
+        t0 = time.perf_counter()
+        try:
+            with trace_span("engine.depends_batch", run=shard.run_id, pairs=len(pairs)):
+                return self._evaluate_dispatch(shard, state, pairs)
+        finally:
+            self._batch_seconds.labels("depends").observe(time.perf_counter() - t0)
+
+    def _evaluate_dispatch(
+        self,
+        shard: _RunShard,
+        state: "DecodedViewState | DecodedMatrixFreeState",
+        pairs: list[tuple[int, int]],
+    ) -> list[bool]:
         label = shard.label
         if isinstance(state, DecodedMatrixFreeState):
             return [state.depends(label(d1), label(d2)) for d1, d2 in pairs]
@@ -988,31 +1073,39 @@ class QueryEngine:
         pair_matrices = cache.pair_matrices
         table = store.table
         structural_n = matrix_n = 0
-        for key, members in groups.items():
-            if classifier is not None:
-                verdict = classifier.classify(key[1], key[2])
-                if verdict is not None:
-                    structural_n += len(members)
-                    if verdict:
-                        for pos, _, _ in members:
-                            results[pos] = True
+        with trace_span("engine.group_eval") as group_span:
+            for key, members in groups.items():
+                if classifier is not None:
+                    verdict = classifier.classify(key[1], key[2])
+                    if verdict is not None:
+                        structural_n += len(members)
+                        if verdict:
+                            for pos, _, _ in members:
+                                results[pos] = True
+                        continue
+                matrix_n += len(members)
+                try:
+                    matrix = pair_matrices[key]
+                except KeyError:
+                    with trace_span("engine.decode", pair=(key[1], key[2])):
+                        matrix = intermediate_matrix_for_ids(
+                            table, key[1], key[2], state, cache, arena=arena
+                        )
+                cache.note_pair_use(key, len(members))
+                if matrix is None:
                     continue
-            matrix_n += len(members)
-            try:
-                matrix = pair_matrices[key]
-            except KeyError:
-                matrix = intermediate_matrix_for_ids(
-                    table, key[1], key[2], state, cache, arena=arena
-                )
-            cache.note_pair_use(key, len(members))
-            if matrix is None:
-                continue
-            for pos, x, y in members:
-                results[pos] = matrix.get(x, y)
-        if structural_n or matrix_n:
-            with self._lock:
-                self._structural_pairs += structural_n
-                self._matrix_pairs += matrix_n
+                for pos, x, y in members:
+                    results[pos] = matrix.get(x, y)
+            if group_span is not None:
+                group_span.attrs = {
+                    "groups": len(groups),
+                    "structural_pairs": structural_n,
+                    "matrix_pairs": matrix_n,
+                }
+        if structural_n:
+            self._structural_pairs_c.inc(structural_n)
+        if matrix_n:
+            self._matrix_pairs_c.inc(matrix_n)
         return results
 
     def _evaluate_store_vector(
@@ -1048,12 +1141,13 @@ class QueryEngine:
         rows2 = pair_array[:, 1] - base
         if ((rows1 < 0) | (rows1 >= n_rows) | (rows2 < 0) | (rows2 >= n_rows)).any():
             return None
-        p1, x_ports, c1 = store.gather_rows(
-            rows1, ("producer_path_id", "producer_port", "consumer_path_id")
-        )
-        p2, c2, y_ports = store.gather_rows(
-            rows2, ("producer_path_id", "consumer_path_id", "consumer_port")
-        )
+        with trace_span("mmap.gather", rows=2 * len(pairs)):
+            p1, x_ports, c1 = store.gather_rows(
+                rows1, ("producer_path_id", "producer_port", "consumer_path_id")
+            )
+            p2, c2, y_ports = store.gather_rows(
+                rows2, ("producer_path_id", "consumer_path_id", "consumer_port")
+            )
 
         results = [False] * len(pairs)
         active = (c1 >= 0) & (p2 >= 0)
@@ -1082,28 +1176,36 @@ class QueryEngine:
         cache = state.decode_cache
         table = store.table
         structural_n = matrix_n = 0
-        for start, end in zip(starts, ends):
-            pid1 = p1_sorted[start]
-            cid2 = c2_sorted[start]
-            if classifier is not None:
-                verdict = classifier.classify(pid1, cid2)
-                if verdict is not None:
-                    structural_n += end - start
-                    if verdict:
-                        for pos in positions[start:end]:
-                            results[pos] = True
+        with trace_span("engine.group_eval") as group_span:
+            for start, end in zip(starts, ends):
+                pid1 = p1_sorted[start]
+                cid2 = c2_sorted[start]
+                if classifier is not None:
+                    verdict = classifier.classify(pid1, cid2)
+                    if verdict is not None:
+                        structural_n += end - start
+                        if verdict:
+                            for pos in positions[start:end]:
+                                results[pos] = True
+                        continue
+                matrix_n += end - start
+                with trace_span("engine.decode", pair=(pid1, cid2)):
+                    matrix = intermediate_matrix_for_ids(
+                        table, pid1, cid2, state, cache, arena=arena
+                    )
+                cache.note_pair_use((arena, pid1, cid2), end - start)
+                if matrix is None:
                     continue
-            matrix_n += end - start
-            matrix = intermediate_matrix_for_ids(
-                table, pid1, cid2, state, cache, arena=arena
-            )
-            cache.note_pair_use((arena, pid1, cid2), end - start)
-            if matrix is None:
-                continue
-            for pos in positions[start:end]:
-                results[pos] = matrix.get(int(x_ports[pos]), int(y_ports[pos]))
-        if structural_n or matrix_n:
-            with self._lock:
-                self._structural_pairs += structural_n
-                self._matrix_pairs += matrix_n
+                for pos in positions[start:end]:
+                    results[pos] = matrix.get(int(x_ports[pos]), int(y_ports[pos]))
+            if group_span is not None:
+                group_span.attrs = {
+                    "groups": len(starts),
+                    "structural_pairs": structural_n,
+                    "matrix_pairs": matrix_n,
+                }
+        if structural_n:
+            self._structural_pairs_c.inc(structural_n)
+        if matrix_n:
+            self._matrix_pairs_c.inc(matrix_n)
         return results

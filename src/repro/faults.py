@@ -140,6 +140,16 @@ class FaultPlan:
                 break
             else:
                 return
+        # Imported lazily: repro.obs.events must not import at faults'
+        # module load (several store modules import faults very early).
+        from repro.obs import events as obs_events
+
+        obs_events.emit(
+            "fault_injected",
+            point=point,
+            hit_number=number,
+            error=repr(error) if error is not None else "InjectedFault",
+        )
         if error is None:
             raise InjectedFault(point, number)
         raise error

@@ -17,9 +17,12 @@ from repro.net.client import (
 )
 from repro.net.protocol import (
     MAX_FRAME_BYTES,
+    TRACE_FLAG,
     AnswersReply,
     ErrorReply,
     FrameAssembler,
+    MetricsReply,
+    MetricsRequest,
     QueryRequest,
     ShedReply,
     StatsReply,
@@ -29,6 +32,8 @@ from repro.net.protocol import (
     encode_answers,
     encode_depends_request,
     encode_error,
+    encode_metrics_reply,
+    encode_metrics_request,
     encode_shed,
     encode_stats_reply,
     encode_stats_request,
@@ -38,10 +43,13 @@ from repro.net.server import NetStats, ProvenanceNetServer
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "TRACE_FLAG",
     "AnswersReply",
     "CircuitOpenError",
     "ErrorReply",
     "FrameAssembler",
+    "MetricsReply",
+    "MetricsRequest",
     "NetStats",
     "ProvenanceClient",
     "ProvenanceNetServer",
@@ -56,6 +64,8 @@ __all__ = [
     "encode_answers",
     "encode_depends_request",
     "encode_error",
+    "encode_metrics_reply",
+    "encode_metrics_request",
     "encode_shed",
     "encode_stats_reply",
     "encode_stats_request",

@@ -44,9 +44,11 @@ from repro.net.protocol import (
     AnswersReply,
     ErrorReply,
     FrameAssembler,
+    MetricsReply,
     ShedReply,
     StatsReply,
     encode_depends_request,
+    encode_metrics_request,
     encode_stats_request,
     encode_visible_request,
 )
@@ -151,6 +153,7 @@ class ProvenanceClient:
         clock=time.monotonic,
         sleep=time.sleep,
         jitter_seed: "int | None" = None,
+        trace_ids: bool = True,
     ) -> None:
         if (unix_path is None) == (address is None):
             raise ValueError("pass exactly one of unix_path= or address=")
@@ -190,6 +193,13 @@ class ProvenanceClient:
         self._pool_free = threading.Condition(self._pool_lock)
         self._closed = False
         self._request_ids = itertools.count(1)
+        # Trace ids mark query frames traceable server-side (the server's
+        # sampler decides which are recorded).  Random base + counter keeps
+        # ids unique across clients yet cheap to mint; retries of one logical
+        # request reuse its id so a resent frame is not a new trace.
+        self._trace_ids = trace_ids
+        self._trace_base = random.Random(jitter_seed).getrandbits(64) | 1
+        self._trace_seq = itertools.count(1)
         # Client-side coalescing buffers for the singleton helpers, one per
         # (kind, run, view, variant) key, flushed by size or linger.
         self._coalesce_lock = threading.Lock()
@@ -387,6 +397,11 @@ class ProvenanceClient:
 
     # -- batch API ---------------------------------------------------------------
 
+    def _next_trace_id(self) -> "int | None":
+        if not self._trace_ids:
+            return None
+        return (self._trace_base + next(self._trace_seq)) % (1 << 64)
+
     def depends_batch(self, pairs, view: str, *, run: str = DEFAULT_RUN,
                       variant=None) -> "list[bool]":
         """Answer ``depends`` for every ``(d1, d2)`` pair in one frame."""
@@ -394,8 +409,11 @@ class ProvenanceClient:
         if ids.size == 0:
             return []
         variant_key = getattr(variant, "value", variant)
+        trace_id = self._next_trace_id()
         reply = self._ask(
-            lambda rid: encode_depends_request(rid, run, view, variant_key, ids)
+            lambda rid: encode_depends_request(
+                rid, run, view, variant_key, ids, trace_id=trace_id
+            )
         )
         assert isinstance(reply, AnswersReply)
         return reply.answers
@@ -407,8 +425,11 @@ class ProvenanceClient:
         if ids.size == 0:
             return []
         variant_key = getattr(variant, "value", variant)
+        trace_id = self._next_trace_id()
         reply = self._ask(
-            lambda rid: encode_visible_request(rid, run, view, variant_key, ids)
+            lambda rid: encode_visible_request(
+                rid, run, view, variant_key, ids, trace_id=trace_id
+            )
         )
         assert isinstance(reply, AnswersReply)
         return reply.answers
@@ -418,6 +439,12 @@ class ProvenanceClient:
         reply = self._ask(encode_stats_request)
         assert isinstance(reply, StatsReply)
         return reply.payload
+
+    def server_metrics(self) -> str:
+        """The server's whole metrics registry as Prometheus text exposition."""
+        reply = self._ask(encode_metrics_request)
+        assert isinstance(reply, MetricsReply)
+        return reply.text
 
     # -- singleton API (client-side coalescing) ----------------------------------
 

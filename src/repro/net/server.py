@@ -45,14 +45,18 @@ from repro.net.protocol import (
     MAX_FRAME_BYTES,
     OP_DEPENDS,
     FrameAssembler,
+    MetricsRequest,
     QueryRequest,
     StatsRequest,
     decode_request,
     encode_answers,
     encode_error,
+    encode_metrics_reply,
     encode_shed,
     encode_stats_reply,
 )
+from repro.obs import events as obs_events
+from repro.obs.trace import TraceContext
 from repro.serve.server import ProvenanceServer
 
 __all__ = ["NetStats", "ProvenanceNetServer"]
@@ -62,7 +66,12 @@ _RECV_BYTES = 1 << 16
 
 @dataclass(frozen=True)
 class NetStats:
-    """Transport-level counters (the scheduler's own live in ServerStats)."""
+    """Transport-level counters (the scheduler's own live in ServerStats).
+
+    A view over the stack's shared metrics registry: every counter comes
+    from one registry snapshot (a single lock acquisition), so a scrape
+    never mixes counts from two instants.
+    """
 
     connections: int  # accepted over the server's lifetime
     active_connections: int
@@ -71,6 +80,7 @@ class NetStats:
     sheds: int
     errors: int  # protocol or query errors answered on a connection
     stats_requests: int
+    metrics_requests: int = 0
 
 
 class _Connection:
@@ -102,15 +112,28 @@ class _Connection:
 class _Flight:
     """One admitted request frame waiting for its scheduler futures."""
 
-    __slots__ = ("_net", "_conn", "_request_id", "_futures", "_remaining", "_lock")
+    __slots__ = (
+        "_net",
+        "_conn",
+        "_request_id",
+        "_futures",
+        "_remaining",
+        "_lock",
+        "_trace",
+        "_span",
+    )
 
-    def __init__(self, net, conn, request_id, futures) -> None:
+    def __init__(self, net, conn, request_id, futures, trace=None, span=None) -> None:
         self._net = net
         self._conn = conn
         self._request_id = request_id
         self._futures = futures
         self._remaining = len(futures)
         self._lock = threading.Lock()
+        #: The request's trace and its ``net.frame`` root span; the flight
+        #: owns both and closes them when the reply is on its way.
+        self._trace = trace
+        self._span = span
         for future in futures:
             future.add_done_callback(self._on_done)
 
@@ -135,6 +158,7 @@ class _Flight:
         else:
             reply = encode_answers(self._request_id, answers)
             self._net._count("answered_frames")
+        self._net._finish_trace(self._trace, self._span)
         self._net._send(self._conn, reply)
 
 
@@ -183,14 +207,29 @@ class ProvenanceNetServer:
         self._stopping = False
         self._wake_r: "int | None" = None
         self._wake_w: "int | None" = None
-        self._stats_lock = threading.Lock()
+        #: Transport counters live in the scheduler/engine's shared metrics
+        #: registry, so one scrape covers net + scheduler + engine at once.
+        m = server.metrics
         self._counters = {
-            "connections": 0,
-            "frames": 0,
-            "answered_frames": 0,
-            "sheds": 0,
-            "errors": 0,
-            "stats_requests": 0,
+            "connections": m.counter(
+                "net_connections_total", "connections accepted over the lifetime"
+            ),
+            "frames": m.counter("net_frames_total", "request frames decoded"),
+            "answered_frames": m.counter(
+                "net_answered_frames_total", "frames answered with packed booleans"
+            ),
+            "sheds": m.counter(
+                "net_sheds_total", "frames refused because the queue was full"
+            ),
+            "errors": m.counter(
+                "net_errors_total", "protocol or query errors answered on a connection"
+            ),
+            "stats_requests": m.counter(
+                "net_stats_requests_total", "stats frames served"
+            ),
+            "metrics_requests": m.counter(
+                "net_metrics_requests_total", "metrics (exposition) frames served"
+            ),
         }
 
     # -- lifecycle ---------------------------------------------------------------
@@ -307,20 +346,32 @@ class ProvenanceNetServer:
 
     @property
     def stats(self) -> NetStats:
-        with self._stats_lock:
-            return NetStats(
-                connections=self._counters["connections"],
-                active_connections=len(self._conns),
-                frames=self._counters["frames"],
-                answered_frames=self._counters["answered_frames"],
-                sheds=self._counters["sheds"],
-                errors=self._counters["errors"],
-                stats_requests=self._counters["stats_requests"],
-            )
+        snap = self._server.metrics.snapshot()
+
+        def counter(name: str) -> int:
+            family = snap.get(name)
+            return int(sum(family.values())) if family else 0
+
+        return NetStats(
+            connections=counter("net_connections_total"),
+            active_connections=len(self._conns),
+            frames=counter("net_frames_total"),
+            answered_frames=counter("net_answered_frames_total"),
+            sheds=counter("net_sheds_total"),
+            errors=counter("net_errors_total"),
+            stats_requests=counter("net_stats_requests_total"),
+            metrics_requests=counter("net_metrics_requests_total"),
+        )
 
     def _count(self, name: str, delta: int = 1) -> None:
-        with self._stats_lock:
-            self._counters[name] += delta
+        self._counters[name].inc(delta)
+
+    def _finish_trace(self, trace, span) -> None:
+        """Close a flight's root span and file the trace (no-op untraced)."""
+        if span is not None:
+            span.finish()
+        if trace is not None:
+            self._server.tracer.finish(trace)
 
     # -- the event loop ----------------------------------------------------------
 
@@ -428,11 +479,43 @@ class ProvenanceNetServer:
             self._count("stats_requests")
             self._send(conn, encode_stats_reply(request.request_id, self._stats_payload()))
             return
+        if isinstance(request, MetricsRequest):
+            self._count("metrics_requests")
+            self._send(
+                conn,
+                encode_metrics_reply(
+                    request.request_id, self._server.metrics.exposition()
+                ),
+            )
+            return
         self._admit(conn, request)
 
     def _admit(self, conn: _Connection, request: QueryRequest) -> None:
         kind = "depends" if request.op == OP_DEPENDS else "visible"
         items = request.ids.tolist()
+        # Sampling decision: a wire trace id marks the request traceable, the
+        # tracer decides whether this one is recorded.  The flight owns the
+        # trace; every early exit below must close it.
+        trace = None
+        root = None
+        if request.trace_id is not None:
+            trace = self._server.tracer.begin(request.trace_id)
+            if trace is not None:
+                root = trace.begin_span(
+                    "net.frame",
+                    attrs={
+                        "op": kind,
+                        "run": request.run,
+                        "view": request.view,
+                        "n": len(items),
+                        "conn": conn.name,
+                    },
+                )
+        ctx = (
+            TraceContext(trace, getattr(root, "span_id", None))
+            if trace is not None
+            else None
+        )
         try:
             futures = self._server.submit_many(
                 kind,
@@ -441,15 +524,25 @@ class ProvenanceNetServer:
                 run=request.run,
                 variant=request.variant,
                 block=False,
+                trace=ctx,
             )
         except Exception as exc:
             # Oversized batch, stopped scheduler, bad variant: the frame is
             # unanswerable, the connection (and the loop) live on.
             self._count("errors")
+            self._finish_trace(trace, root)
             self._send(conn, encode_error(request.request_id, type(exc).__name__, str(exc)))
             return
         if futures is None:
             self._count("sheds")
+            self._finish_trace(trace, root)
+            obs_events.emit(
+                "shed",
+                run=request.run,
+                view=request.view,
+                n=len(items),
+                queue_depth=self._server.pending,
+            )
             self._send(
                 conn,
                 encode_shed(
@@ -459,9 +552,10 @@ class ProvenanceNetServer:
             return
         if not futures:
             self._count("answered_frames")
+            self._finish_trace(trace, root)
             self._send(conn, encode_answers(request.request_id, []))
             return
-        _Flight(self, conn, request.request_id, futures)
+        _Flight(self, conn, request.request_id, futures, trace=trace, span=root)
 
     def _stats_payload(self) -> dict:
         stats = self._server.stats
@@ -493,6 +587,8 @@ class ProvenanceNetServer:
                 "answered_frames": net.answered_frames,
                 "sheds": net.sheds,
                 "errors": net.errors,
+                "stats_requests": net.stats_requests,
+                "metrics_requests": net.metrics_requests,
             },
         }
 

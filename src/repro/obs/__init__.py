@@ -1,0 +1,58 @@
+"""Unified observability layer: metrics registry, request tracing, event log.
+
+Three cooperating pieces, each usable alone:
+
+* :mod:`repro.obs.metrics` — a lock-cheap registry of monotonic counters,
+  gauges, and fixed-bucket latency histograms.  One registry serves a whole
+  engine/server stack; a single lock acquisition snapshots every family at
+  one instant, and the same snapshot renders as Prometheus text exposition.
+* :mod:`repro.obs.trace` — 64-bit trace ids with nested spans carrying
+  wall + CPU timings, deterministic sampling, a byte-bounded ring of recent
+  traces, and a byte-bounded slow-query log.
+* :mod:`repro.obs.events` — a structured JSONL event log with bounded
+  rotation, reached through a module-global ``emit()`` that is a no-op until
+  an :class:`~repro.obs.events.EventLog` is installed (the same pattern as
+  :data:`repro.faults.hit`).
+"""
+
+# NOTE: ``events.emit`` is deliberately NOT re-exported: it is a re-bindable
+# module global (like ``faults.hit``), so call sites must go through the
+# module — ``from repro.obs import events; events.emit(...)`` — or they would
+# freeze the no-op binding at import time.
+from repro.obs.events import EventLog, install_event_log, uninstall_event_log
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    DEFAULT_SAMPLE_RATE,
+    Span,
+    Trace,
+    TraceContext,
+    Tracer,
+    activate,
+    current_trace,
+    trace_span,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "CounterFamily",
+    "GaugeFamily",
+    "HistogramFamily",
+    "LATENCY_BUCKETS",
+    "Tracer",
+    "Trace",
+    "TraceContext",
+    "Span",
+    "DEFAULT_SAMPLE_RATE",
+    "activate",
+    "current_trace",
+    "trace_span",
+    "EventLog",
+    "install_event_log",
+    "uninstall_event_log",
+]

@@ -41,6 +41,8 @@ from dataclasses import dataclass
 from repro import faults
 from repro.engine.engine import DEFAULT_RUN, QueryEngine
 from repro.errors import LabelingError, SerializationError
+from repro.obs import events as obs_events
+from repro.obs.trace import TraceContext, Tracer, activate
 from repro.serve.matrix_cache import load_hot_matrices, save_hot_matrices
 
 __all__ = ["BatchPolicy", "ReopenPolicy", "ServerStats", "ProvenanceServer"]
@@ -140,9 +142,9 @@ class ServerStats:
 
 
 class _Request:
-    __slots__ = ("kind", "key", "d1", "d2", "view", "run", "variant", "future")
+    __slots__ = ("kind", "key", "d1", "d2", "view", "run", "variant", "future", "trace")
 
-    def __init__(self, kind, key, d1, d2, view, run, variant) -> None:
+    def __init__(self, kind, key, d1, d2, view, run, variant, trace=None) -> None:
         self.kind = kind
         self.key = key
         self.d1 = d1
@@ -151,6 +153,10 @@ class _Request:
         self.run = run
         self.variant = variant
         self.future: Future = Future()
+        #: Optional :class:`~repro.obs.trace.TraceContext` — contextvars do
+        #: not follow a request across the queue to a worker thread, so the
+        #: trace handle rides the request itself.
+        self.trace: "TraceContext | None" = trace
 
 
 def _safe_set_result(future: Future, value) -> None:
@@ -193,6 +199,7 @@ class ProvenanceServer:
         reopen: ReopenPolicy | None = None,
         workers: int = 1,
         clock=time.monotonic,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -207,20 +214,53 @@ class ProvenanceServer:
         self._stopping = False
         #: run -> [queries since last probe, last probe time]
         self._probe_state: dict[str, list] = {}
+        #: Guards the last-error fields and the probe backoff state; all
+        #: counters live in the engine's metrics registry instead.
         self._stats_lock = threading.Lock()
-        self._submitted = 0
-        self._answered = 0
-        self._batches = 0
-        self._engine_calls = 0
-        self._coalesced = 0
-        self._largest_batch = 0
-        self._queue_peak = 0
-        self._probes = 0
-        self._reopens = 0
-        self._index_attaches = 0
-        self._worker_restarts = 0
         self._last_warm_error: Exception | None = None
         self._last_error: Exception | None = None
+        #: The server shares its engine's registry, so one scrape (or one
+        #: ``registry.snapshot()``) covers the whole stack at one instant.
+        self.metrics = engine.metrics
+        self.tracer = tracer if tracer is not None else Tracer(metrics=self.metrics)
+        m = self.metrics
+        self._submitted_c = m.counter(
+            "serve_submitted_total", "requests accepted into the scheduler queue"
+        )
+        self._answered_c = m.counter(
+            "serve_answered_total", "requests whose future was resolved"
+        )
+        self._batches_c = m.counter("serve_batches_total", "scheduling steps taken")
+        self._engine_calls_c = m.counter(
+            "serve_engine_calls_total", "vectorised engine calls made (groups served)"
+        )
+        self._coalesced_c = m.counter(
+            "serve_coalesced_total", "requests answered in a group of more than one"
+        )
+        self._largest_batch_g = m.gauge(
+            "serve_largest_batch", "largest scheduling batch ever taken"
+        )
+        self._queue_peak_g = m.gauge("serve_queue_peak", "deepest queue ever seen")
+        m.gauge(
+            "serve_queue_depth", "requests queued right now"
+        ).set_function(self._queue_depth)
+        self._probes_c = m.counter(
+            "serve_probes_total", "run-file header probes for newer generations"
+        )
+        self._reopens_c = m.counter(
+            "serve_reopens_total", "probes that remapped a compacted generation"
+        )
+        self._index_attaches_c = m.counter(
+            "serve_index_attaches_total",
+            "attached run files carrying persisted interval columns",
+        )
+        self._worker_restarts_c = m.counter(
+            "serve_worker_restarts_total", "worker threads revived by the supervisor"
+        )
+
+    def _queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -317,8 +357,7 @@ class ProvenanceServer:
             # on first query; attach-time bookkeeping must not pre-empt it.
             has_index = False
         if has_index:
-            with self._stats_lock:
-                self._index_attaches += 1
+            self._index_attaches_c.inc()
         warmed = 0
         if warm:
             try:
@@ -390,6 +429,7 @@ class ProvenanceServer:
         run: str = DEFAULT_RUN,
         variant=None,
         block: bool = True,
+        trace: "TraceContext | None" = None,
     ) -> "list[Future] | None":
         """Enqueue a pre-grouped batch of queries in one queue-lock round trip.
 
@@ -406,6 +446,13 @@ class ProvenanceServer:
         loop can answer with an explicit SHED/retry-after response instead of
         stalling on backpressure.  ``block=True`` waits for room like
         :meth:`submit`.  Returns the requests' futures, in ``items`` order.
+
+        ``trace`` attaches a :class:`~repro.obs.trace.TraceContext` to every
+        request of the batch: the scheduling step that serves them opens a
+        ``scheduler.batch`` span under it (recording which trace ids the
+        step coalesced) and runs the engine call with the trace active, so
+        engine/store spans nest below.  The *caller* still owns the trace's
+        lifetime — the scheduler never finishes it.
         """
         if kind not in (_DEPENDS, _VISIBLE):
             raise ValueError(
@@ -416,11 +463,13 @@ class ProvenanceServer:
         key = (kind, run, view_name, variant_key)
         if kind == _DEPENDS:
             requests = [
-                _Request(kind, key, d1, d2, view, run, variant) for d1, d2 in items
+                _Request(kind, key, d1, d2, view, run, variant, trace)
+                for d1, d2 in items
             ]
         else:
             requests = [
-                _Request(kind, key, uid, None, view, run, variant) for uid in items
+                _Request(kind, key, uid, None, view, run, variant, trace)
+                for uid in items
             ]
         if not requests:
             return []
@@ -447,10 +496,8 @@ class ProvenanceServer:
             self._queue.extend(requests)
             depth = len(self._queue)
             self._cond.notify_all()
-        with self._stats_lock:
-            self._submitted += n
-            if depth > self._queue_peak:
-                self._queue_peak = depth
+        self._submitted_c.inc(n)
+        self._queue_peak_g.set_max(depth)
         return [request.future for request in requests]
 
     def depends(
@@ -497,25 +544,40 @@ class ProvenanceServer:
 
     @property
     def stats(self) -> ServerStats:
-        engine_stats = self._engine.stats
+        """One consistent :class:`ServerStats` view over the registry.
+
+        Every counter — the server's *and* the engine's structural/matrix
+        pair tallies — comes from a single
+        :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (one lock
+        acquisition), so a scrape never mixes counts from two instants; the
+        last-error fields are read under their own lock right after.
+        """
+        snap = self.metrics.snapshot()
+
+        def counter(name: str) -> int:
+            return int(snap.get(name, {}).get((), 0))
+
+        pairs = snap.get("engine_pairs_total", {})
         with self._stats_lock:
-            return ServerStats(
-                submitted=self._submitted,
-                answered=self._answered,
-                batches=self._batches,
-                engine_calls=self._engine_calls,
-                coalesced=self._coalesced,
-                largest_batch=self._largest_batch,
-                queue_peak=self._queue_peak,
-                probes=self._probes,
-                reopens=self._reopens,
-                structural_pairs=engine_stats.structural_pairs,
-                matrix_pairs=engine_stats.matrix_pairs,
-                index_attaches=self._index_attaches,
-                worker_restarts=self._worker_restarts,
-                last_error=self._last_error,
-                last_warm_error=self._last_warm_error,
-            )
+            last_error = self._last_error
+            last_warm_error = self._last_warm_error
+        return ServerStats(
+            submitted=counter("serve_submitted_total"),
+            answered=counter("serve_answered_total"),
+            batches=counter("serve_batches_total"),
+            engine_calls=counter("serve_engine_calls_total"),
+            coalesced=counter("serve_coalesced_total"),
+            largest_batch=counter("serve_largest_batch"),
+            queue_peak=counter("serve_queue_peak"),
+            probes=counter("serve_probes_total"),
+            reopens=counter("serve_reopens_total"),
+            structural_pairs=int(pairs.get(("structural",), 0)),
+            matrix_pairs=int(pairs.get(("matrix",), 0)),
+            index_attaches=counter("serve_index_attaches_total"),
+            worker_restarts=counter("serve_worker_restarts_total"),
+            last_error=last_error,
+            last_warm_error=last_warm_error,
+        )
 
     @property
     def pending(self) -> int:
@@ -540,10 +602,8 @@ class ProvenanceServer:
             self._queue.append(request)
             depth = len(self._queue)
             self._cond.notify_all()
-        with self._stats_lock:
-            self._submitted += 1
-            if depth > self._queue_peak:
-                self._queue_peak = depth
+        self._submitted_c.inc()
+        self._queue_peak_g.set_max(depth)
         return request.future
 
     def _resolve(self, future: Future) -> bool:
@@ -582,8 +642,12 @@ class ProvenanceServer:
                 if batch:
                     for request in batch:
                         _safe_set_exception(request.future, exc)
-                with self._stats_lock:
-                    self._worker_restarts += 1
+                self._worker_restarts_c.inc()
+                obs_events.emit(
+                    "worker_restart",
+                    error=repr(exc),
+                    failed_requests=len(batch) if batch else 0,
+                )
                 with self._cond:
                     if self._stopping and not self._queue:
                         return
@@ -645,20 +709,63 @@ class ProvenanceServer:
         groups: dict[tuple, list[_Request]] = {}
         for request in batch:
             groups.setdefault(request.key, []).append(request)
+        # One ``scheduler.batch`` span per distinct trace in the step, each
+        # recording *all* the trace ids this step coalesced — the span tree
+        # of any one request shows which strangers shared its batch.
+        sched_spans: dict[int, object] = {}
+        traced: list[tuple[object, object]] = []  # (trace, span) pairs to finish
+        coalesced_ids: list[int] = []
+        seen_traces: set[int] = set()
+        for request in batch:
+            ctx = request.trace
+            if ctx is None:
+                continue
+            if id(ctx.trace) not in seen_traces:
+                seen_traces.add(id(ctx.trace))
+                coalesced_ids.append(ctx.trace_id)
+        if coalesced_ids:
+            for request in batch:
+                ctx = request.trace
+                if ctx is None or id(ctx.trace) in sched_spans:
+                    continue
+                span = ctx.trace.begin_span(
+                    "scheduler.batch",
+                    parent_id=ctx.parent_id,
+                    attrs={
+                        "batch": len(batch),
+                        "groups": len(groups),
+                        "coalesced_traces": list(coalesced_ids),
+                    },
+                )
+                sched_spans[id(ctx.trace)] = span
+                if span is not None:
+                    traced.append((ctx.trace, span))
         served_runs: dict[str, int] = {}
         for key, members in groups.items():
             kind, run = key[0], key[1]
             view = members[0].view
             variant = members[0].variant
+            # Engine/store spans of this group nest under the first traced
+            # member's scheduler span; the other coalesced traces still
+            # record the step itself (ids above) without duplicate subtrees.
+            group_ctx = next((m.trace for m in members if m.trace is not None), None)
+            group_span = sched_spans.get(id(group_ctx.trace)) if group_ctx else None
             try:
-                if kind == _DEPENDS:
-                    answers = self._engine.depends_batch(
-                        [(m.d1, m.d2) for m in members], view, run=run, variant=variant
-                    )
-                else:
-                    answers = self._engine.is_visible_batch(
-                        [m.d1 for m in members], view, run=run, variant=variant
-                    )
+                with activate(
+                    group_ctx.trace if group_ctx is not None else None,
+                    getattr(group_span, "span_id", None),
+                ):
+                    if kind == _DEPENDS:
+                        answers = self._engine.depends_batch(
+                            [(m.d1, m.d2) for m in members],
+                            view,
+                            run=run,
+                            variant=variant,
+                        )
+                    else:
+                        answers = self._engine.is_visible_batch(
+                            [m.d1 for m in members], view, run=run, variant=variant
+                        )
             except Exception as exc:
                 for member in members:
                     _safe_set_exception(member.future, exc)
@@ -666,15 +773,15 @@ class ProvenanceServer:
             for member, answer in zip(members, answers):
                 _safe_set_result(member.future, answer)
             served_runs[run] = served_runs.get(run, 0) + len(members)
-        with self._stats_lock:
-            self._batches += 1
-            self._engine_calls += len(groups)
-            self._answered += len(batch)
-            self._coalesced += sum(
-                len(members) for members in groups.values() if len(members) > 1
-            )
-            if len(batch) > self._largest_batch:
-                self._largest_batch = len(batch)
+        for _trace, span in traced:
+            span.finish()
+        self._batches_c.inc()
+        self._engine_calls_c.inc(len(groups))
+        self._answered_c.inc(len(batch))
+        coalesced = sum(len(members) for members in groups.values() if len(members) > 1)
+        if coalesced:
+            self._coalesced_c.inc(coalesced)
+        self._largest_batch_g.set_max(len(batch))
         for run, count in served_runs.items():
             self._note_served(run, count)
 
@@ -694,7 +801,7 @@ class ProvenanceServer:
                 return
             state[0] = 0
             state[1] = now
-            self._probes += 1
+        self._probes_c.inc()
         try:
             reopened = self._engine.maybe_reopen(run)
         except LabelingError as exc:
@@ -708,8 +815,7 @@ class ProvenanceServer:
                 raise
             return  # benign: the run was detached between batch and probe
         if reopened:
-            with self._stats_lock:
-                self._reopens += 1
+            self._reopens_c.inc()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

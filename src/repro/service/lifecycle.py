@@ -26,6 +26,7 @@ benchmarks can drive the policy deterministically with an injected clock.
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 import time
@@ -33,6 +34,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.engine import QueryEngine, grammar_fingerprint
 from repro.errors import LabelingError, SerializationError
+from repro.obs import events as obs_events
 from repro.store import (
     CheckpointResult,
     checkpoint_batch,
@@ -43,6 +45,9 @@ from repro.store.compaction import CompactionResult, compact
 from repro.store.lockfile import DEFAULT_STALE_AFTER, FileLease, LeaseHeldError
 
 __all__ = ["CheckpointPolicy", "LifecycleStats", "SweepResult", "RunLifecycleManager"]
+
+#: Per-process manager ids for the registry label (see ``__init__``).
+_MANAGER_IDS = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -92,7 +97,13 @@ class CheckpointPolicy:
 
 @dataclass(frozen=True)
 class LifecycleStats:
-    """Counters over the manager's lifetime (exposed for observability)."""
+    """Counters over the manager's lifetime (exposed for observability).
+
+    A view over the engine's metrics registry: the lifetime counters come
+    from one registry snapshot (families labeled per manager, so two
+    managers over one engine stay distinguishable), the live run fields
+    from the manager's own lock.
+    """
 
     managed_runs: int
     sweeps: int
@@ -105,6 +116,10 @@ class LifecycleStats:
     #: Runs currently quarantined (skipped by background sweeps until an
     #: explicit flush succeeds or :meth:`RunLifecycleManager.unquarantine`).
     quarantined_runs: int = 0
+    #: Why the most recent quarantine happened (``repr`` of the failure that
+    #: crossed the threshold); survives the quarantine being lifted so a
+    #: scrape after recovery still explains the incident.
+    last_quarantine_reason: "str | None" = None
 
 
 @dataclass(frozen=True)
@@ -153,6 +168,8 @@ class _ManagedRun:
     quarantined: bool = False
     #: The exception behind the most recent recorded failure.
     last_failure: "Exception | None" = None
+    #: ``repr`` of the failure that put the run in quarantine.
+    quarantine_reason: "str | None" = None
 
     def pending_items(self) -> int:
         return len(self.labeler.store) - self.flushed_items
@@ -232,14 +249,45 @@ class RunLifecycleManager:
         self._lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
-        self._sweeps = 0
-        self._checkpoints = 0
-        self._items_flushed = 0
-        self._compactions = 0
-        self._reopens = 0
-        self._run_failures = 0
+        #: Lifetime counters live in the engine's metrics registry, labeled
+        #: by a per-manager id so a manager recreated over the same engine
+        #: (resume) starts its own series instead of inheriting counts.
+        self._metrics = engine.metrics
+        mid = f"m{next(_MANAGER_IDS)}"
+        self._mlabel = (mid,)
+        lbl = ("manager",)
+        m = engine.metrics
+        self._sweeps_c = m.counter(
+            "lifecycle_sweeps_total", "maintenance sweeps run", lbl
+        ).labels(mid)
+        self._checkpoints_c = m.counter(
+            "lifecycle_checkpoints_total", "segments committed by checkpoints", lbl
+        ).labels(mid)
+        self._items_flushed_c = m.counter(
+            "lifecycle_items_flushed_total", "label items made durable", lbl
+        ).labels(mid)
+        self._compactions_c = m.counter(
+            "lifecycle_compactions_total", "run files compacted", lbl
+        ).labels(mid)
+        self._reopens_c = m.counter(
+            "lifecycle_reopens_total", "shards remapped after compaction", lbl
+        ).labels(mid)
+        self._run_failures_c = m.counter(
+            "lifecycle_run_failures_total", "per-run flush/compaction failures", lbl
+        ).labels(mid)
+        m.gauge(
+            "lifecycle_managed_runs", "runs under lifecycle management", lbl
+        ).labels(mid).set_function(lambda: len(self._runs))
+        m.gauge(
+            "lifecycle_quarantined_runs", "runs currently quarantined", lbl
+        ).labels(mid).set_function(self._count_quarantined)
+        self._last_quarantine_reason: "str | None" = None
         #: The last exception a background sweep swallowed (None = healthy).
         self.last_error: Exception | None = None
+
+    def _count_quarantined(self) -> int:
+        with self._lock:
+            return sum(1 for m in self._runs.values() if m.quarantined)
 
     # -- registration ------------------------------------------------------------
 
@@ -401,7 +449,7 @@ class RunLifecycleManager:
         now = self._clock()
         with self._lock:
             runs = list(self._runs.values())
-            self._sweeps += 1
+        self._sweeps_c.inc()
         for managed in runs:
             # Refresh writer-lease heartbeats every sweep (a no-op under
             # flock, where the kernel tracks liveness; the O_EXCL fallback
@@ -438,8 +486,7 @@ class RunLifecycleManager:
                 compactions.append(result)
                 reopened.extend(self._engine.reopen_all(managed.path))
         if reopened:
-            with self._lock:
-                self._reopens += len(reopened)
+            self._reopens_c.inc(len(reopened))
         if flush_error is not None:
             raise flush_error
         if compact_error is not None:
@@ -469,27 +516,36 @@ class RunLifecycleManager:
         result = self._compact_managed(managed)
         if result.compacted:
             reopened = self._engine.reopen_all(managed.path)
-            with self._lock:
-                self._reopens += len(reopened)
+            self._reopens_c.inc(len(reopened))
         return result
 
     # -- observability -----------------------------------------------------------
 
     @property
     def stats(self) -> LifecycleStats:
+        # Snapshot before taking self._lock: the registry's callback gauges
+        # (quarantined-run count) take self._lock themselves.
+        snap = self._metrics.snapshot()
+
+        def counter(name: str) -> int:
+            family = snap.get(name)
+            return int(family.get(self._mlabel, 0)) if family else 0
+
         with self._lock:
-            return LifecycleStats(
-                managed_runs=len(self._runs),
-                sweeps=self._sweeps,
-                checkpoints=self._checkpoints,
-                items_flushed=self._items_flushed,
-                compactions=self._compactions,
-                reopens=self._reopens,
-                run_failures=self._run_failures,
-                quarantined_runs=sum(
-                    1 for m in self._runs.values() if m.quarantined
-                ),
-            )
+            managed_runs = len(self._runs)
+            quarantined = sum(1 for m in self._runs.values() if m.quarantined)
+            reason = self._last_quarantine_reason
+        return LifecycleStats(
+            managed_runs=managed_runs,
+            sweeps=counter("lifecycle_sweeps_total"),
+            checkpoints=counter("lifecycle_checkpoints_total"),
+            items_flushed=counter("lifecycle_items_flushed_total"),
+            compactions=counter("lifecycle_compactions_total"),
+            reopens=counter("lifecycle_reopens_total"),
+            run_failures=counter("lifecycle_run_failures_total"),
+            quarantined_runs=quarantined,
+            last_quarantine_reason=reason,
+        )
 
     @property
     def quarantined_runs(self) -> tuple[str, ...]:
@@ -520,9 +576,13 @@ class RunLifecycleManager:
                 managed = self._runs[run_id]
             except KeyError:
                 raise LabelingError(f"run {run_id!r} is not managed") from None
+            lifted = managed.quarantined
             managed.quarantined = False
+            managed.quarantine_reason = None
             managed.failures = 0
             managed.next_retry_at = 0.0
+        if lifted:
+            obs_events.emit("unquarantine", run=run_id, reason="operator request")
 
     # -- internals ---------------------------------------------------------------
 
@@ -684,30 +744,40 @@ class RunLifecycleManager:
             managed.last_flush = now
             if result.wrote_segment:
                 managed.n_segments += 1
-                self._checkpoints += 1
+                self._checkpoints_c.inc()
             elif info is not None:
                 managed.flushed_items = max(managed.flushed_items, info.n_items)
                 managed.flushed_paths = max(managed.flushed_paths, info.n_paths)
                 managed.flushed_nodes = max(managed.flushed_nodes, info.n_nodes)
-            self._items_flushed += result.delta_items
+            self._items_flushed_c.inc(result.delta_items)
             # A durable flush is proof of health: reset the failure streak,
             # the backoff window, and (for explicit flushes) the quarantine.
             managed.failures = 0
             managed.next_retry_at = 0.0
             managed.last_failure = None
+            lifted = managed.quarantined
             managed.quarantined = False
+            managed.quarantine_reason = None
+        if lifted:
+            obs_events.emit(
+                "unquarantine", run=managed.run_id, reason="flush succeeded"
+            )
 
     def _record_failure(self, managed: _ManagedRun, exc: Exception) -> None:
         """Advance a run's failure streak: next-sweep retry, backoff, quarantine."""
+        entered_quarantine = False
         with self._lock:
             managed.failures += 1
             managed.last_failure = exc
-            self._run_failures += 1
+            self._run_failures_c.inc()
             if (
                 self._quarantine_after is not None
                 and managed.failures >= self._quarantine_after
             ):
+                entered_quarantine = not managed.quarantined
                 managed.quarantined = True
+                managed.quarantine_reason = repr(exc)
+                self._last_quarantine_reason = repr(exc)
             if managed.failures > 1:
                 # The first failure retries on the very next sweep (most
                 # failures are transient — a missing directory, a racing
@@ -717,6 +787,19 @@ class RunLifecycleManager:
                     self._retry_backoff_s * (1 << (managed.failures - 2)),
                 )
                 managed.next_retry_at = self._clock() + backoff
+        obs_events.emit(
+            "run_failure",
+            run=managed.run_id,
+            error=repr(exc),
+            failures=managed.failures,
+        )
+        if entered_quarantine:
+            obs_events.emit(
+                "quarantine",
+                run=managed.run_id,
+                reason=repr(exc),
+                failures=managed.failures,
+            )
 
     def _compact_managed(self, managed: _ManagedRun) -> CompactionResult:
         with managed.file_lock:
@@ -730,12 +813,18 @@ class RunLifecycleManager:
                 n_segments = run_file_info(managed.path).n_segments
                 with self._lock:
                     managed.n_segments = n_segments
-                    self._compactions += 1
+                self._compactions_c.inc()
             with self._lock:
                 managed.failures = 0
                 managed.next_retry_at = 0.0
                 managed.last_failure = None
+                lifted = managed.quarantined
                 managed.quarantined = False
+                managed.quarantine_reason = None
+        if lifted:
+            obs_events.emit(
+                "unquarantine", run=managed.run_id, reason="compaction succeeded"
+            )
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -37,6 +37,7 @@ import numpy as np
 from repro import faults
 from repro.errors import SerializationError
 from repro.index.structural import compute_tree_intervals
+from repro.obs import events as obs_events
 from repro.store.lockfile import FileLease
 from repro.store.persist import (
     _DTYPE_BLOB,
@@ -312,13 +313,22 @@ def _compact_locked(file_path: str) -> CompactionResult:
         faults.hit("compact.swap")
         os.replace(tmp_path, file_path)
         _fsync_dir(os.path.dirname(file_path))
+        bytes_after = os.path.getsize(file_path)
+        obs_events.emit(
+            "compaction",
+            path=file_path,
+            generation=header.generation + 1,
+            segments_before=header.n_segments,
+            bytes_before=bytes_before,
+            bytes_after=bytes_after,
+        )
         return CompactionResult(
             path=file_path,
             compacted=True,
             generation=header.generation + 1,
             segments_before=header.n_segments,
             bytes_before=bytes_before,
-            bytes_after=os.path.getsize(file_path),
+            bytes_after=bytes_after,
             removed=tuple(removed),
         )
     finally:

@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass
 
 from repro.errors import SerializationError
+from repro.obs import events as obs_events
 
 try:  # POSIX; absent on some platforms (the O_EXCL fallback covers those)
     import fcntl
@@ -216,7 +217,12 @@ class FileLease:
             core.refs = 1
             _registry[key] = core
             self._core = core
-            return True
+        obs_events.emit(
+            "lease_acquire",
+            path=self._target,
+            mode="flock" if self._use_flock else "excl",
+        )
+        return True
 
     def acquire(self, timeout: float = 0.0, poll_interval: float = 0.05) -> "FileLease":
         """Like :meth:`try_acquire` but raises :class:`LeaseHeldError` on failure.
@@ -307,6 +313,11 @@ class FileLease:
                         os.unlink(core.lock_path)
                     except OSError:
                         pass
+        obs_events.emit(
+            "lease_release",
+            path=self._target,
+            mode="flock" if self._use_flock else "excl",
+        )
 
     def __enter__(self) -> "FileLease":
         return self.acquire()

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro import faults
 from repro.errors import CorruptionError, SerializationError
+from repro.obs import events as obs_events
 from repro.index.structural import compute_tree_intervals
 from repro.store.label_store import LabelStore
 from repro.store.node_table import NodeTable
@@ -694,7 +695,7 @@ def _commit_checkpoints(
         for entry in staged:
             if entry.handle is not None:
                 entry.handle.close()
-    return [
+    results = [
         CheckpointResult(
             path=entry.pending.file_path,
             created=entry.pending.created,
@@ -705,6 +706,18 @@ def _commit_checkpoints(
         )
         for entry in staged
     ]
+    for result in results:
+        if result.wrote_segment or result.created:
+            obs_events.emit(
+                "checkpoint",
+                path=result.path,
+                created=result.created,
+                items=result.delta_items,
+                paths=result.delta_paths,
+                nodes=result.delta_nodes,
+                bytes=result.bytes_written,
+            )
+    return results
 
 
 def checkpoint_run(
@@ -1539,6 +1552,15 @@ class MappedRunStore:
             finally:
                 chunk.release()
         if actual != extent.crc:
+            obs_events.emit(
+                "corruption",
+                path=self._path,
+                section=name,
+                offset=extent.offset,
+                nbytes=extent.nbytes,
+                stored_crc=extent.crc,
+                computed_crc=actual,
+            )
             raise CorruptionError(
                 f"run store {self._path!r}: section {name!r} at offset "
                 f"{extent.offset} ({extent.nbytes} bytes) fails its checksum "

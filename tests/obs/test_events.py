@@ -1,0 +1,77 @@
+"""Unit tests for the structured event log: emit, rotation, recovery reads."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import events
+from repro.obs.events import (
+    EventLog,
+    install_event_log,
+    read_events,
+    uninstall_event_log,
+)
+
+
+@pytest.fixture(autouse=True)
+def _uninstalled():
+    yield
+    uninstall_event_log()
+
+
+def test_emit_is_a_noop_until_installed(tmp_path):
+    events.emit("checkpoint", run="r")  # must not raise, must not write
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_install_routes_module_global_emit(tmp_path):
+    log = install_event_log(EventLog(tmp_path / "events.jsonl"))
+    events.emit("checkpoint", run="r1", items=10)
+    events.emit("compaction", path="/x.fvl", generation=2)
+    uninstall_event_log()
+    events.emit("after-uninstall")  # dropped
+    log.close()
+    records = read_events(tmp_path / "events.jsonl")
+    assert [r["event"] for r in records] == ["checkpoint", "compaction"]
+    assert records[0]["run"] == "r1" and records[0]["items"] == 10
+    assert all("ts" in r for r in records)
+    assert log.emitted == 2
+
+
+def test_unjsonable_fields_fall_back_to_repr(tmp_path):
+    log = install_event_log(EventLog(tmp_path / "events.jsonl"))
+    events.emit("fault", error=OSError("disk full"))
+    log.close()
+    [record] = read_events(tmp_path / "events.jsonl")
+    assert "disk full" in record["error"]
+
+
+def test_rotation_is_byte_bounded(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path, max_bytes=400, max_files=3)
+    for i in range(60):
+        log.emit("tick", n=i, pad="x" * 40)
+    log.close()
+    assert path.exists()
+    assert (tmp_path / "events.jsonl.1").exists()
+    assert (tmp_path / "events.jsonl.2").exists()
+    assert not (tmp_path / "events.jsonl.3").exists()  # oldest dropped
+    for name in ("events.jsonl", "events.jsonl.1", "events.jsonl.2"):
+        size = (tmp_path / name).stat().st_size
+        # One oversized record may straddle the bound, never two.
+        assert size < 400 + 120
+    # The newest file holds the newest events.
+    newest = read_events(path)
+    assert newest[-1]["n"] == 59
+
+
+def test_read_events_skips_torn_lines(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"ts": 1.0, "event": "good"}) + "\n")
+        fh.write('{"ts": 2.0, "event": "torn-by-cra')  # no newline, no close
+    records = read_events(path)
+    assert [r["event"] for r in records] == ["good"]
+    assert read_events(tmp_path / "missing.jsonl") == []

@@ -1,0 +1,144 @@
+"""Unit tests for tracing: sampling, span nesting, bounded rings, slow log."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    Trace,
+    TraceContext,
+    Tracer,
+    activate,
+    current_trace,
+    trace_span,
+)
+
+
+def _sampled_id(tracer: Tracer, start: int = 1) -> int:
+    trace_id = start
+    while not tracer.sampled(trace_id):
+        trace_id += 1
+    return trace_id
+
+
+def _unsampled_id(tracer: Tracer, start: int = 1) -> int:
+    trace_id = start
+    while tracer.sampled(trace_id):
+        trace_id += 1
+    return trace_id
+
+
+def test_sampling_is_deterministic_in_the_trace_id():
+    tracer = Tracer(sample_rate=1.0 / 8.0)
+    decisions = [tracer.sampled(i) for i in range(1, 2000)]
+    assert decisions == [tracer.sampled(i) for i in range(1, 2000)]
+    rate = sum(decisions) / len(decisions)
+    assert 0.05 < rate < 0.25  # roughly 1/8, mixed well enough
+
+
+def test_begin_respects_sampling_and_rate_zero():
+    tracer = Tracer(sample_rate=0.5)
+    assert tracer.begin(_unsampled_id(tracer)) is None
+    assert tracer.begin(_sampled_id(tracer)) is not None
+    assert Tracer(sample_rate=0.0).begin(123) is None
+    assert Tracer(sample_rate=1.0).begin(123) is not None
+
+
+def test_trace_span_nests_and_noops_without_active_trace():
+    with trace_span("orphan") as span:
+        assert span is None  # no active trace -> no-op
+    trace = Trace(7)
+    with activate(trace):
+        with trace_span("outer", op="depends") as outer:
+            with trace_span("inner") as inner:
+                pass
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    assert outer.attrs == {"op": "depends"}
+    assert outer.wall_s >= 0 and inner.wall_s >= 0
+    [root] = trace.span_tree()
+    assert root["name"] == "outer"
+    assert [c["name"] for c in root["children"]] == ["inner"]
+
+
+def test_trace_context_carries_across_threads():
+    trace = Trace(9)
+    root = trace.begin_span("net.frame")
+    ctx = TraceContext(trace, root.span_id)
+    seen = {}
+
+    def worker():
+        assert current_trace() is None  # contextvars do not follow threads
+        with activate(ctx.trace, ctx.parent_id):
+            with trace_span("scheduler.batch") as span:
+                seen["parent"] = span.parent_id
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    root.finish()
+    assert seen["parent"] == root.span_id
+
+
+def test_span_budget_drops_instead_of_growing():
+    trace = Trace(1, max_spans=4)
+    for i in range(10):
+        trace.begin_span(f"s{i}")
+    assert len(trace.spans) == 4
+    assert trace.dropped_spans == 6
+
+
+def test_ring_is_bounded_by_entries_and_bytes():
+    tracer = Tracer(sample_rate=1.0, ring_max_traces=8, ring_max_bytes=1 << 30)
+    for i in range(1, 30):
+        tracer.finish(tracer.begin(i))
+    assert len(tracer.recent()) == 8
+    assert tracer.dropped_traces == 21
+
+    tiny = Tracer(sample_rate=1.0, ring_max_traces=10_000, ring_max_bytes=2_000)
+    for i in range(1, 200):
+        tiny.finish(tiny.begin(i))
+    assert tiny.ring_bytes <= 2_000
+    assert tiny.dropped_traces > 0
+
+
+def test_slow_log_files_only_slow_traces_and_stays_bounded(tmp_path):
+    tracer = Tracer(sample_rate=1.0, slow_threshold_s=0.0, slow_max_entries=5)
+    for i in range(1, 20):
+        trace = tracer.begin(i)
+        span = trace.begin_span("net.frame")
+        span.finish()
+        tracer.finish(trace)
+    slow = tracer.slow_queries()
+    assert len(slow) == 5  # entry bound enforced, oldest dropped
+    assert tracer.dropped_slow == 14
+    assert all(entry["spans"][0]["name"] == "net.frame" for entry in slow)
+
+    out = tmp_path / "slow.jsonl"
+    assert tracer.dump_slow(out) == 5
+    lines = out.read_text().splitlines()
+    assert len(lines) == 5
+    assert json.loads(lines[0])["trace_id"] in range(1, 20)
+
+    fast = Tracer(sample_rate=1.0, slow_threshold_s=10.0)
+    trace = fast.begin(1)
+    trace.begin_span("quick").finish()
+    fast.finish(trace)
+    assert fast.slow_queries() == []
+
+
+def test_tracer_registers_metrics_counters():
+    reg = MetricsRegistry()
+    tracer = Tracer(
+        sample_rate=1.0, slow_threshold_s=0.0, ring_max_traces=2, metrics=reg
+    )
+    for i in range(1, 6):
+        trace = tracer.begin(i)
+        trace.begin_span("s").finish()
+        tracer.finish(trace)
+    snap = reg.snapshot()
+    assert snap["trace_sampled_total"][()] == 5
+    assert snap["trace_slow_total"][()] == 5
+    assert snap["trace_dropped_total"][()] == 3
