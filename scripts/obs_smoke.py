@@ -21,6 +21,15 @@ The ISSUE-9 acceptance scenario, end to end, with real OS processes:
     (net.frame -> scheduler.batch -> engine.*),
   - the event log to show checkpoints strictly before the compaction.
 
+The ISSUE-10 watchdog scenario rides on the same pair of processes: the
+follower attaches a `Watchdog` with a fast shed-rate SLO, the driver has it
+arm a `scheduler.admit` fault plan (every non-blocking admission sheds) and
+hammers the socket until the health op reports *degraded*, then disarms the
+plan and waits for the alert to clear.  Answers must be bit-identical
+across the storm, the follower's event log must show `alert` strictly
+before `alert_clear`, and a dashboard snapshot of the recovered server is
+filed as an artifact.
+
 Run with:  PYTHONPATH=src python scripts/obs_smoke.py [--artifacts DIR]
 """
 
@@ -40,7 +49,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.bench import sample_query_pairs  # noqa: E402
 from repro.core import FVLScheme  # noqa: E402
 from repro.model.projection import ViewProjection  # noqa: E402
-from repro.net import ProvenanceClient  # noqa: E402
+from repro.net import ProvenanceClient, ServerOverloadedError  # noqa: E402
 from repro.obs.events import read_events  # noqa: E402
 from repro.obs.metrics import parse_exposition  # noqa: E402
 from repro.workloads import build_bioaid_specification, random_run, random_view  # noqa: E402
@@ -97,8 +106,11 @@ FOLLOWER_SCRIPT = textwrap.dedent(
     sys.path.insert(0, sys.argv[3])
     from repro.core import FVLScheme
     from repro.engine import QueryEngine
+    from repro.faults import FaultPlan
     from repro.net import ProvenanceNetServer
+    from repro.obs.events import EventLog, install_event_log, uninstall_event_log
     from repro.obs.trace import Tracer
+    from repro.obs.watchdog import SLO
     from repro.serve import ProvenanceServer
     from repro.workloads import build_bioaid_specification, random_view
 
@@ -112,22 +124,49 @@ FOLLOWER_SCRIPT = textwrap.dedent(
                 raise SystemExit(f"follower timed out waiting for {name}")
             time.sleep(0.01)
 
-    spec = build_bioaid_specification()
-    scheme = FVLScheme(spec)
-    view = random_view(spec, 6, seed=7, mode="grey", name="obs-smoke-view")
+    log = install_event_log(
+        EventLog(os.path.join(artifacts, "follower_events.jsonl"))
+    )
+    try:
+        spec = build_bioaid_specification()
+        scheme = FVLScheme(spec)
+        view = random_view(spec, 6, seed=7, mode="grey", name="obs-smoke-view")
 
-    engine = QueryEngine(scheme)
-    tracer = Tracer(sample_rate=1.0, slow_threshold_s=0.0, metrics=engine.metrics)
-    server = ProvenanceServer(engine, workers=2, tracer=tracer)
-    server.attach(os.path.join(tmp, "obs-smoke.fvl"))
-    engine.add_view(view)
-    with server:
-        with ProvenanceNetServer(server, unix_path=os.path.join(tmp, "serve.sock")):
-            open(os.path.join(tmp, "follower-ready"), "w").close()
-            wait_for("client-done")
-            tracer.dump_slow(os.path.join(artifacts, "slow_queries.jsonl"))
-            with open(os.path.join(artifacts, "metrics.txt"), "w") as fh:
-                fh.write(engine.metrics.exposition())
+        engine = QueryEngine(scheme)
+        tracer = Tracer(
+            sample_rate=1.0, slow_threshold_s=0.0, metrics=engine.metrics
+        )
+        server = ProvenanceServer(engine, workers=2, tracer=tracer)
+        server.attach(os.path.join(tmp, "obs-smoke.fvl"))
+        engine.add_view(view)
+        with server:
+            with ProvenanceNetServer(
+                server, unix_path=os.path.join(tmp, "serve.sock")
+            ):
+                # One fast-ticking SLO: shed rate above 1/s over a 2 s
+                # window fires, and clears after two healthy ticks.
+                server.attach_watchdog(
+                    [SLO("shed_rate", "rate", "net_sheds_total",
+                         threshold=1.0, window_s=2.0, clear_after=2)],
+                    interval_s=0.2,
+                )
+                open(os.path.join(tmp, "follower-ready"), "w").close()
+
+                # Storm: every non-blocking admission sheds while armed.
+                wait_for("storm-start")
+                plan = FaultPlan(seed=9).on("scheduler.admit", count=None)
+                with plan.armed():
+                    open(os.path.join(tmp, "storm-armed"), "w").close()
+                    wait_for("storm-stop")
+                open(os.path.join(tmp, "storm-cleared"), "w").close()
+
+                wait_for("client-done")
+                tracer.dump_slow(os.path.join(artifacts, "slow_queries.jsonl"))
+                with open(os.path.join(artifacts, "metrics.txt"), "w") as fh:
+                    fh.write(engine.metrics.exposition())
+    finally:
+        uninstall_event_log()
+        log.close()
     """
 )
 
@@ -190,18 +229,82 @@ def main() -> int:
         follower = subprocess.Popen(
             [sys.executable, "-c", FOLLOWER_SCRIPT, tmp, artifacts, src_dir]
         )
+        sock = os.path.join(tmp, "serve.sock")
         try:
             wait_for(os.path.join(tmp, "follower-ready"), "the follower process")
-            with ProvenanceClient(unix_path=os.path.join(tmp, "serve.sock")) as cli:
-                cli.depends_batch(pairs, view.name)
+            with ProvenanceClient(unix_path=sock, breaker_threshold=None) as cli:
+                before = cli.depends_batch(pairs, view.name)
                 cli.is_visible_batch(items, view.name)
+                # The exact-count asserts below read THIS scrape; everything
+                # the storm adds lands after it.
                 scrape = cli.server_metrics()
+                assert cli.server_health()["status"] == "ok"
+
+                # -- shed storm: watchdog must notice, then recover ---------
+                open(os.path.join(tmp, "storm-start"), "w").close()
+                wait_for(os.path.join(tmp, "storm-armed"), "the armed fault plan")
+                sheds = 0
+                degraded = False
+                deadline = time.monotonic() + TIMEOUT
+                while time.monotonic() < deadline:
+                    try:
+                        cli.depends_batch(pairs[:8], view.name)
+                    except ServerOverloadedError:
+                        sheds += 1
+                    health = cli.server_health()
+                    if health["status"] == "degraded":
+                        degraded = True
+                        break
+                    time.sleep(0.02)
+                assert degraded, "watchdog never reported degraded health"
+                assert sheds >= 3, f"storm produced only {sheds} sheds"
+                assert any(
+                    a["slo"] == "shed_rate" for a in health["alerts"]
+                ), health
+
+                open(os.path.join(tmp, "storm-stop"), "w").close()
+                wait_for(os.path.join(tmp, "storm-cleared"), "the disarmed plan")
+                deadline = time.monotonic() + TIMEOUT
+                while cli.server_health()["status"] != "ok":
+                    assert time.monotonic() < deadline, (
+                        "watchdog never cleared the shed_rate alert")
+                    time.sleep(0.1)
+
+                # Bit-identical answers after the storm.
+                after = cli.depends_batch(pairs, view.name)
+                assert after == before, "answers changed across the storm"
+
+            # -- dashboard snapshot against the still-live server -----------
+            dash = subprocess.run(
+                [
+                    sys.executable,
+                    os.path.join(os.path.dirname(__file__), "obs_dashboard.py"),
+                    "--unix", sock,
+                    "--snapshot", os.path.join(artifacts, "dashboard.txt"),
+                ],
+                timeout=TIMEOUT,
+                stdout=subprocess.DEVNULL,
+            )
+            assert dash.returncode == 0, "dashboard snapshot exited non-zero"
+
             open(os.path.join(tmp, "client-done"), "w").close()
             assert follower.wait(timeout=TIMEOUT) == 0, "follower exited non-zero"
         finally:
             if follower.poll() is None:
                 follower.kill()
                 follower.wait()
+
+        # -- the watchdog fired and then cleared, in that order ----------------
+        follower_events = read_events(
+            os.path.join(artifacts, "follower_events.jsonl")
+        )
+        fkinds = [e["event"] for e in follower_events]
+        assert "alert" in fkinds, fkinds
+        assert "alert_clear" in fkinds, fkinds
+        assert fkinds.index("alert") < fkinds.index("alert_clear"), fkinds
+        alert = follower_events[fkinds.index("alert")]
+        assert alert["slo"] == "shed_rate", alert
+        assert "fault_injected" in fkinds, fkinds
 
         # -- the scrape parses and counts exactly what was submitted -----------
         parsed = parse_exposition(scrape)
@@ -239,8 +342,9 @@ def main() -> int:
             f"obs smoke OK: scrape counted {len(pairs)} depends + {len(items)} "
             f"visible queries exactly; {len(events)} events with checkpoints "
             f"before compaction; {len(traces)} slow traces of which "
-            f"{len(nested)} nest net->scheduler->engine; artifacts in "
-            f"{artifacts}"
+            f"{len(nested)} nest net->scheduler->engine; shed storm filed "
+            f"alert then alert_clear with bit-identical answers; artifacts "
+            f"in {artifacts}"
         )
     return 0
 

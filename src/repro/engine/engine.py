@@ -273,6 +273,13 @@ class QueryEngine:
         self._reopens_c = self.metrics.counter(
             "engine_reopens_total", "attached shards remapped onto a newer generation"
         )
+        #: Shared corruption tally — the watchdog's "corruption == 0" SLO
+        #: watches this family; other layers (lifecycle) label their own.
+        self._corruption_c = self.metrics.counter(
+            "corruption_detected_total",
+            "checksum/structure corruption detections by layer",
+            ("layer",),
+        )
 
     # -- registration ------------------------------------------------------------
 
@@ -460,6 +467,7 @@ class QueryEngine:
             # A failed checksum is damage, not a race: the old mapping (the
             # last good generation) keeps serving, but the caller must hear
             # about the corrupt rewrite rather than silently retrying it.
+            self._corruption_c.labels("engine").inc()
             raise
         except (OSError, SerializationError):
             # The file vanished or tore between the probe and the remap

@@ -39,6 +39,7 @@ FAULT_POINTS = (
     "net.send",  # net/{server,client}: socket send
     "net.recv",  # net/{server,client}: socket recv
     "scheduler.batch",  # serve/server: worker picked up a batch
+    "scheduler.admit",  # serve/server: non-blocking admission (fires a shed)
     "compact.swap",  # store/compaction: atomic rename of the merged file
     "mmap.gather",  # store/persist: mapped row gather
 )

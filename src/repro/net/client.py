@@ -446,6 +446,19 @@ class ProvenanceClient:
         assert isinstance(reply, MetricsReply)
         return reply.text
 
+    def server_health(self) -> dict:
+        """The watchdog verdict alone: ``{"status", "alerts"}``.
+
+        ``status`` is ``"ok"`` or ``"degraded"``; ``alerts`` lists the
+        firing SLOs (empty when the server runs no watchdog — a server
+        without one is assumed healthy, it just cannot say otherwise).
+        """
+        payload = self.server_stats()
+        return {
+            "status": payload.get("status", "ok"),
+            "alerts": payload.get("alerts", []),
+        }
+
     # -- singleton API (client-side coalescing) ----------------------------------
 
     def depends(self, d1: int, d2: int, view: str, *, run: str = DEFAULT_RUN,

@@ -25,7 +25,11 @@ metrics   := <u8 0x85> <u32 request-id> <u32 text-len> <text utf-8>
 means "the server's default variant".  Answers come back as bit-packed
 booleans (``numpy.packbits`` order), so a 4096-query response body is 512
 bytes.  The only JSON on the wire is the stats/health endpoint — cold path,
-human-shaped data.
+human-shaped data.  Its payload doubles as the health surface: top-level
+``status`` is ``"ok"`` or (when the server's watchdog has SLOs firing)
+``"degraded"``, ``alerts`` lists the firing SLOs, and ``top_costs`` carries
+the cost model's costliest (run, view, variant) groups — no new opcode, so
+old clients keep decoding the reply and simply ignore the extra keys.
 
 Tracing rides the op byte: a query op with the :data:`TRACE_FLAG` bit
 (``0x20``) set carries a 64-bit trace id right after the fixed header.  The

@@ -81,6 +81,9 @@ class NetStats:
     errors: int  # protocol or query errors answered on a connection
     stats_requests: int
     metrics_requests: int = 0
+    #: Deepest decoded-but-unadmitted frame backlog since the last stats
+    #: read (watermark gauge: reading it reset it to 0).
+    intake_high_watermark: int = 0
 
 
 class _Connection:
@@ -121,19 +124,23 @@ class _Flight:
         "_lock",
         "_trace",
         "_span",
+        "_pending",
     )
 
-    def __init__(self, net, conn, request_id, futures, trace=None, span=None) -> None:
+    def __init__(self, net, conn, request_id, futures,
+                 trace=None, span=None, pending=None) -> None:
         self._net = net
         self._conn = conn
         self._request_id = request_id
         self._futures = futures
         self._remaining = len(futures)
         self._lock = threading.Lock()
-        #: The request's trace and its ``net.frame`` root span; the flight
-        #: owns both and closes them when the reply is on its way.
+        #: The request's trace, its ``net.frame`` root span, and its tail
+        #: sampler record; the flight owns all three and closes them when
+        #: the reply is on its way.
         self._trace = trace
         self._span = span
+        self._pending = pending
         for future in futures:
             future.add_done_callback(self._on_done)
 
@@ -158,7 +165,13 @@ class _Flight:
         else:
             reply = encode_answers(self._request_id, answers)
             self._net._count("answered_frames")
-        self._net._finish_trace(self._trace, self._span)
+        self._net._finish_trace(
+            self._trace,
+            self._span,
+            self._pending,
+            error=error is not None,
+            queries=len(self._futures),
+        )
         self._net._send(self._conn, reply)
 
 
@@ -231,6 +244,11 @@ class ProvenanceNetServer:
                 "net_metrics_requests_total", "metrics (exposition) frames served"
             ),
         }
+        self._intake_hwm_g = m.gauge(
+            "net_intake_high_watermark",
+            "deepest decoded-frame backlog since the last snapshot (resets on read)",
+            watermark=True,
+        )
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -346,7 +364,11 @@ class ProvenanceNetServer:
 
     @property
     def stats(self) -> NetStats:
-        snap = self._server.metrics.snapshot()
+        return self.stats_from(self._server.metrics.snapshot())
+
+    def stats_from(self, snap: dict) -> NetStats:
+        """Build :class:`NetStats` from an already-taken registry snapshot
+        (see :meth:`ProvenanceServer.stats_from` for why callers share one)."""
 
         def counter(name: str) -> int:
             family = snap.get(name)
@@ -361,15 +383,43 @@ class ProvenanceNetServer:
             errors=counter("net_errors_total"),
             stats_requests=counter("net_stats_requests_total"),
             metrics_requests=counter("net_metrics_requests_total"),
+            intake_high_watermark=counter("net_intake_high_watermark"),
         )
 
     def _count(self, name: str, delta: int = 1) -> None:
         self._counters[name].inc(delta)
 
-    def _finish_trace(self, trace, span) -> None:
-        """Close a flight's root span and file the trace (no-op untraced)."""
+    def _finish_trace(
+        self,
+        trace,
+        span,
+        pending=None,
+        *,
+        error: bool = False,
+        shed: bool = False,
+        queries: int = 1,
+    ) -> None:
+        """Close out one request frame: root span, tail record, costs, ring.
+
+        Every admitted (or refused) query frame funnels through here exactly
+        once, in this order: the root span finishes first so its wall time
+        is closed, the tail sampler decides keep/drop with the outcome in
+        hand, a head-sampled trace's span tree is folded into the cost
+        table, and finally the trace is filed into the ring.  Untraced
+        requests still reach the tail sampler via ``pending``.
+        """
         if span is not None:
             span.finish()
+        if pending is not None:
+            self._server.tail.finish(pending, error=error, shed=shed, trace=trace)
+            if trace is not None and not shed:
+                self._server.costs.record(
+                    trace,
+                    run=pending.run,
+                    view=pending.view,
+                    variant=pending.variant,
+                    queries=queries,
+                )
         if trace is not None:
             self._server.tracer.finish(trace)
 
@@ -448,6 +498,11 @@ class ProvenanceNetServer:
             # Oversized frame announcement: broken or hostile peer.
             self._count("errors")
             self._close_conn(conn)
+            return
+        if conn.intake:
+            self._intake_hwm_g.set_max(
+                sum(len(c.intake) for c in self._conns)
+            )
 
     def _pump_intake(self) -> None:
         """Admit decoded frames round-robin: one per connection per pass.
@@ -493,6 +548,11 @@ class ProvenanceNetServer:
     def _admit(self, conn: _Connection, request: QueryRequest) -> None:
         kind = "depends" if request.op == OP_DEPENDS else "visible"
         items = request.ids.tolist()
+        # Tail sampling sees *every* frame (a header-only record); head
+        # sampling below decides which ones also carry spans.
+        pending = self._server.tail.open(
+            request.trace_id, kind, request.view, request.variant, run=request.run
+        )
         # Sampling decision: a wire trace id marks the request traceable, the
         # tracer decides whether this one is recorded.  The flight owns the
         # trace; every early exit below must close it.
@@ -507,6 +567,9 @@ class ProvenanceNetServer:
                         "op": kind,
                         "run": request.run,
                         "view": request.view,
+                        "variant": str(
+                            getattr(request.variant, "value", request.variant)
+                        ),
                         "n": len(items),
                         "conn": conn.name,
                     },
@@ -530,12 +593,12 @@ class ProvenanceNetServer:
             # Oversized batch, stopped scheduler, bad variant: the frame is
             # unanswerable, the connection (and the loop) live on.
             self._count("errors")
-            self._finish_trace(trace, root)
+            self._finish_trace(trace, root, pending, error=True, queries=len(items))
             self._send(conn, encode_error(request.request_id, type(exc).__name__, str(exc)))
             return
         if futures is None:
             self._count("sheds")
-            self._finish_trace(trace, root)
+            self._finish_trace(trace, root, pending, shed=True, queries=len(items))
             obs_events.emit(
                 "shed",
                 run=request.run,
@@ -552,16 +615,25 @@ class ProvenanceNetServer:
             return
         if not futures:
             self._count("answered_frames")
-            self._finish_trace(trace, root)
+            self._finish_trace(trace, root, pending, queries=0)
             self._send(conn, encode_answers(request.request_id, []))
             return
-        _Flight(self, conn, request.request_id, futures, trace=trace, span=root)
+        _Flight(
+            self, conn, request.request_id, futures,
+            trace=trace, span=root, pending=pending,
+        )
 
     def _stats_payload(self) -> dict:
-        stats = self._server.stats
-        net = self.stats
+        # One snapshot feeds both views: snapshots consume watermark gauges,
+        # so taking two here would zero the second view's watermarks.
+        snap = self._server.metrics.snapshot()
+        stats = self._server.stats_from(snap)
+        net = self.stats_from(snap)
+        watchdog = self._server.watchdog
+        health = watchdog.health() if watchdog is not None else None
         return {
-            "status": "ok",
+            "status": health["status"] if health is not None else "ok",
+            "alerts": health["alerts"] if health is not None else [],
             "queue_depth": self._server.pending,
             "runs": list(self._server.engine.run_ids),
             "server": {
@@ -572,6 +644,7 @@ class ProvenanceNetServer:
                 "coalesced": stats.coalesced,
                 "largest_batch": stats.largest_batch,
                 "queue_peak": stats.queue_peak,
+                "queue_depth_high_watermark": stats.queue_depth_high_watermark,
                 "probes": stats.probes,
                 "reopens": stats.reopens,
                 "worker_restarts": stats.worker_restarts,
@@ -589,7 +662,9 @@ class ProvenanceNetServer:
                 "errors": net.errors,
                 "stats_requests": net.stats_requests,
                 "metrics_requests": net.metrics_requests,
+                "intake_high_watermark": net.intake_high_watermark,
             },
+            "top_costs": self._server.costs.top_groups(5),
         }
 
     # -- writes ------------------------------------------------------------------

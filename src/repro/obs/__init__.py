@@ -13,6 +13,21 @@ Three cooperating pieces, each usable alone:
   rotation, reached through a module-global ``emit()`` that is a no-op until
   an :class:`~repro.obs.events.EventLog` is installed (the same pattern as
   :data:`repro.faults.hit`).
+
+On top of those, the intelligence tier closes the loop from raw telemetry
+to decisions:
+
+* :mod:`repro.obs.tail` — tail-based sampling: every request opens a
+  header-only :class:`~repro.obs.tail.PendingRequest`, and the keep/drop
+  decision runs at completion with the outcome in hand (slow / error /
+  shed kept at 100%, the rest evaporates).
+* :mod:`repro.obs.costmodel` — folds head-sampled span trees into a
+  per-(run, view, variant, phase) wall/CPU cost table.
+* :mod:`repro.obs.timeseries` — a ring of registry snapshots turning
+  cumulative counters into windowed rates, percentiles, and EWMA bands.
+* :mod:`repro.obs.watchdog` — declarative SLOs evaluated on that ring,
+  emitting ``alert`` / ``alert_clear`` events and the degraded-health
+  verdict the stats wire op reports.
 """
 
 # NOTE: ``events.emit`` is deliberately NOT re-exported: it is a re-bindable
@@ -27,6 +42,9 @@ from repro.obs.metrics import (
     HistogramFamily,
     MetricsRegistry,
 )
+from repro.obs.costmodel import PHASE_BY_SPAN, CostModel
+from repro.obs.tail import PendingRequest, TailSampler
+from repro.obs.timeseries import Ewma, SnapshotRing
 from repro.obs.trace import (
     DEFAULT_SAMPLE_RATE,
     Span,
@@ -37,6 +55,7 @@ from repro.obs.trace import (
     current_trace,
     trace_span,
 )
+from repro.obs.watchdog import SLO, Watchdog, default_slos
 
 __all__ = [
     "MetricsRegistry",
@@ -55,4 +74,13 @@ __all__ = [
     "EventLog",
     "install_event_log",
     "uninstall_event_log",
+    "TailSampler",
+    "PendingRequest",
+    "CostModel",
+    "PHASE_BY_SPAN",
+    "SnapshotRing",
+    "Ewma",
+    "Watchdog",
+    "SLO",
+    "default_slos",
 ]

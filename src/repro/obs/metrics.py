@@ -86,14 +86,22 @@ class Counter:
 
 
 class Gauge:
-    """A settable gauge child; ``set_function`` defers to a callback at read."""
+    """A settable gauge child; ``set_function`` defers to a callback at read.
 
-    __slots__ = ("_lock", "_value", "_fn")
+    A *watermark* gauge (``GaugeFamily`` declared with ``watermark=True``)
+    resets to 0 every time the registry snapshots it, so ratcheting it with
+    :meth:`set_max` yields the peak **since the last scrape** — dashboards
+    see bursts that inter-scrape sampling would miss, where a lifetime peak
+    gauge saturates after the first burst.
+    """
 
-    def __init__(self, lock: threading.Lock) -> None:
+    __slots__ = ("_lock", "_value", "_fn", "_watermark")
+
+    def __init__(self, lock: threading.Lock, watermark: bool = False) -> None:
         self._lock = lock
         self._value = 0.0
         self._fn: Callable[[], float] | None = None
+        self._watermark = watermark
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -125,19 +133,39 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket histogram child with numpy-bincount batch updates."""
+    """Fixed-bucket histogram child with numpy-bincount batch updates.
 
-    __slots__ = ("_lock", "_edges", "counts", "sum", "count")
+    Observations must be finite and non-negative (the families here are all
+    durations and sizes): NaN, inf, and negative values are *dropped* and
+    tallied on the registry's ``observe_invalid_total{family=...}`` counter
+    instead of polluting a bucket — a NaN would land in the +inf slot via
+    ``searchsorted`` and poison every percentile read after it.
+    """
 
-    def __init__(self, lock: threading.Lock, edges: np.ndarray) -> None:
+    __slots__ = ("_lock", "_edges", "counts", "sum", "count", "exemplars", "_invalid")
+
+    def __init__(self, lock: threading.Lock, edges: np.ndarray,
+                 invalid: "Counter | None" = None) -> None:
         self._lock = lock
         self._edges = edges
         # One slot per finite edge plus the +inf overflow slot.
         self.counts = np.zeros(len(edges) + 1, dtype=np.int64)
         self.sum = 0.0
         self.count = 0
+        #: bucket index -> ("trace id hex", value): the most recent exemplar
+        #: observation attached to that bucket (see :meth:`put_exemplar`).
+        self.exemplars: "dict[int, tuple[str, float]] | None" = None
+        self._invalid = invalid
+
+    def _drop_invalid(self, n: int) -> None:
+        if n and self._invalid is not None:
+            self._invalid.inc(n)
 
     def observe(self, value: float) -> None:
+        value = float(value)
+        if not (value >= 0.0) or value == float("inf"):  # NaN fails the >=
+            self._drop_invalid(1)
+            return
         idx = int(np.searchsorted(self._edges, value, side="left"))
         with self._lock:
             self.counts[idx] += 1
@@ -149,6 +177,13 @@ class Histogram:
                          dtype=np.float64)
         if arr.size == 0:
             return
+        valid = np.isfinite(arr) & (arr >= 0.0)
+        n_invalid = int(arr.size - valid.sum())
+        if n_invalid:
+            self._drop_invalid(n_invalid)
+            arr = arr[valid]
+            if arr.size == 0:
+                return
         # bucket index per observation, tallied outside the lock...
         idx = np.searchsorted(self._edges, arr, side="left")
         add = np.bincount(idx, minlength=len(self.counts))
@@ -158,6 +193,47 @@ class Histogram:
             self.counts += add
             self.sum += total
             self.count += int(arr.size)
+
+    def put_exemplar(self, value: float, trace_id: "int | str") -> None:
+        """Attach a trace id to the bucket ``value`` falls in.
+
+        Exemplars link a histogram bucket to one concrete trace that landed
+        there (OpenMetrics-style), so "what does a p99 request look like"
+        is one exposition read away.  The newest exemplar per bucket wins.
+        """
+        value = float(value)
+        if not (value >= 0.0) or value == float("inf"):
+            return
+        tid = trace_id if isinstance(trace_id, str) else format(int(trace_id), "016x")
+        idx = int(np.searchsorted(self._edges, value, side="left"))
+        with self._lock:
+            if self.exemplars is None:
+                self.exemplars = {}
+            self.exemplars[idx] = (tid, value)
+
+    def quantile_bound(self, q: float, *, lower: bool = False) -> float:
+        """The bucket edge bounding the q-quantile (upper by default).
+
+        ``lower=True`` returns the matched bucket's lower edge — an
+        under-estimate, which is what an adaptive "keep everything slower
+        than roughly p95" threshold wants (never misses a true outlier).
+        Returns 0.0 when empty.
+        """
+        with self._lock:
+            counts = self.counts.copy()
+            total = self.count
+        if total == 0:
+            return 0.0
+        need = q * total
+        cumulative = 0
+        for index in range(len(counts)):
+            cumulative += int(counts[index])
+            if cumulative >= need:
+                if lower:
+                    return float(self._edges[index - 1]) if index > 0 else 0.0
+                last = len(self._edges) - 1
+                return float(self._edges[min(index, last)])
+        return float(self._edges[-1])  # pragma: no cover - cumulative == total
 
 
 class _Family:
@@ -218,8 +294,14 @@ class CounterFamily(_Family):
 class GaugeFamily(_Family):
     kind = "gauge"
 
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str,
+                 labelnames: tuple[str, ...], watermark: bool = False) -> None:
+        super().__init__(registry, name, help, labelnames)
+        #: Watermark families reset every child to 0 at snapshot time.
+        self.watermark = watermark
+
     def _make_child(self) -> Gauge:
-        return Gauge(self._registry._lock)
+        return Gauge(self._registry._lock, self.watermark)
 
     def set(self, value: float) -> None:
         self._solo.set(value)
@@ -249,9 +331,12 @@ class HistogramFamily(_Family):
             raise ValueError("histogram needs at least one bucket edge")
         self.buckets = tuple(float(e) for e in edges)
         self._edges = edges
+        #: Shared drop counter for invalid observations; wired up by the
+        #: registry after construction (outside the meta lock).
+        self._invalid: "Counter | None" = None
 
     def _make_child(self) -> Histogram:
-        return Histogram(self._registry._lock, self._edges)
+        return Histogram(self._registry._lock, self._edges, self._invalid)
 
     def observe(self, value: float) -> None:
         self._solo.observe(value)
@@ -275,8 +360,23 @@ class MetricsRegistry:
         return self._family(CounterFamily, name, help, tuple(labelnames))
 
     def gauge(self, name: str, help: str = "",
-              labelnames: Sequence[str] = ()) -> GaugeFamily:
-        return self._family(GaugeFamily, name, help, tuple(labelnames))
+              labelnames: Sequence[str] = (), *,
+              watermark: bool = False) -> GaugeFamily:
+        with self._meta_lock:
+            family = self._families.get(name)
+            if family is None:
+                family = GaugeFamily(self, name, help, tuple(labelnames), watermark)
+                self._families[name] = family
+            elif not isinstance(family, GaugeFamily):
+                raise ValueError(f"{name} already registered as {family.kind}")
+            elif family.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"{name} already registered with labels {family.labelnames!r}"
+                )
+            elif family.watermark != watermark:
+                raise ValueError(f"{name} already registered with watermark="
+                                 f"{family.watermark}")
+            return family
 
     def histogram(self, name: str, help: str = "",
                   labelnames: Sequence[str] = (),
@@ -288,7 +388,15 @@ class MetricsRegistry:
                 self._families[name] = family
             elif not isinstance(family, HistogramFamily):
                 raise ValueError(f"{name} already registered as {family.kind}")
-            return family
+        # The invalid-drop counter is a family of its own, so registering it
+        # must happen outside the meta lock (counter() takes it too).
+        if family._invalid is None:
+            family._invalid = self.counter(
+                "observe_invalid_total",
+                "NaN/negative/inf observations dropped instead of bucketed",
+                ("family",),
+            ).labels(name)
+        return family
 
     def _family(self, cls: type, name: str, help: str,
                 labelnames: tuple[str, ...]) -> _Family:
@@ -335,12 +443,17 @@ class MetricsRegistry:
                             row[key] = 0.0
                         else:
                             row[key] = child._value
+                            if child._watermark:
+                                child._value = 0.0
                     elif isinstance(child, Histogram):
                         row[key] = {
                             "counts": tuple(int(c) for c in child.counts),
                             "sum": float(child.sum),
                             "count": int(child.count),
                             "buckets": family.buckets,
+                            "exemplars": (
+                                dict(child.exemplars) if child.exemplars else {}
+                            ),
                         }
                 out[name] = row
         for row, key, fn in deferred:
@@ -365,14 +478,32 @@ class MetricsRegistry:
                 value = values[key]
                 if family.kind == "histogram":
                     hist: Mapping = value  # type: ignore[assignment]
+                    exemplars = hist.get("exemplars") or {}
+
+                    def _exemplar(idx: int) -> str:
+                        ex = exemplars.get(idx)
+                        if ex is None:
+                            return ""
+                        tid, observed = ex
+                        # OpenMetrics exemplar syntax: the trace that landed
+                        # in this bucket, and the exact value it observed.
+                        return f' # {{trace_id="{tid}"}} {_format_value(observed)}'
+
                     cumulative = 0
-                    for edge, count in zip(hist["buckets"], hist["counts"]):
+                    for idx, (edge, count) in enumerate(
+                        zip(hist["buckets"], hist["counts"])
+                    ):
                         cumulative += count
                         le = 'le="' + repr(edge) + '"'
                         labels = _labels_text(family.labelnames, key, le)
-                        lines.append(f"{name}_bucket{labels} {cumulative}")
+                        lines.append(
+                            f"{name}_bucket{labels} {cumulative}{_exemplar(idx)}"
+                        )
                     labels = _labels_text(family.labelnames, key, 'le="+Inf"')
-                    lines.append(f"{name}_bucket{labels} {hist['count']}")
+                    lines.append(
+                        f"{name}_bucket{labels} {hist['count']}"
+                        f"{_exemplar(len(hist['buckets']))}"
+                    )
                     label_text = _labels_text(family.labelnames, key)
                     lines.append(f"{name}_sum{label_text} {_format_value(hist['sum'])}")
                     lines.append(f"{name}_count{label_text} {hist['count']}")
@@ -393,6 +524,8 @@ def parse_exposition(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]],
         line = line.strip()
         if not line or line.startswith("#"):
             continue
+        # Drop an OpenMetrics exemplar suffix (` # {trace_id="..."} value`).
+        line = line.split(" # ", 1)[0]
         name_part, _, value_part = line.rpartition(" ")
         if "{" in name_part:
             name, _, label_blob = name_part.partition("{")

@@ -1,0 +1,239 @@
+"""Tail-based trace sampling: keep the requests that mattered, after the fact.
+
+Head sampling (:class:`~repro.obs.trace.Tracer` at 1/64) prices the span
+machinery into the hot path honestly, but it misses most p99 outliers by
+construction — a deterministic 1/64 coin knows nothing about how the request
+*went*.  The tail sampler closes that gap from the other side:
+
+* **every** request edge opens a :class:`PendingRequest` — a header-only
+  record (trace id, (op, view, variant) key, start instant), a few dozen
+  bytes and two ``perf_counter`` reads, no spans;
+* at completion the keep/drop decision runs with the outcome in hand:
+  traces that were **slow** (wall time at or above a per-(op, view, variant)
+  adaptive threshold), **erroring**, or **shed** are kept at 100% into a
+  byte/entry-bounded ring; everything else evaporates;
+* the adaptive threshold is the live ``tail_request_seconds`` histogram's
+  ~p95 — specifically the p95 bucket's *lower* edge, an under-estimate, so a
+  true slowest-1% request can never duck under it — recomputed every
+  ``refresh_every`` observations per key and kept at 0 (keep everything)
+  until ``warmup`` observations have accumulated;
+* kept requests stamp an exemplar trace id on the histogram bucket their
+  latency landed in, so the Prometheus exposition links "this p99 bucket"
+  to "this exact trace id" (:meth:`~repro.obs.metrics.Histogram.put_exemplar`).
+
+Head sampling keeps feeding the baseline ring untouched: when the request
+also carried a head-sampled :class:`~repro.obs.trace.Trace`, the kept tail
+record embeds its full span tree; otherwise the record is the header plus
+outcome — which is exactly the cheap-until-proven-interesting contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+
+__all__ = ["PendingRequest", "TailSampler"]
+
+_FIB = 0x9E3779B97F4A7C15
+_U64 = 1 << 64
+
+
+class PendingRequest:
+    """The header-only record of one in-flight request (cheap to mint)."""
+
+    __slots__ = ("trace_id", "op", "view", "variant", "run", "t0")
+
+    def __init__(self, trace_id: int, op: str, view: str, variant: str,
+                 run: str, t0: float) -> None:
+        self.trace_id = trace_id
+        self.op = op
+        self.view = view
+        self.variant = variant
+        self.run = run
+        self.t0 = t0
+
+
+class TailSampler:
+    """Outcome-aware request sampling over a shared metrics registry.
+
+    One sampler serves one server stack (it shares the stack's registry).
+    The request edge calls :meth:`open` when a request is admitted and
+    :meth:`finish` exactly once when the reply is decided; ``finish``
+    returns the measured wall seconds so callers double as latency probes.
+    """
+
+    def __init__(
+        self,
+        metrics,
+        *,
+        percentile: float = 0.95,
+        warmup: int = 128,
+        refresh_every: int = 64,
+        min_threshold_s: float = 0.0,
+        ring_max_entries: int = 512,
+        ring_max_bytes: int = 1 << 20,
+        clock=time.perf_counter,
+    ) -> None:
+        if not 0.0 < percentile < 1.0:
+            raise ValueError("percentile must be in (0, 1)")
+        if warmup < 1 or refresh_every < 1:
+            raise ValueError("warmup and refresh_every must be positive")
+        self.percentile = percentile
+        self.warmup = warmup
+        self.refresh_every = refresh_every
+        self.min_threshold_s = min_threshold_s
+        self._clock = clock
+        self._hist = metrics.histogram(
+            "tail_request_seconds",
+            "request wall time at the tail sampler's edge",
+            ("op", "view", "variant"),
+        )
+        self._considered_c = metrics.counter(
+            "tail_considered_total", "requests the tail sampler saw complete"
+        )
+        self._kept_c = metrics.counter(
+            "tail_kept_total", "requests kept by outcome", ("reason",)
+        )
+        self._evicted_c = metrics.counter(
+            "tail_evicted_total", "kept records evicted from the bounded ring"
+        )
+        #: (op, view, variant) -> [count at last refresh, cached threshold].
+        self._thresholds: dict[tuple, list] = {}
+        self._tlock = threading.Lock()
+        self._ring: "deque[tuple[int, dict]]" = deque()  # (nbytes, record)
+        self._ring_bytes = 0
+        self._ring_max_entries = ring_max_entries
+        self._ring_max_bytes = ring_max_bytes
+        self._rlock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    # -- request edge ------------------------------------------------------------
+
+    def open(
+        self,
+        trace_id: "int | None",
+        op: str,
+        view: str,
+        variant=None,
+        run: str = "",
+    ) -> PendingRequest:
+        """Record a request's header; always succeeds, allocates one object."""
+        if trace_id is None:
+            # Requests without a wire trace id still need one for exemplars.
+            trace_id = (next(self._ids) * _FIB) % _U64 or 1
+        return PendingRequest(
+            trace_id, op, view, str(getattr(variant, "value", variant)),
+            run, self._clock(),
+        )
+
+    def finish(
+        self,
+        pending: "PendingRequest | None",
+        *,
+        error: bool = False,
+        shed: bool = False,
+        trace=None,
+    ) -> float:
+        """Decide keep/drop with the outcome known; returns wall seconds."""
+        if pending is None:
+            return -1.0
+        wall = self._clock() - pending.t0
+        child = self._hist.labels(pending.op, pending.view, pending.variant)
+        child.observe(wall)
+        self._considered_c.inc()
+        if error:
+            reason = "error"
+        elif shed:
+            reason = "shed"
+        elif wall >= self._threshold_for(pending, child):
+            reason = "slow"
+        else:
+            return wall
+        child.put_exemplar(wall, pending.trace_id)
+        self._keep(pending, wall, reason, trace)
+        self._kept_c.labels(reason).inc()
+        return wall
+
+    # -- adaptive threshold ------------------------------------------------------
+
+    def threshold(self, op: str, view: str, variant=None) -> float:
+        """The current keep-if-slower-than threshold for a key (0 = keep all)."""
+        variant = str(getattr(variant, "value", variant))
+        with self._tlock:
+            state = self._thresholds.get((op, view, variant))
+            return state[1] if state is not None else self.min_threshold_s
+
+    def _threshold_for(self, pending: PendingRequest, child) -> float:
+        key = (pending.op, pending.view, pending.variant)
+        count = child.count  # one int read; staleness of a few obs is fine
+        with self._tlock:
+            state = self._thresholds.get(key)
+            if state is None:
+                state = self._thresholds[key] = [0, self.min_threshold_s]
+            if count < self.warmup:
+                return self.min_threshold_s  # keep everything while learning
+            if count - state[0] >= self.refresh_every or state[0] == 0:
+                state[0] = count
+                state[1] = max(
+                    self.min_threshold_s,
+                    child.quantile_bound(self.percentile, lower=True),
+                )
+            return state[1]
+
+    # -- kept-trace ring ---------------------------------------------------------
+
+    def _keep(self, pending: PendingRequest, wall: float, reason: str,
+              trace) -> None:
+        record = {
+            "trace_id": pending.trace_id,
+            "op": pending.op,
+            "run": pending.run,
+            "view": pending.view,
+            "variant": pending.variant,
+            "wall_s": wall,
+            "reason": reason,
+        }
+        size = 160 + len(pending.view) + len(pending.run)
+        if trace is not None:
+            record["spans"] = trace.span_tree()
+            record["dropped_spans"] = trace.dropped_spans
+            size += trace.nbytes()
+        evicted = 0
+        with self._rlock:
+            self._ring.append((size, record))
+            self._ring_bytes += size
+            while self._ring and (
+                len(self._ring) > self._ring_max_entries
+                or self._ring_bytes > self._ring_max_bytes
+            ):
+                old_size, _ = self._ring.popleft()
+                self._ring_bytes -= old_size
+                evicted += 1
+        if evicted:
+            self._evicted_c.inc(evicted)
+
+    def kept(self) -> list[dict]:
+        """The kept records, oldest first (copies of the ring's view)."""
+        with self._rlock:
+            return [record for _, record in self._ring]
+
+    def kept_ids(self) -> set[int]:
+        with self._rlock:
+            return {record["trace_id"] for _, record in self._ring}
+
+    def dump(self, path: str) -> int:
+        """Write the kept ring as JSONL; returns the entry count."""
+        records = self.kept()
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record, separators=(",", ":"), default=repr))
+                fh.write("\n")
+        return len(records)
+
+    @property
+    def ring_bytes(self) -> int:
+        with self._rlock:
+            return self._ring_bytes

@@ -147,13 +147,34 @@ class Trace:
         return total
 
     def span_tree(self) -> list[dict]:
-        """Spans nested as ``{"name", ..., "children": [...]}`` dicts."""
-        nodes = {s.span_id: {**s.to_dict(), "children": []} for s in self.spans}
+        """Spans nested as ``{"name", ..., "path", "children": [...]}`` dicts.
+
+        The ordering is **deterministic**: siblings appear in span-id order
+        (allocation order under the trace lock), not in whatever order
+        worker threads happened to finish — so a nested
+        net → scheduler → engine trace serialises identically across runs
+        and tests can replay it stably.  Each node carries ``path``, the
+        slash-joined chain of ancestor span names ending in its own, so a
+        flat consumer of the slow-query JSONL sees every span's full parent
+        chain without re-walking the tree.
+        """
+        with self._lock:
+            spans = sorted(self.spans, key=lambda s: s.span_id)
+        nodes = {s.span_id: {**s.to_dict(), "children": []} for s in spans}
         roots: list[dict] = []
-        for span in self.spans:
+        for span in spans:
             node = nodes[span.span_id]
             parent = nodes.get(span.parent_id) if span.parent_id else None
             (parent["children"] if parent else roots).append(node)
+
+        def _paths(node: dict, prefix: str) -> None:
+            path = f"{prefix}/{node['name']}" if prefix else node["name"]
+            node["path"] = path
+            for child in node["children"]:
+                _paths(child, path)
+
+        for root in roots:
+            _paths(root, "")
         return roots
 
     def to_dict(self) -> dict:

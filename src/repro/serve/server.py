@@ -41,8 +41,12 @@ from dataclasses import dataclass
 from repro import faults
 from repro.engine.engine import DEFAULT_RUN, QueryEngine
 from repro.errors import LabelingError, SerializationError
+from repro.faults import InjectedFault
 from repro.obs import events as obs_events
+from repro.obs.costmodel import CostModel
+from repro.obs.tail import TailSampler
 from repro.obs.trace import TraceContext, Tracer, activate
+from repro.obs.watchdog import Watchdog
 from repro.serve.matrix_cache import load_hot_matrices, save_hot_matrices
 
 __all__ = ["BatchPolicy", "ReopenPolicy", "ServerStats", "ProvenanceServer"]
@@ -135,6 +139,11 @@ class ServerStats:
     #: Times a worker thread died outside the per-batch guard and its
     #: supervisor restarted it (0 = no worker has ever crashed).
     worker_restarts: int = 0
+    #: Deepest queue since the *last* stats read (a watermark gauge: the
+    #: registry snapshot that built this view also reset it to 0), so two
+    #: consecutive scrapes see per-interval peaks, not the lifetime
+    #: :attr:`queue_peak`.
+    queue_depth_high_watermark: int = 0
     #: The last unexpected scheduling/probe failure a worker survived and the
     #: last warm-start failure attach swallowed (both ``None`` when healthy).
     last_error: "Exception | None" = None
@@ -200,6 +209,7 @@ class ProvenanceServer:
         workers: int = 1,
         clock=time.monotonic,
         tracer: "Tracer | None" = None,
+        tail: "TailSampler | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -223,6 +233,14 @@ class ProvenanceServer:
         #: ``registry.snapshot()``) covers the whole stack at one instant.
         self.metrics = engine.metrics
         self.tracer = tracer if tracer is not None else Tracer(metrics=self.metrics)
+        #: Tail sampler + cost model: the request edge (the net tier, or an
+        #: embedding test) opens/finishes tail records and feeds finished
+        #: head-sampled traces to :attr:`costs`; they live on the server so
+        #: every front-end over one engine shares one outcome view.
+        self.tail = tail if tail is not None else TailSampler(self.metrics)
+        self.costs = CostModel(self.metrics)
+        #: Set by :meth:`attach_watchdog`; ``None`` means no SLO evaluation.
+        self.watchdog: "Watchdog | None" = None
         m = self.metrics
         self._submitted_c = m.counter(
             "serve_submitted_total", "requests accepted into the scheduler queue"
@@ -241,6 +259,11 @@ class ProvenanceServer:
             "serve_largest_batch", "largest scheduling batch ever taken"
         )
         self._queue_peak_g = m.gauge("serve_queue_peak", "deepest queue ever seen")
+        self._queue_hwm_g = m.gauge(
+            "serve_queue_depth_high_watermark",
+            "deepest queue since the last snapshot (resets on read)",
+            watermark=True,
+        )
         m.gauge(
             "serve_queue_depth", "requests queued right now"
         ).set_function(self._queue_depth)
@@ -317,6 +340,8 @@ class ProvenanceServer:
 
     def stop(self) -> None:
         """Stop the workers after they drain every queued request."""
+        if self.watchdog is not None:
+            self.watchdog.stop()
         with self._cond:
             self._stopping = True
             self._cond.notify_all()
@@ -479,6 +504,14 @@ class ProvenanceServer:
                 f"batch of {n} requests can never fit max_queue="
                 f"{self._policy.max_queue}; split it across frames"
             )
+        if not block:
+            try:
+                # Deterministic shed injection: a harness arming this point
+                # makes the non-blocking edge refuse admission exactly as a
+                # full queue would, without having to race the queue full.
+                faults.hit("scheduler.admit")
+            except InjectedFault:
+                return None
         with self._cond:
             if self._stopping:
                 raise RuntimeError("provenance server is stopped")
@@ -498,6 +531,7 @@ class ProvenanceServer:
             self._cond.notify_all()
         self._submitted_c.inc(n)
         self._queue_peak_g.set_max(depth)
+        self._queue_hwm_g.set_max(depth)
         return [request.future for request in requests]
 
     def depends(
@@ -542,6 +576,28 @@ class ProvenanceServer:
 
     # -- observability -----------------------------------------------------------
 
+    def attach_watchdog(
+        self,
+        slos=None,
+        *,
+        interval_s: float = 1.0,
+        start: bool = True,
+    ) -> Watchdog:
+        """Attach (and by default start) an SLO watchdog over this stack.
+
+        The watchdog ticks on its own daemon thread, evaluating the given
+        :class:`~repro.obs.watchdog.SLO` specs (default:
+        :func:`~repro.obs.watchdog.default_slos`) against this server's
+        shared registry; its verdict surfaces through the network tier's
+        stats payload.  Re-attaching stops the previous one.
+        """
+        if self.watchdog is not None:
+            self.watchdog.stop()
+        self.watchdog = Watchdog(self.metrics, slos, interval_s=interval_s)
+        if start:
+            self.watchdog.start()
+        return self.watchdog
+
     @property
     def stats(self) -> ServerStats:
         """One consistent :class:`ServerStats` view over the registry.
@@ -552,7 +608,17 @@ class ProvenanceServer:
         acquisition), so a scrape never mixes counts from two instants; the
         last-error fields are read under their own lock right after.
         """
-        snap = self.metrics.snapshot()
+        return self.stats_from(self.metrics.snapshot())
+
+    def stats_from(self, snap: dict) -> ServerStats:
+        """Build :class:`ServerStats` from an already-taken registry snapshot.
+
+        Snapshots consume watermark gauges (reading resets them), so a
+        caller assembling several stats views — the net tier's stats
+        payload builds this *and* :class:`~repro.net.server.NetStats` — must
+        take one snapshot and feed it to both, or the second view would see
+        the watermarks already zeroed by the first.
+        """
 
         def counter(name: str) -> int:
             return int(snap.get(name, {}).get((), 0))
@@ -575,6 +641,7 @@ class ProvenanceServer:
             matrix_pairs=int(pairs.get(("matrix",), 0)),
             index_attaches=counter("serve_index_attaches_total"),
             worker_restarts=counter("serve_worker_restarts_total"),
+            queue_depth_high_watermark=counter("serve_queue_depth_high_watermark"),
             last_error=last_error,
             last_warm_error=last_warm_error,
         )
@@ -604,6 +671,7 @@ class ProvenanceServer:
             self._cond.notify_all()
         self._submitted_c.inc()
         self._queue_peak_g.set_max(depth)
+        self._queue_hwm_g.set_max(depth)
         return request.future
 
     def _resolve(self, future: Future) -> bool:

@@ -33,7 +33,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.engine.engine import QueryEngine, grammar_fingerprint
-from repro.errors import LabelingError, SerializationError
+from repro.errors import CorruptionError, LabelingError, SerializationError
 from repro.obs import events as obs_events
 from repro.store import (
     CheckpointResult,
@@ -275,6 +275,11 @@ class RunLifecycleManager:
         self._run_failures_c = m.counter(
             "lifecycle_run_failures_total", "per-run flush/compaction failures", lbl
         ).labels(mid)
+        self._corruption_c = m.counter(
+            "corruption_detected_total",
+            "checksum/structure corruption detections by layer",
+            ("layer",),
+        ).labels("lifecycle")
         m.gauge(
             "lifecycle_managed_runs", "runs under lifecycle management", lbl
         ).labels(mid).set_function(lambda: len(self._runs))
@@ -770,6 +775,8 @@ class RunLifecycleManager:
             managed.failures += 1
             managed.last_failure = exc
             self._run_failures_c.inc()
+            if isinstance(exc, CorruptionError):
+                self._corruption_c.inc()
             if (
                 self._quarantine_after is not None
                 and managed.failures >= self._quarantine_after

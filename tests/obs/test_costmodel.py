@@ -1,0 +1,102 @@
+"""Cost attribution: self-time folding, queue wait, top groups, bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.costmodel import PHASE_BY_SPAN, CostModel
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Trace
+
+
+def stamped(trace, name, parent=None, *, t0, wall, cpu=None, attrs=None):
+    span = trace.begin_span(name, parent.span_id if parent else None, attrs)
+    span.t0 = t0
+    span.wall_s = wall
+    span.cpu_s = wall if cpu is None else cpu
+    return span
+
+
+def make_trace():
+    """net.frame(1.0s) > scheduler.batch(0.8s) > engine spans, queued 0.2s."""
+    trace = Trace(7)
+    root = stamped(trace, "net.frame", t0=0.0, wall=1.0, cpu=-1.0)
+    sched = stamped(trace, "scheduler.batch", root, t0=0.2, wall=0.8)
+    eng = stamped(trace, "engine.depends_batch", sched, t0=0.3, wall=0.5)
+    stamped(
+        trace, "engine.group_eval", eng, t0=0.35, wall=0.2,
+        attrs={"structural_pairs": 3, "matrix_pairs": 1},
+    )
+    return trace
+
+
+def phase_walls(model):
+    return {row["phase"]: row["wall_s"] for row in model.table()}
+
+
+def test_self_time_folding_never_double_bills_nested_phases():
+    model = CostModel()
+    model.record(make_trace(), run="r", view="v", queries=4)
+    walls = phase_walls(model)
+    assert walls["net"] == pytest.approx(0.2)        # 1.0 - 0.8 child
+    assert walls["scheduler"] == pytest.approx(0.3)  # 0.8 - 0.5 child
+    # depends_batch self (0.3) + group_eval leaf (0.2) share the phase.
+    assert walls["engine"] == pytest.approx(0.5)
+    assert walls["queue_wait"] == pytest.approx(0.2)  # sched.t0 - root.t0
+    assert sum(walls.values()) == pytest.approx(1.2)
+
+
+def test_top_groups_carry_per_query_cost_and_structural_split():
+    model = CostModel()
+    model.record(make_trace(), run="r", view="v", queries=4)
+    [group] = model.top_groups()
+    assert (group["run"], group["view"], group["variant"]) == ("r", "v", "None")
+    assert group["wall_s"] == pytest.approx(1.2)
+    assert group["queries"] == 4
+    assert group["wall_per_query_us"] == pytest.approx(1.2 / 4 * 1e6)
+    # queue_wait never wins dominance: the engine's 0.5s does.
+    assert group["dominant_phase"] == "engine"
+    assert (group["structural_pairs"], group["matrix_pairs"]) == (3, 1)
+
+
+def test_unknown_span_names_bill_to_their_dotted_prefix():
+    assert "store.flush" not in PHASE_BY_SPAN
+    trace = Trace(1)
+    stamped(trace, "store.flush", t0=0.0, wall=0.5)
+    model = CostModel()
+    model.record(trace, run="r", view="v")
+    assert phase_walls(model) == {"store": pytest.approx(0.5)}
+
+
+def test_unfinished_spans_are_not_billed():
+    trace = Trace(1)
+    trace.begin_span("net.frame")  # never finished: wall_s stays -1.0
+    model = CostModel()
+    model.record(trace, run="r", view="v")
+    assert model.table() == []
+    model.record(Trace(2), run="r", view="v")  # empty trace: a no-op
+    assert model.table() == []
+
+
+def test_table_is_key_bounded_and_counts_overflow():
+    model = CostModel(max_keys=1)
+    trace = Trace(1)
+    stamped(trace, "net.frame", t0=0.0, wall=0.5)
+    stamped(trace, "engine.decode", t0=0.1, wall=0.1)
+    model.record(trace, run="r", view="v")
+    assert len(model.table()) == 1
+    assert model.overflowed == 1
+
+
+def test_totals_mirror_into_registry_counters():
+    reg = MetricsRegistry()
+    model = CostModel(reg)
+    model.record(make_trace(), run="r", view="v", queries=4)
+    snap = reg.snapshot()["cost_seconds_total"]
+    assert snap[("r", "v", "None", "net")] == pytest.approx(0.2)
+    assert snap[("r", "v", "None", "engine")] == pytest.approx(0.5)
+    cpu = reg.snapshot()["cost_cpu_seconds_total"]
+    # The cross-thread root span reported cpu_s = -1.0, so "net" billed no
+    # CPU; the same-thread engine spans billed their self CPU times.
+    assert cpu[("r", "v", "None", "net")] == pytest.approx(0.0)
+    assert cpu[("r", "v", "None", "engine")] == pytest.approx(0.5)

@@ -141,6 +141,55 @@ def test_exposition_round_trips_through_parser():
     assert parsed[inf_key] == 1
 
 
+def test_observe_rejects_nan_negative_and_inf_without_poisoning():
+    reg = MetricsRegistry()
+    hist = reg.histogram("lat_seconds", buckets=(0.1, 1.0))
+    for bad in (float("nan"), -1.0, float("inf")):
+        hist.observe(bad)
+    hist.observe(0.5)
+    snap = reg.snapshot()
+    assert snap["lat_seconds"][()]["count"] == 1
+    assert snap["lat_seconds"][()]["sum"] == pytest.approx(0.5)
+    assert snap["observe_invalid_total"][("lat_seconds",)] == 3
+
+
+def test_observe_many_guards_empty_and_mixed_batches():
+    reg = MetricsRegistry()
+    hist = reg.histogram("lat_seconds", buckets=(0.1, 1.0))
+    hist.observe_many(np.asarray([], dtype=np.float64))  # a no-op, not a crash
+    hist.observe_many([0.05, float("nan"), -3.0, 0.5, float("inf")])
+    snap = reg.snapshot()
+    assert snap["lat_seconds"][()]["count"] == 2  # only the two valid values
+    assert snap["lat_seconds"][()]["sum"] == pytest.approx(0.55)
+    assert snap["observe_invalid_total"][("lat_seconds",)] == 3
+
+
+def test_watermark_gauge_resets_on_snapshot_read():
+    reg = MetricsRegistry()
+    hwm = reg.gauge("queue_hwm", watermark=True)
+    hwm.set_max(7)
+    hwm.set_max(3)  # ratchet: lower values do not move it
+    assert reg.snapshot()["queue_hwm"][()] == 7.0
+    # The read consumed the watermark; the next burst starts from zero.
+    assert reg.snapshot()["queue_hwm"][()] == 0.0
+    hwm.set_max(2)
+    assert reg.snapshot()["queue_hwm"][()] == 2.0
+    with pytest.raises(ValueError):
+        reg.gauge("queue_hwm", watermark=False)  # declaration must agree
+
+
+def test_exemplars_ride_the_exposition_and_round_trip_the_parser():
+    reg = MetricsRegistry()
+    hist = reg.histogram("lat_seconds", buckets=(0.1, 1.0))
+    hist.observe(0.5)
+    hist._solo.put_exemplar(0.5, 0xDEADBEEF)
+    text = reg.exposition()
+    assert ' # {trace_id="00000000deadbeef"} 0.5' in text
+    parsed = parse_exposition(text)  # the suffix must not confuse parsing
+    assert parsed[("lat_seconds_bucket", (("le", "1.0"),))] == 1
+    assert parsed[("lat_seconds_count", ())] == 1
+
+
 def test_exposition_quotes_awkward_label_values():
     reg = MetricsRegistry()
     reg.counter("odd_total", "", ("name",)).labels('run "a"\nb\\c').inc()

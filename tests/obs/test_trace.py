@@ -63,6 +63,45 @@ def test_trace_span_nests_and_noops_without_active_trace():
     assert [c["name"] for c in root["children"]] == ["inner"]
 
 
+def test_span_tree_orders_siblings_deterministically_with_full_paths():
+    trace = Trace(11)
+    root = trace.begin_span("net.frame")
+    first = trace.begin_span("scheduler.batch", root.span_id)
+    second = trace.begin_span("scheduler.batch", root.span_id)
+    leaf = trace.begin_span("engine.depends_batch", second.span_id)
+    # Finish out of allocation order, as racing workers would.
+    for span in (leaf, second, first, root):
+        span.finish()
+    [tree_root] = trace.span_tree()
+    # Siblings come back in span-id (allocation) order, not finish order.
+    assert [c["span_id"] for c in tree_root["children"]] == [
+        first.span_id, second.span_id
+    ]
+    # Every node carries its slash-joined ancestor chain.
+    assert tree_root["path"] == "net.frame"
+    assert tree_root["children"][1]["path"] == "net.frame/scheduler.batch"
+    nested = tree_root["children"][1]["children"][0]
+    assert nested["path"] == "net.frame/scheduler.batch/engine.depends_batch"
+    # The same tree (ids, paths) serialises identically on every walk.
+    assert trace.span_tree() == trace.span_tree()
+
+
+def test_slow_log_records_embed_parent_chains(tmp_path):
+    tracer = Tracer(sample_rate=1.0, slow_threshold_s=0.0)
+    trace = tracer.begin(5)
+    root = trace.begin_span("net.frame")
+    child = trace.begin_span("scheduler.batch", root.span_id)
+    child.finish()
+    root.finish()
+    tracer.finish(trace)
+    out = tmp_path / "slow.jsonl"
+    assert tracer.dump_slow(out) == 1
+    [record] = [json.loads(line) for line in out.read_text().splitlines()]
+    [dumped_root] = record["spans"]
+    assert dumped_root["path"] == "net.frame"
+    assert dumped_root["children"][0]["path"] == "net.frame/scheduler.batch"
+
+
 def test_trace_context_carries_across_threads():
     trace = Trace(9)
     root = trace.begin_span("net.frame")
